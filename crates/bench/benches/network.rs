@@ -1,0 +1,101 @@
+//! Whole-network benchmarks: simulation throughput per cycle under load,
+//! for the bare simulator and for the full fault-tolerant protocol.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_sim::config::NocConfig;
+use noc_sim::error_control::PerfectLink;
+use noc_sim::network::Network;
+use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
+use rlnoc_core::modes::OperationMode;
+use rlnoc_core::protocol::FaultTolerantProtocol;
+
+/// Builds a warmed-up 8×8 network with uniform traffic at `rate`.
+fn warmed_perfect(rate: f64) -> (Network<PerfectLink>, SyntheticSource) {
+    let config = NocConfig::default();
+    let mut net = Network::new(config, PerfectLink::new(), 7);
+    let mut traffic = SyntheticSource::new(net.mesh(), TrafficPattern::UniformRandom, rate, 7);
+    for _ in 0..2_000 {
+        step_once(&mut net, &mut traffic);
+    }
+    (net, traffic)
+}
+
+fn step_once<E: noc_sim::error_control::ErrorControl>(
+    net: &mut Network<E>,
+    traffic: &mut SyntheticSource,
+) {
+    let cycle = net.cycle();
+    let mut offers = Vec::new();
+    traffic.generate(cycle, &mut |s, d| offers.push((s, d)));
+    for (s, d) in offers {
+        net.offer(s, d);
+    }
+    net.step();
+}
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycle_8x8");
+    for &rate in &[0.005, 0.02] {
+        group.bench_function(format!("perfect_rate_{rate}"), |b| {
+            b.iter_batched(
+                || warmed_perfect(rate),
+                |(mut net, mut traffic)| {
+                    for _ in 0..100 {
+                        step_once(&mut net, &mut traffic);
+                    }
+                    net.cycle()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycle_8x8_protocol");
+    for (name, mode) in [("mode0", OperationMode::Mode0), ("mode1", OperationMode::Mode1)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let config = NocConfig::default();
+                    let mut protocol =
+                        FaultTolerantProtocol::new(
+                            config.mesh,
+                            noc_fault::timing::TimingErrorModel::default(),
+                            noc_fault::variation::VariationMap::uniform(8, 8),
+                            3,
+                        );
+                    protocol.set_all_modes(mode);
+                    protocol.set_temperatures(&[75.0; 64]);
+                    let mut net = Network::new(config, protocol, 7);
+                    let mut traffic = SyntheticSource::new(
+                        net.mesh(),
+                        TrafficPattern::UniformRandom,
+                        0.02,
+                        7,
+                    );
+                    for _ in 0..2_000 {
+                        step_once(&mut net, &mut traffic);
+                    }
+                    (net, traffic)
+                },
+                |(mut net, mut traffic)| {
+                    for _ in 0..100 {
+                        step_once(&mut net, &mut traffic);
+                    }
+                    net.cycle()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_network_step, bench_protocol_step
+}
+criterion_main!(benches);

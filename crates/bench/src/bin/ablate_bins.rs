@@ -1,0 +1,44 @@
+//! Ablation: state-space discretization granularity.
+//!
+//! The paper discretizes each feature into ≤5 bins "to keep the size of
+//! the state-action table small, so that Q-learning converges in feasible
+//! time". This sweep varies the bin count uniformly across features.
+
+use noc_rl::state::StateSpace;
+use rlnoc_core::benchmarks::WorkloadProfile;
+use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== Ablation: feature bins per dimension (canneal, RL scheme) ===\n");
+    println!(
+        "{:>6}{:>12}{:>12}{:>14}{:>16}",
+        "bins", "states", "latency", "retx (pkts)", "eff (flits/J)"
+    );
+    for &bins in &[2usize, 3, 4, 5, 6] {
+        let space = StateSpace::with_uniform_bins(bins);
+        let states = space.num_states();
+        let mut builder = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::canneal())
+            .seed(2019)
+            .rl_state_space(space);
+        if quick {
+            builder = builder
+                .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(20_000)
+                .measure_cycles(8_000);
+        } else {
+            builder = builder.measure_cycles(20_000);
+        }
+        let report = builder.build().expect("valid ablation config").run();
+        println!(
+            "{:>6}{:>12}{:>12.2}{:>14.1}{:>16.3e}",
+            bins,
+            states,
+            report.avg_latency_cycles,
+            report.retransmitted_packets_equiv,
+            report.energy_efficiency()
+        );
+    }
+}

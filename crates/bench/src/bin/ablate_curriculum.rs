@@ -1,0 +1,64 @@
+//! Ablation: the multi-agent learning aids this reproduction adds on top
+//! of the paper's recipe (see DESIGN.md §5) — the fleet-coherent
+//! forced-mode curriculum and the confidence-gated fallback.
+//!
+//! "paper-literal" disables both: free ε-greedy pre-training with pure
+//! greedy selection, exactly as §IV-C describes.
+
+use noc_rl::agent::AgentConfig;
+use noc_rl::schedule::Schedule;
+use rlnoc_core::benchmarks::WorkloadProfile;
+use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== Ablation: curriculum + confidence gate (canneal, RL scheme) ===\n");
+    println!(
+        "{:<22}{:>12}{:>14}{:>16}{:>26}",
+        "variant", "latency", "retx (pkts)", "eff (flits/J)", "mode histogram"
+    );
+    let tuned = AgentConfig {
+        alpha: Schedule::Exponential {
+            from: 0.4,
+            decay: 0.997,
+            floor: 0.1,
+        },
+        fallback_action: Some(1),
+        ..AgentConfig::paper_default()
+    };
+    let no_gate = AgentConfig {
+        fallback_action: None,
+        ..tuned.clone()
+    };
+    let variants: [(&str, bool, AgentConfig); 4] = [
+        ("curriculum + gate", true, tuned.clone()),
+        ("curriculum only", true, no_gate.clone()),
+        ("gate only", false, tuned),
+        ("paper-literal", false, AgentConfig::paper_default()),
+    ];
+    for (name, curriculum, config) in variants {
+        let mut builder = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::canneal())
+            .seed(2019)
+            .rl_curriculum(curriculum)
+            .rl_config(config);
+        if quick {
+            builder = builder
+                .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(20_000)
+                .measure_cycles(8_000);
+        } else {
+            builder = builder.measure_cycles(20_000);
+        }
+        let report = builder.build().expect("valid ablation config").run();
+        println!(
+            "{:<22}{:>12.2}{:>14.1}{:>16.3e}{:>26}",
+            name,
+            report.avg_latency_cycles,
+            report.retransmitted_packets_equiv,
+            report.energy_efficiency(),
+            format!("{:?}", report.mode_histogram)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation: exploration probability ε.
+//!
+//! The paper fixes ε = 0.1. This sweep shows the trade-off: ε = 0 cannot
+//! track regime changes after pre-training, large ε pays a growing
+//! exploration tax (random bad modes during measurement).
+
+use noc_rl::agent::AgentConfig;
+use noc_rl::schedule::Schedule;
+use rlnoc_core::benchmarks::WorkloadProfile;
+use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== Ablation: exploration probability ε (canneal, RL scheme) ===\n");
+    println!(
+        "{:>6}{:>12}{:>14}{:>14}{:>16}",
+        "ε", "latency", "retx (pkts)", "exec cycles", "eff (flits/J)"
+    );
+    for &epsilon in &[0.0, 0.05, 0.1, 0.2, 0.4] {
+        let mut builder = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::canneal())
+            .seed(2019)
+            .rl_config(AgentConfig {
+                epsilon: Schedule::Constant(epsilon),
+                alpha: Schedule::Exponential {
+                    from: 0.4,
+                    decay: 0.997,
+                    floor: 0.1,
+                },
+                ..AgentConfig::paper_default()
+            });
+        if quick {
+            builder = builder
+                .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(20_000)
+                .measure_cycles(8_000);
+        } else {
+            builder = builder.measure_cycles(20_000);
+        }
+        let report = builder.build().expect("valid ablation config").run();
+        println!(
+            "{:>6.2}{:>12.2}{:>14.1}{:>14}{:>16.3e}",
+            epsilon,
+            report.avg_latency_cycles,
+            report.retransmitted_packets_equiv,
+            report.execution_cycles,
+            report.energy_efficiency()
+        );
+    }
+}

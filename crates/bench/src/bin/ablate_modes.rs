@@ -1,0 +1,51 @@
+//! Ablation: the contribution of each operation mode.
+//!
+//! Removes one mode at a time from the RL action set (the controller
+//! falls back to mode 1 when its pick is disallowed) to show what each
+//! of §III's four strategies contributes to the full scheme.
+
+use rlnoc_core::benchmarks::WorkloadProfile;
+use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
+use rlnoc_core::modes::OperationMode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== Ablation: operation-mode availability (canneal, RL scheme) ===\n");
+    let m = OperationMode::ALL;
+    let variants: [(&str, Vec<OperationMode>); 6] = [
+        ("all modes", m.to_vec()),
+        ("no mode 0", vec![m[1], m[2], m[3]]),
+        ("no mode 2", vec![m[0], m[1], m[3]]),
+        ("no mode 3", vec![m[0], m[1], m[2]]),
+        ("only 0+1", vec![m[0], m[1]]),
+        ("only 1", vec![m[1]]),
+    ];
+    println!(
+        "{:<12}{:>12}{:>14}{:>16}{:>24}",
+        "action set", "latency", "retx (pkts)", "eff (flits/J)", "mode histogram"
+    );
+    for (name, allowed) in variants {
+        let mut builder = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::canneal())
+            .seed(2019)
+            .allowed_modes(&allowed);
+        if quick {
+            builder = builder
+                .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(20_000)
+                .measure_cycles(8_000);
+        } else {
+            builder = builder.measure_cycles(20_000);
+        }
+        let report = builder.build().expect("valid ablation config").run();
+        println!(
+            "{:<12}{:>12.2}{:>14.1}{:>16.3e}{:>24}",
+            name,
+            report.avg_latency_cycles,
+            report.retransmitted_packets_equiv,
+            report.energy_efficiency(),
+            format!("{:?}", report.mode_histogram)
+        );
+    }
+}

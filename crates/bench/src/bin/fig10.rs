@@ -1,0 +1,16 @@
+//! Regenerates Fig. 10: dynamic power consumption, normalized to the CRC
+//! baseline.
+
+use rlnoc_bench::{banner, campaign_from_env};
+
+fn main() {
+    banner(
+        "Fig. 10 — dynamic power",
+        "RL −46% vs CRC; RL 17% below DT",
+    );
+    let result = campaign_from_env().run();
+    print!(
+        "{}",
+        result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
+    );
+}

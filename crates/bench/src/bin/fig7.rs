@@ -1,0 +1,17 @@
+//! Regenerates Fig. 7: execution-time speed-up over the CRC baseline.
+
+use rlnoc_bench::{banner, campaign_from_env};
+
+fn main() {
+    banner(
+        "Fig. 7 — execution-time speed-up",
+        "RL 1.25× over CRC on average",
+    );
+    let result = campaign_from_env().run();
+    print!(
+        "{}",
+        result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
+            1.0 / r.execution_cycles.max(1) as f64
+        })
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8: average end-to-end packet latency, normalized to
+//! the CRC baseline.
+
+use rlnoc_bench::{banner, campaign_from_env};
+
+fn main() {
+    banner(
+        "Fig. 8 — average end-to-end latency",
+        "RL −55% vs CRC; ARQ+ECC −30%; RL 10% below DT",
+    );
+    let result = campaign_from_env().run();
+    print!(
+        "{}",
+        result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles)
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 9: energy efficiency (delivered flits per unit
+//! energy), normalized to the CRC baseline.
+
+use rlnoc_bench::{banner, campaign_from_env};
+
+fn main() {
+    banner(
+        "Fig. 9 — energy efficiency (flits/energy)",
+        "RL +64% vs CRC; RL 15% above DT",
+    );
+    let result = campaign_from_env().run();
+    print!(
+        "{}",
+        result.figure_table("energy efficiency", |r| r.energy_efficiency())
+    );
+}

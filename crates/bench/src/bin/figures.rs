@@ -1,0 +1,69 @@
+//! Regenerates every evaluation figure (Figs. 6–10) from one campaign —
+//! the cheapest way to reproduce the paper's full result set.
+//!
+//! ```text
+//! cargo run --release -p rlnoc-bench --bin figures            # full grid
+//! cargo run --release -p rlnoc-bench --bin figures -- --quick # smoke run
+//! ```
+
+use rlnoc_bench::{banner, campaign_from_env};
+
+fn main() {
+    let campaign = campaign_from_env();
+    let t0 = std::time::Instant::now();
+    let result = campaign.run();
+    eprintln!("campaign completed in {:?}", t0.elapsed());
+
+    banner(
+        "Fig. 6 — retransmitted packets",
+        "RL −48% vs CRC on average; ARQ+ECC −33%; RL 15% below ARQ+ECC",
+    );
+    print!(
+        "{}",
+        result.figure_table("retransmission traffic (packet equivalents)", |r| {
+            r.retransmitted_packets_equiv.max(0.5)
+        })
+    );
+    println!();
+
+    banner(
+        "Fig. 7 — execution-time speed-up",
+        "RL 1.25× over CRC on average",
+    );
+    print!(
+        "{}",
+        result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
+            1.0 / r.execution_cycles.max(1) as f64
+        })
+    );
+    println!();
+
+    banner(
+        "Fig. 8 — average end-to-end latency",
+        "RL −55% vs CRC; ARQ+ECC −30%; RL 10% below DT",
+    );
+    print!(
+        "{}",
+        result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles)
+    );
+    println!();
+
+    banner(
+        "Fig. 9 — energy efficiency (flits/energy)",
+        "RL +64% vs CRC; RL 15% above DT",
+    );
+    print!(
+        "{}",
+        result.figure_table("energy efficiency", |r| r.energy_efficiency())
+    );
+    println!();
+
+    banner(
+        "Fig. 10 — dynamic power",
+        "RL −46% vs CRC; RL 17% below DT",
+    );
+    print!(
+        "{}",
+        result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
+    );
+}

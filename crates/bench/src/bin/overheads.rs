@@ -1,0 +1,81 @@
+//! Regenerates §VI-B: the area, energy, and computation overhead
+//! analysis of the proposed RL router.
+
+use noc_power::area::{AreaModel, RouterVariant};
+use noc_power::params::PowerParams;
+use noc_rl::agent::{AgentConfig, QLearningAgent};
+use noc_rl::state::{RouterFeatures, StateSpace};
+
+fn main() {
+    // --- Area (Synopsys DC proxy) ---------------------------------------
+    println!("=== §VI-B Area Overhead (32 nm) ===");
+    println!("paper: +2360 µm² vs CRC router; 5.5% / 4.8% / 4.5% vs CRC / ARQ+ECC / DT");
+    println!();
+    let area = AreaModel::default();
+    println!("{:<14}{:>14}{:>18}", "router", "area (µm²)", "RL overhead (%)");
+    for variant in RouterVariant::ALL {
+        println!(
+            "{:<14}{:>14.0}{:>18.2}",
+            variant.to_string(),
+            area.router_area(variant),
+            100.0 * area.rl_overhead_fraction(variant)
+        );
+    }
+    println!(
+        "\nRL adds {:.0} µm² over the CRC router",
+        area.rl_overhead_um2(RouterVariant::Crc)
+    );
+
+    // --- Energy ----------------------------------------------------------
+    println!("\n=== §VI-B Energy Overhead ===");
+    println!("paper: 0.16 pJ per flit over a 13.33 pJ baseline = 1.2%");
+    println!();
+    let p = PowerParams::default();
+    println!(
+        "baseline flit-hop energy (model): {:.2} pJ",
+        p.flit_hop_energy() * 1e12
+    );
+    println!(
+        "RL control overhead per flit:     {:.2} pJ ({:.1}%)",
+        PowerParams::RL_FLIT_OVERHEAD * 1e12,
+        100.0 * PowerParams::RL_FLIT_OVERHEAD / PowerParams::BASELINE_FLIT_ENERGY
+    );
+
+    // --- Computation -------------------------------------------------------
+    println!("\n=== §VI-B Computation Overhead ===");
+    println!("paper: worst-case 150 ns per RL step, hidden by the 1K-cycle epoch");
+    println!();
+    let space = StateSpace::paper_default();
+    let mut agent = QLearningAgent::new(space.num_states(), AgentConfig::paper_default(), 1);
+    let features = RouterFeatures {
+        buffer_occupancy: 3.0,
+        input_utilization: 0.1,
+        output_utilization: 0.1,
+        input_nack_rate: 1e-3,
+        output_nack_rate: 1e-3,
+        temperature_c: 75.0,
+    };
+    // Warm up, then time the full per-epoch step: discretize + TD update +
+    // action selection.
+    let mut state = space.discretize(&features);
+    for i in 0..1_000u64 {
+        let _ = agent.observe_and_act(state, 1.0 + (i % 7) as f64 * 0.1);
+    }
+    let iterations = 1_000_000u64;
+    let start = std::time::Instant::now();
+    let mut sink = 0usize;
+    for i in 0..iterations {
+        state = space.discretize(&features);
+        sink ^= agent.observe_and_act(state, 1.0 + (i % 7) as f64 * 0.1);
+    }
+    let elapsed = start.elapsed();
+    let per_step_ns = elapsed.as_nanos() as f64 / iterations as f64;
+    println!(
+        "measured RL step (discretize + TD update + ε-greedy): {per_step_ns:.0} ns \
+         (software on this host; the paper's 150 ns is a hardware ALU+SRAM bound)"
+    );
+    println!(
+        "epoch budget at 2 GHz: 1 000 cycles = 500 ns per cycle × 1 000 = 500 µs → overhead hidden"
+    );
+    let _ = sink;
+}

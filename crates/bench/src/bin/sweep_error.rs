@@ -1,0 +1,53 @@
+//! Sweep: raw timing-error rate vs. scheme performance.
+//!
+//! Scales the error model's reference probability to locate the
+//! crossovers the paper's §III argues for: at minimal error levels the
+//! CRC baseline is competitive (ECC overhead dominates); as errors grow,
+//! ARQ+ECC and then the adaptive schemes take over.
+
+use noc_fault::timing::TimingErrorParams;
+use rlnoc_core::benchmarks::WorkloadProfile;
+use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("=== Sweep: error-rate scale × scheme (bodytrack) ===\n");
+    println!(
+        "{:>8}{:>10}{:>12}{:>14}{:>16}",
+        "p_ref", "scheme", "latency", "retx (pkts)", "eff (flits/J)"
+    );
+    for &scale in &[0.1, 0.3, 1.0, 3.0] {
+        let p_ref = 1e-3 * scale;
+        for scheme in [
+            ErrorControlScheme::StaticCrc,
+            ErrorControlScheme::StaticArqEcc,
+            ErrorControlScheme::ProposedRl,
+        ] {
+            let mut builder = Experiment::builder()
+                .scheme(scheme)
+                .workload(WorkloadProfile::bodytrack())
+                .seed(2019)
+                .timing(TimingErrorParams {
+                    p_ref,
+                    ..TimingErrorParams::default()
+                });
+            if quick {
+                builder = builder
+                    .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                    .pretrain_cycles(20_000)
+                    .measure_cycles(8_000);
+            } else {
+                builder = builder.measure_cycles(20_000);
+            }
+            let report = builder.build().expect("valid sweep config").run();
+            println!(
+                "{:>8.0e}{:>10}{:>12.2}{:>14.1}{:>16.3e}",
+                p_ref,
+                scheme.to_string(),
+                report.avg_latency_cycles,
+                report.retransmitted_packets_equiv,
+                report.energy_efficiency()
+            );
+        }
+    }
+}

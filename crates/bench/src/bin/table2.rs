@@ -1,0 +1,24 @@
+//! Regenerates Table II: the simulation parameters.
+
+use noc_sim::config::NocConfig;
+
+fn main() {
+    let c = NocConfig::default();
+    println!("=== Table II: simulation parameters ===");
+    println!("{:<28}{}", "# of cores", c.mesh.num_nodes());
+    println!("{:<28}{} V, {:.1} GHz", "Voltage and Frequency", c.voltage, c.frequency / 1e9);
+    println!(
+        "{:<28}{}x{} 2D Mesh, X-Y Routing",
+        "NoC Parameters",
+        c.mesh.width(),
+        c.mesh.height()
+    );
+    println!("{:<28}4-stage routers, {} VCs per port", "", c.vcs_per_port);
+    println!(
+        "{:<28}128 bits/flit, {} flits",
+        "Packet Size", c.flits_per_packet
+    );
+    println!("{:<28}{} flits/VC", "Buffer depth", c.vc_depth);
+    println!("{:<28}{} cycle(s)", "Link latency", c.link_latency);
+    println!("{:<28}{} cycle(s)", "ACK/NACK latency", c.ack_latency);
+}

@@ -1,0 +1,64 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every `fig*` / `ablate_*` / `sweep_*` binary runs a
+//! [`Campaign`](rlnoc_core::campaign::Campaign) (or a sweep of
+//! experiments) and prints the corresponding table of the paper. Two
+//! environment variables control cost:
+//!
+//! * `RLNOC_QUICK=1` — 4×4 mesh, short windows (~seconds); for smoke
+//!   tests.
+//! * `RLNOC_SEED=<n>` — override the campaign master seed.
+//! * `RLNOC_MEASURE=<cycles>` — cap the measured injection window.
+//!
+//! Passing `--quick` as the first CLI argument is equivalent to
+//! `RLNOC_QUICK=1`.
+
+use rlnoc_core::campaign::Campaign;
+
+/// Builds the campaign configuration for a figure binary, honoring the
+/// `RLNOC_*` environment variables and the `--quick` flag.
+pub fn campaign_from_env() -> Campaign {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("RLNOC_QUICK").map_or(false, |v| v == "1");
+    let mut campaign = if quick {
+        Campaign::quick()
+    } else {
+        Campaign::paper_default()
+    };
+    if let Ok(seed) = std::env::var("RLNOC_SEED") {
+        if let Ok(seed) = seed.parse() {
+            campaign.seed = seed;
+        }
+    }
+    if let Ok(cap) = std::env::var("RLNOC_MEASURE") {
+        if let Ok(cap) = cap.parse() {
+            campaign.measure_cycles = Some(cap);
+        }
+    }
+    campaign
+}
+
+/// Prints the standard banner: what is being regenerated and what the
+/// paper reports for it.
+pub fn banner(figure: &str, paper_claim: &str) {
+    println!("=== {figure} ===");
+    println!("paper: {paper_claim}");
+    println!(
+        "(values are normalized to the CRC baseline; shape — ordering and \
+         rough factors — is the reproduction target, not absolute numbers)"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_to_paper_campaign() {
+        // No env vars set in the test harness by default.
+        let c = campaign_from_env();
+        assert!(!c.schemes.is_empty());
+        assert!(!c.workloads.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-scheme, multi-workload evaluation campaigns.
+//!
+//! The paper's Figs. 6–10 all share one shape: run every benchmark under
+//! every scheme, then normalize each metric to the CRC baseline.
+//! [`Campaign`] executes that grid reproducibly and [`CampaignResult`]
+//! provides the normalization and formatting used by the figure
+//! regeneration binaries in `rlnoc-bench`.
+
+use crate::benchmarks::WorkloadProfile;
+use crate::experiment::{ErrorControlScheme, Experiment, ExperimentBuilder, ExperimentReport};
+use noc_sim::config::NocConfig;
+
+/// A grid of experiments: schemes × workloads.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Schemes to compare (default: all four).
+    pub schemes: Vec<ErrorControlScheme>,
+    /// Workloads to run (default: the eight PARSEC profiles).
+    pub workloads: Vec<WorkloadProfile>,
+    /// NoC configuration shared by every run.
+    pub noc: NocConfig,
+    /// Master seed; each run derives its own.
+    pub seed: u64,
+    /// Pre-training cycles for learning schemes.
+    pub pretrain_cycles: u64,
+    /// Warm-up cycles for all schemes.
+    pub warmup_cycles: u64,
+    /// Optional cap on the measured injection window.
+    pub measure_cycles: Option<u64>,
+    /// Drain budget per run.
+    pub drain_limit: u64,
+    /// Optional customization applied to every experiment builder.
+    pub customize: Option<fn(ExperimentBuilder) -> ExperimentBuilder>,
+}
+
+impl Campaign {
+    /// The paper's full evaluation grid with default simulation lengths.
+    pub fn paper_default() -> Self {
+        Self {
+            schemes: ErrorControlScheme::ALL.to_vec(),
+            workloads: WorkloadProfile::all(),
+            noc: NocConfig::default(),
+            seed: 2019,
+            pretrain_cycles: 600_000,
+            warmup_cycles: 2_000,
+            measure_cycles: None,
+            drain_limit: 200_000,
+            customize: None,
+        }
+    }
+
+    /// A reduced grid for fast runs (small mesh, short windows).
+    pub fn quick() -> Self {
+        Self {
+            schemes: ErrorControlScheme::ALL.to_vec(),
+            workloads: vec![WorkloadProfile::blackscholes(), WorkloadProfile::canneal()],
+            noc: NocConfig::builder().mesh(4, 4).build(),
+            seed: 7,
+            pretrain_cycles: 8_000,
+            warmup_cycles: 1_000,
+            measure_cycles: Some(6_000),
+            drain_limit: 60_000,
+            customize: None,
+        }
+    }
+
+    /// Runs every (scheme, workload) pair.
+    pub fn run(&self) -> CampaignResult {
+        let mut reports = Vec::with_capacity(self.schemes.len() * self.workloads.len());
+        for workload in &self.workloads {
+            for &scheme in &self.schemes {
+                let mut builder = Experiment::builder()
+                    .scheme(scheme)
+                    .workload(workload.clone())
+                    .noc(self.noc)
+                    .seed(self.seed)
+                    .pretrain_cycles(self.pretrain_cycles)
+                    .warmup_cycles(self.warmup_cycles)
+                    .drain_limit(self.drain_limit);
+                if let Some(cap) = self.measure_cycles {
+                    builder = builder.measure_cycles(cap);
+                }
+                if let Some(f) = self.customize {
+                    builder = f(builder);
+                }
+                reports.push(
+                    builder
+                        .build()
+                        .expect("campaign configuration is validated")
+                        .run(),
+                );
+            }
+        }
+        CampaignResult { reports }
+    }
+}
+
+/// The results of a campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// All reports, workload-major, scheme-minor.
+    pub reports: Vec<ExperimentReport>,
+}
+
+impl CampaignResult {
+    /// Looks up the report for `(scheme, workload)`.
+    pub fn report(&self, scheme: ErrorControlScheme, workload: &str) -> Option<&ExperimentReport> {
+        self.reports
+            .iter()
+            .find(|r| r.scheme == scheme && r.workload == workload)
+    }
+
+    /// Workload names, in run order.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for r in &self.reports {
+            if !names.contains(&r.workload) {
+                names.push(r.workload.clone());
+            }
+        }
+        names
+    }
+
+    /// `metric(scheme)/metric(CRC)` for one workload.
+    ///
+    /// Returns `None` when either report is missing or the baseline is
+    /// non-positive.
+    pub fn normalized_to_crc(
+        &self,
+        scheme: ErrorControlScheme,
+        workload: &str,
+        metric: impl Fn(&ExperimentReport) -> f64,
+    ) -> Option<f64> {
+        let base = metric(self.report(ErrorControlScheme::StaticCrc, workload)?);
+        if base <= 0.0 {
+            return None;
+        }
+        Some(metric(self.report(scheme, workload)?) / base)
+    }
+
+    /// Geometric mean of the CRC-normalized metric across workloads.
+    pub fn geomean_normalized(
+        &self,
+        scheme: ErrorControlScheme,
+        metric: impl Fn(&ExperimentReport) -> f64 + Copy,
+    ) -> f64 {
+        let values: Vec<f64> = self
+            .workloads()
+            .iter()
+            .filter_map(|w| self.normalized_to_crc(scheme, w, metric))
+            .filter(|v| *v > 0.0)
+            .collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+    }
+
+    /// Renders a figure-style table: one row per workload (plus a
+    /// geometric-mean row), one column per scheme, each cell the
+    /// CRC-normalized metric.
+    pub fn figure_table(
+        &self,
+        title: &str,
+        metric: impl Fn(&ExperimentReport) -> f64 + Copy,
+    ) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let schemes = ErrorControlScheme::ALL;
+        writeln!(out, "# {title}").expect("write to string");
+        write!(out, "{:<16}", "benchmark").expect("write");
+        for s in schemes {
+            write!(out, "{:>10}", s.to_string()).expect("write");
+        }
+        out.push('\n');
+        for w in self.workloads() {
+            write!(out, "{w:<16}").expect("write");
+            for s in schemes {
+                match self.normalized_to_crc(s, &w, metric) {
+                    Some(v) => write!(out, "{v:>10.3}").expect("write"),
+                    None => write!(out, "{:>10}", "-").expect("write"),
+                }
+            }
+            out.push('\n');
+        }
+        write!(out, "{:<16}", "geomean").expect("write");
+        for s in schemes {
+            write!(out, "{:>10.3}", self.geomean_normalized(s, metric)).expect("write");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign() -> CampaignResult {
+        let mut c = Campaign::quick();
+        c.workloads = vec![WorkloadProfile::blackscholes()];
+        c.pretrain_cycles = 4_000;
+        c.measure_cycles = Some(4_000);
+        c.run()
+    }
+
+    #[test]
+    fn campaign_runs_full_grid() {
+        let result = tiny_campaign();
+        assert_eq!(result.reports.len(), 4);
+        for s in ErrorControlScheme::ALL {
+            let r = result.report(s, "blackscholes").expect("report exists");
+            assert!(r.packets_injected > 0);
+            assert_eq!(r.packets_delivered, r.packets_injected);
+        }
+    }
+
+    #[test]
+    fn crc_normalization_is_identity_for_crc() {
+        let result = tiny_campaign();
+        let v = result
+            .normalized_to_crc(ErrorControlScheme::StaticCrc, "blackscholes", |r| {
+                r.avg_latency_cycles
+            })
+            .expect("baseline exists");
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_single_workload_matches_point() {
+        let result = tiny_campaign();
+        let point = result
+            .normalized_to_crc(ErrorControlScheme::StaticArqEcc, "blackscholes", |r| {
+                r.avg_latency_cycles
+            })
+            .expect("exists");
+        let geo = result
+            .geomean_normalized(ErrorControlScheme::StaticArqEcc, |r| r.avg_latency_cycles);
+        assert!((point - geo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_table_formats_all_schemes() {
+        let result = tiny_campaign();
+        let table = result.figure_table("Fig test", |r| r.avg_latency_cycles);
+        assert!(table.contains("Fig test"));
+        assert!(table.contains("blackscholes"));
+        assert!(table.contains("geomean"));
+        for s in ["CRC", "ARQ+ECC", "DT", "RL"] {
+            assert!(table.contains(s), "missing column {s}");
+        }
+    }
+
+    #[test]
+    fn missing_report_yields_none() {
+        let result = tiny_campaign();
+        assert!(result
+            .normalized_to_crc(ErrorControlScheme::ProposedRl, "nonexistent", |r| {
+                r.avg_latency_cycles
+            })
+            .is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! The four fault-tolerant operation modes (§III of the paper).
+//!
+//! Each router selects one mode, which governs all of its outgoing ECC
+//! links ("ECC-Link i" = the encoder at router *i* plus the decoder at
+//! router *i+1*):
+//!
+//! | Mode | Error level | ECC links | Behaviour |
+//! |------|-------------|-----------|-----------|
+//! | 0 | minimum | disabled | errors escape to the destination CRC; full-packet source retransmission |
+//! | 1 | low | enabled | SECDED corrects single flips; NACK + hop retransmit on doubles |
+//! | 2 | medium | enabled | every flit followed by a proactive duplicate one cycle later (flit pre-retransmission) |
+//! | 3 | high | enabled | two stall cycles before each transmission relax timing; error probability collapses |
+
+use serde::{Deserialize, Serialize};
+
+/// A fault-tolerant operation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OperationMode {
+    /// ECC links disabled; rely on end-to-end CRC.
+    Mode0 = 0,
+    /// ECC links enabled (ARQ+ECC per hop).
+    Mode1 = 1,
+    /// ECC links enabled plus flit pre-retransmission.
+    Mode2 = 2,
+    /// ECC links enabled plus two-cycle timing relaxation.
+    Mode3 = 3,
+}
+
+impl OperationMode {
+    /// All modes in action-index order.
+    pub const ALL: [OperationMode; 4] = [
+        OperationMode::Mode0,
+        OperationMode::Mode1,
+        OperationMode::Mode2,
+        OperationMode::Mode3,
+    ];
+
+    /// The RL action index of this mode.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a mode from an RL action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Whether the router's outgoing link SECDED hardware is powered.
+    pub fn ecc_enabled(self) -> bool {
+        self != OperationMode::Mode0
+    }
+
+    /// Whether every flit is followed by a proactive duplicate.
+    pub fn pre_retransmit(self) -> bool {
+        self == OperationMode::Mode2
+    }
+
+    /// Stall cycles inserted before each flit transmission.
+    pub fn tx_delay(self) -> u32 {
+        if self == OperationMode::Mode3 {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Whether the link runs with relaxed timing (mode 3), collapsing the
+    /// timing-error probability.
+    pub fn relaxed_timing(self) -> bool {
+        self == OperationMode::Mode3
+    }
+
+    /// Pipeline latency of the link's SECDED encode/decode stage: one
+    /// cycle whenever the ECC hardware is in the datapath. Pure latency
+    /// (the codec is pipelined), no bandwidth cost.
+    pub fn pipeline_latency(self) -> u32 {
+        u32::from(self.ecc_enabled())
+    }
+}
+
+impl Default for OperationMode {
+    /// The paper initializes all routers to mode 0.
+    fn default() -> Self {
+        OperationMode::Mode0
+    }
+}
+
+impl std::fmt::Display for OperationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mode {}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for mode in OperationMode::ALL {
+            assert_eq!(OperationMode::from_index(mode.index()), mode);
+        }
+    }
+
+    #[test]
+    fn mode0_is_bare() {
+        let m = OperationMode::Mode0;
+        assert!(!m.ecc_enabled());
+        assert!(!m.pre_retransmit());
+        assert_eq!(m.tx_delay(), 0);
+        assert!(!m.relaxed_timing());
+    }
+
+    #[test]
+    fn mode1_is_plain_arq_ecc() {
+        let m = OperationMode::Mode1;
+        assert!(m.ecc_enabled());
+        assert!(!m.pre_retransmit());
+        assert_eq!(m.tx_delay(), 0);
+    }
+
+    #[test]
+    fn mode2_adds_pre_retransmission() {
+        let m = OperationMode::Mode2;
+        assert!(m.ecc_enabled());
+        assert!(m.pre_retransmit());
+        assert_eq!(m.tx_delay(), 0);
+    }
+
+    #[test]
+    fn mode3_relaxes_timing() {
+        let m = OperationMode::Mode3;
+        assert!(m.ecc_enabled());
+        assert!(!m.pre_retransmit());
+        assert_eq!(m.tx_delay(), 2);
+        assert!(m.relaxed_timing());
+    }
+
+    #[test]
+    fn default_is_mode0() {
+        assert_eq!(OperationMode::default(), OperationMode::Mode0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OperationMode::Mode2.to_string(), "mode 2");
+    }
+}

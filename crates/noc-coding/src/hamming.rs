@@ -1,0 +1,573 @@
+//! Extended Hamming SECDED (single-error-correct, double-error-detect)
+//! codes.
+//!
+//! The ARQ+ECC link hardware of the paper attaches a SECDED code to each
+//! flit: the downstream decoder corrects any single bit flip in place and
+//! raises a NACK on any double flip. Two widths are provided:
+//!
+//! * [`Secded32`] — Hamming(39,32): 32 data bits, 6 parity bits, 1 overall
+//!   parity bit.
+//! * [`Secded64`] — Hamming(72,64): 64 data bits, 7 parity bits, 1 overall
+//!   parity bit. Two of these protect one 128-bit flit.
+//!
+//! Bit layout follows the classic extended-Hamming construction: codeword
+//! positions are 1-indexed, parity bits sit at power-of-two positions, data
+//! bits fill the remaining positions, and the overall parity bit occupies
+//! position 0. The syndrome of a single flip equals the flipped position.
+
+use std::fmt;
+
+/// Result of decoding a (possibly corrupted) SECDED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// The codeword was clean; `data` is the original payload.
+    Clean {
+        /// Recovered data word.
+        data: u64,
+    },
+    /// A single-bit error was corrected.
+    Corrected {
+        /// Recovered data word (after correction).
+        data: u64,
+        /// Codeword bit position (0-indexed) that was flipped.
+        bit: u32,
+    },
+    /// Two bit errors were detected; the data cannot be trusted and the
+    /// receiver must request a retransmission (NACK).
+    DoubleError,
+}
+
+impl DecodeOutcome {
+    /// Returns the recovered data if the outcome is usable
+    /// ([`Clean`](Self::Clean) or [`Corrected`](Self::Corrected)).
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Self::Clean { data } | Self::Corrected { data, .. } => Some(data),
+            Self::DoubleError => None,
+        }
+    }
+
+    /// Returns `true` when the decoder had to correct a bit.
+    pub fn was_corrected(self) -> bool {
+        matches!(self, Self::Corrected { .. })
+    }
+}
+
+impl fmt::Display for DecodeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Clean { .. } => write!(f, "clean"),
+            Self::Corrected { bit, .. } => write!(f, "corrected bit {bit}"),
+            Self::DoubleError => write!(f, "double error detected"),
+        }
+    }
+}
+
+/// Precomputed scatter/gather maps and parity masks for one code size.
+struct CodeTables<const K: usize> {
+    /// `data_position[d]` = codeword position of data bit `d`.
+    data_position: [u32; K],
+    /// `parity_mask[j]` = positions covered by parity bit 2^j (bit 2^j
+    /// itself included); used for both encode and syndrome computation.
+    parity_mask: [u128; 8],
+    /// Number of parity bits (masks actually used).
+    parity_bits: u32,
+}
+
+impl<const K: usize> CodeTables<K> {
+    const fn build(total_positions: u32) -> Self {
+        let mut data_position = [0u32; K];
+        let mut d = 0;
+        let mut pos = 1u32;
+        while pos <= total_positions && d < K {
+            if !pos.is_power_of_two() {
+                data_position[d] = pos;
+                d += 1;
+            }
+            pos += 1;
+        }
+        let mut parity_mask = [0u128; 8];
+        let mut parity_bits = 0u32;
+        let mut p = 1u32;
+        while p <= total_positions {
+            let mut mask = 0u128;
+            let mut q = 1u32;
+            while q <= total_positions {
+                if q & p != 0 {
+                    mask |= 1u128 << q;
+                }
+                q += 1;
+            }
+            parity_mask[parity_bits as usize] = mask;
+            parity_bits += 1;
+            p <<= 1;
+        }
+        Self {
+            data_position,
+            parity_mask,
+            parity_bits,
+        }
+    }
+
+    /// Fast encode via precomputed tables.
+    fn encode(&self, data: u64) -> u128 {
+        let mut code = 0u128;
+        for (d, &pos) in self.data_position.iter().enumerate() {
+            code |= (((data >> d) & 1) as u128) << pos;
+        }
+        for j in 0..self.parity_bits as usize {
+            if (code & self.parity_mask[j]).count_ones() & 1 != 0 {
+                code |= 1u128 << (1u32 << j);
+            }
+        }
+        if code.count_ones() & 1 != 0 {
+            code |= 1;
+        }
+        code
+    }
+
+    /// Fast decode via precomputed tables.
+    fn decode(&self, mut code: u128, total_positions: u32) -> DecodeOutcome {
+        let mut syndrome = 0u32;
+        for j in 0..self.parity_bits as usize {
+            if (code & self.parity_mask[j]).count_ones() & 1 != 0 {
+                syndrome |= 1 << j;
+            }
+        }
+        let overall_ok = code.count_ones() % 2 == 0;
+        let corrected_bit = match (syndrome, overall_ok) {
+            (0, true) => None,
+            (0, false) => {
+                code ^= 1;
+                Some(0)
+            }
+            (s, false) => {
+                if s > total_positions {
+                    return DecodeOutcome::DoubleError;
+                }
+                code ^= 1u128 << s;
+                Some(s)
+            }
+            (_, true) => return DecodeOutcome::DoubleError,
+        };
+        let mut data = 0u64;
+        for (d, &pos) in self.data_position.iter().enumerate() {
+            data |= (((code >> pos) & 1) as u64) << d;
+        }
+        match corrected_bit {
+            None => DecodeOutcome::Clean { data },
+            Some(bit) => DecodeOutcome::Corrected { data, bit },
+        }
+    }
+}
+
+static TABLES_64: CodeTables<64> = CodeTables::build(71);
+static TABLES_32: CodeTables<32> = CodeTables::build(38);
+
+/// Reference extended-Hamming encode over `k` data bits (kept as the
+/// specification against which the table-driven fast path is tested).
+///
+/// Returns the codeword as a `u128` whose bit `i` is codeword position `i`
+/// (position 0 = overall parity).
+fn encode_generic(data: u64, data_bits: u32, total_positions: u32) -> u128 {
+    debug_assert!(data_bits <= 64);
+    debug_assert!(data_bits == 64 || data >> data_bits == 0, "data exceeds width");
+    let mut code: u128 = 0;
+    // Scatter data bits into non-power-of-two positions 3, 5, 6, 7, 9, ...
+    let mut d = 0u32;
+    for pos in 1..=total_positions {
+        if !pos.is_power_of_two() {
+            if data & (1u64 << d) != 0 {
+                code |= 1u128 << pos;
+            }
+            d += 1;
+            if d == data_bits {
+                break;
+            }
+        }
+    }
+    // Parity bits: parity bit at position 2^j covers every position whose
+    // j-th index bit is set.
+    let mut p = 1u32;
+    while p <= total_positions {
+        let mut parity = 0u32;
+        for pos in 1..=total_positions {
+            if pos & p != 0 && code & (1u128 << pos) != 0 {
+                parity ^= 1;
+            }
+        }
+        if parity != 0 {
+            code |= 1u128 << p;
+        }
+        p <<= 1;
+    }
+    // Overall parity at position 0 (even parity over the whole codeword).
+    if (code.count_ones() & 1) != 0 {
+        code |= 1;
+    }
+    code
+}
+
+/// Shared extended-Hamming decode; inverse of [`encode_generic`].
+fn decode_generic(mut code: u128, data_bits: u32, total_positions: u32) -> DecodeOutcome {
+    // Syndrome: XOR of the positions of all set bits.
+    let mut syndrome = 0u32;
+    for pos in 1..=total_positions {
+        if code & (1u128 << pos) != 0 {
+            syndrome ^= pos;
+        }
+    }
+    let overall_ok = code.count_ones() % 2 == 0;
+    let corrected_bit = match (syndrome, overall_ok) {
+        (0, true) => None,
+        (0, false) => {
+            // The overall parity bit itself flipped.
+            code ^= 1;
+            Some(0)
+        }
+        (s, false) => {
+            if s > total_positions {
+                // Syndrome points outside the codeword: an uncorrectable
+                // pattern that we conservatively report as a double error.
+                return DecodeOutcome::DoubleError;
+            }
+            code ^= 1u128 << s;
+            Some(s)
+        }
+        (_, true) => return DecodeOutcome::DoubleError,
+    };
+    // Gather data bits back out.
+    let mut data = 0u64;
+    let mut d = 0u32;
+    for pos in 1..=total_positions {
+        if !pos.is_power_of_two() {
+            if code & (1u128 << pos) != 0 {
+                data |= 1u64 << d;
+            }
+            d += 1;
+            if d == data_bits {
+                break;
+            }
+        }
+    }
+    match corrected_bit {
+        None => DecodeOutcome::Clean { data },
+        Some(bit) => DecodeOutcome::Corrected { data, bit },
+    }
+}
+
+/// A Hamming(72,64) SECDED codeword protecting one 64-bit word.
+///
+/// # Example
+///
+/// ```
+/// use noc_coding::hamming::{Secded64, DecodeOutcome};
+///
+/// let cw = Secded64::encode(0xFACE_CAFE_1234_5678);
+/// assert_eq!(cw.decode(), DecodeOutcome::Clean { data: 0xFACE_CAFE_1234_5678 });
+/// assert_eq!(cw.with_bit_flipped(5).decode().data(), Some(0xFACE_CAFE_1234_5678));
+/// assert_eq!(
+///     cw.with_bit_flipped(5).with_bit_flipped(40).decode(),
+///     DecodeOutcome::DoubleError
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Secded64 {
+    bits: u128,
+}
+
+impl Secded64 {
+    /// Number of data bits protected by the code.
+    pub const DATA_BITS: u32 = 64;
+    /// Total codeword length in bits (including the overall parity bit).
+    pub const CODE_BITS: u32 = 72;
+    const TOP_POSITION: u32 = Self::CODE_BITS - 1;
+
+    /// Encodes a 64-bit word into a 72-bit SECDED codeword.
+    pub fn encode(data: u64) -> Self {
+        Self {
+            bits: TABLES_64.encode(data),
+        }
+    }
+
+    /// Reference (table-free) encoder used to cross-check the fast path.
+    #[doc(hidden)]
+    pub fn encode_reference(data: u64) -> Self {
+        Self {
+            bits: encode_generic(data, Self::DATA_BITS, Self::TOP_POSITION),
+        }
+    }
+
+    /// Reconstructs a codeword from raw bits (e.g. after link transmission).
+    ///
+    /// Bits above [`Self::CODE_BITS`] are masked off.
+    pub fn from_raw(bits: u128) -> Self {
+        Self {
+            bits: bits & ((1u128 << Self::CODE_BITS) - 1),
+        }
+    }
+
+    /// Raw codeword bits (bit `i` = codeword position `i`).
+    pub fn as_raw(self) -> u128 {
+        self.bits
+    }
+
+    /// Decodes, correcting a single flip and detecting double flips.
+    pub fn decode(self) -> DecodeOutcome {
+        TABLES_64.decode(self.bits, Self::TOP_POSITION)
+    }
+
+    /// Reference (table-free) decoder used to cross-check the fast path.
+    #[doc(hidden)]
+    pub fn decode_reference(self) -> DecodeOutcome {
+        decode_generic(self.bits, Self::DATA_BITS, Self::TOP_POSITION)
+    }
+
+    /// Returns a copy with codeword bit `bit` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= Self::CODE_BITS`.
+    pub fn with_bit_flipped(self, bit: u32) -> Self {
+        assert!(bit < Self::CODE_BITS, "bit {bit} out of range");
+        Self {
+            bits: self.bits ^ (1u128 << bit),
+        }
+    }
+}
+
+/// A Hamming(39,32) SECDED codeword protecting one 32-bit word.
+///
+/// # Example
+///
+/// ```
+/// use noc_coding::hamming::{Secded32, DecodeOutcome};
+///
+/// let cw = Secded32::encode(0xDEAD_BEEF);
+/// assert_eq!(cw.decode(), DecodeOutcome::Clean { data: 0xDEAD_BEEF });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Secded32 {
+    bits: u128,
+}
+
+impl Secded32 {
+    /// Number of data bits protected by the code.
+    pub const DATA_BITS: u32 = 32;
+    /// Total codeword length in bits (including the overall parity bit).
+    pub const CODE_BITS: u32 = 39;
+    const TOP_POSITION: u32 = Self::CODE_BITS - 1;
+
+    /// Encodes a 32-bit word into a 39-bit SECDED codeword.
+    pub fn encode(data: u32) -> Self {
+        Self {
+            bits: TABLES_32.encode(u64::from(data)),
+        }
+    }
+
+    /// Reference (table-free) encoder used to cross-check the fast path.
+    #[doc(hidden)]
+    pub fn encode_reference(data: u32) -> Self {
+        Self {
+            bits: encode_generic(u64::from(data), Self::DATA_BITS, Self::TOP_POSITION),
+        }
+    }
+
+    /// Reconstructs a codeword from raw bits.
+    ///
+    /// Bits above [`Self::CODE_BITS`] are masked off.
+    pub fn from_raw(bits: u128) -> Self {
+        Self {
+            bits: bits & ((1u128 << Self::CODE_BITS) - 1),
+        }
+    }
+
+    /// Raw codeword bits (bit `i` = codeword position `i`).
+    pub fn as_raw(self) -> u128 {
+        self.bits
+    }
+
+    /// Decodes, correcting a single flip and detecting double flips.
+    pub fn decode(self) -> DecodeOutcome {
+        TABLES_32.decode(self.bits, Self::TOP_POSITION)
+    }
+
+    /// Reference (table-free) decoder used to cross-check the fast path.
+    #[doc(hidden)]
+    pub fn decode_reference(self) -> DecodeOutcome {
+        decode_generic(self.bits, Self::DATA_BITS, Self::TOP_POSITION)
+    }
+
+    /// Returns a copy with codeword bit `bit` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= Self::CODE_BITS`.
+    pub fn with_bit_flipped(self, bit: u32) -> Self {
+        assert!(bit < Self::CODE_BITS, "bit {bit} out of range");
+        Self {
+            bits: self.bits ^ (1u128 << bit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secded64_clean_round_trip() {
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xAAAA_5555_AAAA_5555] {
+            assert_eq!(Secded64::encode(data).decode(), DecodeOutcome::Clean { data });
+        }
+    }
+
+    #[test]
+    fn secded32_clean_round_trip() {
+        for data in [0u32, u32::MAX, 0xDEAD_BEEF, 0x5555_AAAA] {
+            assert_eq!(
+                Secded32::encode(data).decode(),
+                DecodeOutcome::Clean { data: u64::from(data) }
+            );
+        }
+    }
+
+    #[test]
+    fn secded64_corrects_every_single_bit_flip() {
+        let data = 0x0F1E_2D3C_4B5A_6978u64;
+        let cw = Secded64::encode(data);
+        for bit in 0..Secded64::CODE_BITS {
+            let out = cw.with_bit_flipped(bit).decode();
+            match out {
+                DecodeOutcome::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "wrong data after correcting bit {bit}");
+                    assert_eq!(b, bit);
+                }
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn secded32_corrects_every_single_bit_flip() {
+        let data = 0xC0DE_F00Du32;
+        let cw = Secded32::encode(data);
+        for bit in 0..Secded32::CODE_BITS {
+            let out = cw.with_bit_flipped(bit).decode();
+            assert_eq!(out.data(), Some(u64::from(data)), "bit {bit}");
+            assert!(out.was_corrected());
+        }
+    }
+
+    #[test]
+    fn secded64_detects_every_double_bit_flip() {
+        let data = 0x1234_5678_9ABC_DEF0u64;
+        let cw = Secded64::encode(data);
+        // Exhaustive over all 72*71/2 pairs.
+        for a in 0..Secded64::CODE_BITS {
+            for b in (a + 1)..Secded64::CODE_BITS {
+                let out = cw.with_bit_flipped(a).with_bit_flipped(b).decode();
+                assert_eq!(out, DecodeOutcome::DoubleError, "pair ({a},{b}) escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn secded32_detects_every_double_bit_flip() {
+        let data = 0x0BAD_CAFEu32;
+        let cw = Secded32::encode(data);
+        for a in 0..Secded32::CODE_BITS {
+            for b in (a + 1)..Secded32::CODE_BITS {
+                let out = cw.with_bit_flipped(a).with_bit_flipped(b).decode();
+                assert_eq!(out, DecodeOutcome::DoubleError, "pair ({a},{b}) escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_encode_matches_reference() {
+        for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0x8000_0000_0000_0001] {
+            assert_eq!(Secded64::encode(data), Secded64::encode_reference(data));
+        }
+        for data in [0u32, u32::MAX, 0xDEAD_BEEF] {
+            assert_eq!(Secded32::encode(data), Secded32::encode_reference(data));
+        }
+    }
+
+    #[test]
+    fn fast_decode_matches_reference_under_flips() {
+        let data = 0xA5A5_5A5A_0FF0_F00Fu64;
+        let cw = Secded64::encode(data);
+        assert_eq!(cw.decode(), cw.decode_reference());
+        for a in 0..Secded64::CODE_BITS {
+            let one = cw.with_bit_flipped(a);
+            assert_eq!(one.decode(), one.decode_reference(), "single flip {a}");
+            let two = one.with_bit_flipped((a + 13) % Secded64::CODE_BITS);
+            assert_eq!(two.decode(), two.decode_reference(), "double flip {a}");
+        }
+    }
+
+    #[test]
+    fn from_raw_masks_out_of_range_bits() {
+        let cw = Secded64::encode(42);
+        let noisy = cw.as_raw() | (1u128 << 100);
+        assert_eq!(Secded64::from_raw(noisy), cw);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(DecodeOutcome::Clean { data: 7 }.data(), Some(7));
+        assert_eq!(DecodeOutcome::DoubleError.data(), None);
+        assert!(DecodeOutcome::Corrected { data: 1, bit: 2 }.was_corrected());
+        assert!(!DecodeOutcome::Clean { data: 1 }.was_corrected());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(DecodeOutcome::DoubleError.to_string(), "double error detected");
+        assert_eq!(DecodeOutcome::Clean { data: 0 }.to_string(), "clean");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn secded64_round_trip(data: u64) {
+            prop_assert_eq!(Secded64::encode(data).decode(), DecodeOutcome::Clean { data });
+        }
+
+        #[test]
+        fn secded64_single_flip_corrected(data: u64, bit in 0u32..72) {
+            let out = Secded64::encode(data).with_bit_flipped(bit).decode();
+            prop_assert_eq!(out.data(), Some(data));
+        }
+
+        #[test]
+        fn secded64_double_flip_detected(data: u64, a in 0u32..72, b in 0u32..72) {
+            prop_assume!(a != b);
+            let out = Secded64::encode(data)
+                .with_bit_flipped(a)
+                .with_bit_flipped(b)
+                .decode();
+            prop_assert_eq!(out, DecodeOutcome::DoubleError);
+        }
+
+        #[test]
+        fn secded32_round_trip(data: u32) {
+            prop_assert_eq!(
+                Secded32::encode(data).decode(),
+                DecodeOutcome::Clean { data: u64::from(data) }
+            );
+        }
+
+        #[test]
+        fn secded32_single_flip_corrected(data: u32, bit in 0u32..39) {
+            let out = Secded32::encode(data).with_bit_flipped(bit).decode();
+            prop_assert_eq!(out.data(), Some(u64::from(data)));
+        }
+    }
+}

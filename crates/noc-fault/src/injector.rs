@@ -1,0 +1,202 @@
+//! Deterministic fault sampling and bit-flip injection.
+//!
+//! [`FaultInjector`] owns the random stream that converts per-flit error
+//! probabilities (from [`TimingErrorModel`](crate::timing::TimingErrorModel))
+//! into concrete flipped bit positions. Keeping the stream in one place
+//! makes entire experiments reproducible from a single seed.
+
+use crate::timing::TimingErrorModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples fault events and flips payload bits.
+///
+/// # Example
+///
+/// ```
+/// use noc_fault::injector::FaultInjector;
+/// use noc_fault::timing::TimingErrorModel;
+///
+/// let model = TimingErrorModel::default();
+/// let mut injector = FaultInjector::new(7);
+/// let mut errors = 0;
+/// for _ in 0..10_000 {
+///     if injector.sample_flips(&model, 0.01) > 0 {
+///         errors += 1;
+///     }
+/// }
+/// // ~1% of transfers err.
+/// assert!((50..200).contains(&errors));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SmallRng,
+    faults_injected: u64,
+    bits_flipped: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            faults_injected: 0,
+            bits_flipped: 0,
+        }
+    }
+
+    /// Draws whether a transfer errs (probability `p_error`) and, if so,
+    /// how many bits flip (per the model's flip-weight distribution).
+    /// Returns 0 for a clean transfer.
+    pub fn sample_flips(&mut self, model: &TimingErrorModel, p_error: f64) -> u8 {
+        let p = p_error.clamp(0.0, 1.0);
+        if p == 0.0 || !self.rng.gen_bool(p) {
+            return 0;
+        }
+        let flips = model.flips_for_draw(self.rng.gen_range(0.0..1.0));
+        self.faults_injected += 1;
+        self.bits_flipped += u64::from(flips);
+        flips
+    }
+
+    /// Chooses `count` *distinct* bit positions in `[0, width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count as u32 > width`.
+    pub fn pick_bits(&mut self, count: u8, width: u32) -> Vec<u32> {
+        assert!(u32::from(count) <= width, "more flips than bits");
+        let mut bits = Vec::with_capacity(count as usize);
+        while bits.len() < count as usize {
+            let bit = self.rng.gen_range(0..width);
+            if !bits.contains(&bit) {
+                bits.push(bit);
+            }
+        }
+        bits
+    }
+
+    /// Total error events injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Total bits flipped so far.
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_errs() {
+        let model = TimingErrorModel::default();
+        let mut inj = FaultInjector::new(1);
+        for _ in 0..1000 {
+            assert_eq!(inj.sample_flips(&model, 0.0), 0);
+        }
+        assert_eq!(inj.faults_injected(), 0);
+        assert_eq!(inj.bits_flipped(), 0);
+    }
+
+    #[test]
+    fn unit_probability_always_errs() {
+        let model = TimingErrorModel::default();
+        let mut inj = FaultInjector::new(2);
+        for _ in 0..100 {
+            assert!(inj.sample_flips(&model, 1.0) >= 1);
+        }
+        assert_eq!(inj.faults_injected(), 100);
+    }
+
+    #[test]
+    fn error_rate_statistics() {
+        let model = TimingErrorModel::default();
+        let mut inj = FaultInjector::new(3);
+        let trials = 100_000;
+        let mut errors = 0u64;
+        for _ in 0..trials {
+            if inj.sample_flips(&model, 0.05) > 0 {
+                errors += 1;
+            }
+        }
+        let rate = errors as f64 / trials as f64;
+        assert!((0.045..0.055).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn single_flips_dominate() {
+        let model = TimingErrorModel::default();
+        let mut inj = FaultInjector::new(4);
+        let mut counts = [0u64; 4];
+        for _ in 0..10_000 {
+            counts[inj.sample_flips(&model, 1.0) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn picked_bits_are_distinct_and_in_range() {
+        let mut inj = FaultInjector::new(5);
+        for _ in 0..100 {
+            let bits = inj.pick_bits(3, 72);
+            assert_eq!(bits.len(), 3);
+            assert!(bits.iter().all(|&b| b < 72));
+            let mut sorted = bits.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = TimingErrorModel::default();
+        let run = |seed| {
+            let mut inj = FaultInjector::new(seed);
+            (0..100)
+                .map(|_| inj.sample_flips(&model, 0.3))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "more flips than bits")]
+    fn too_many_flips_panics() {
+        let mut inj = FaultInjector::new(0);
+        let _ = inj.pick_bits(5, 4);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn flips_bounded(seed: u64, p in 0.0f64..1.0) {
+            let model = TimingErrorModel::default();
+            let mut inj = FaultInjector::new(seed);
+            let f = inj.sample_flips(&model, p);
+            prop_assert!(f <= 3);
+        }
+
+        #[test]
+        fn bits_unique(seed: u64, count in 1u8..4, width in 4u32..128) {
+            let mut inj = FaultInjector::new(seed);
+            let bits = inj.pick_bits(count, width);
+            let mut sorted = bits.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), bits.len());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fault substrates for NoC simulation.
+//!
+//! The paper derives per-link timing-error probabilities at runtime by
+//! chaining three models, all rebuilt here:
+//!
+//! * [`variation`] — a VARIUS-style process-variation map giving each
+//!   router a static susceptibility factor (systematic, spatially
+//!   correlated, plus random die-to-die components).
+//! * [`thermal`] — a HotSpot-style lumped-RC thermal network that turns
+//!   per-router power into per-router temperature with lateral coupling.
+//! * [`timing`] — the timing-error model proper: per-flit error
+//!   probability as a function of temperature, link utilization, the
+//!   variation factor, and the operation mode's timing slack.
+//! * [`injector`] — converts probabilities into sampled bit flips on flit
+//!   payloads, deterministically from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_fault::thermal::{ThermalModel, ThermalParams};
+//! use noc_fault::timing::TimingErrorModel;
+//! use noc_fault::variation::VariationMap;
+//!
+//! let variation = VariationMap::generate(8, 8, 0.10, 0.05, 42);
+//! let mut thermal = ThermalModel::new(8, 8, ThermalParams::default());
+//! let timing = TimingErrorModel::default();
+//!
+//! // One epoch: routers burned 0.2 W each for 0.5 µs.
+//! thermal.update(&[0.2; 64], 0.5e-6);
+//! let t = thermal.temperature(0);
+//! let p = timing.flit_error_probability(t, 0.1, variation.factor(0), false);
+//! assert!(p > 0.0 && p < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod injector;
+pub mod thermal;
+pub mod timing;
+pub mod variation;
+
+pub use injector::FaultInjector;
+pub use thermal::{ThermalModel, ThermalParams};
+pub use timing::{TimingErrorModel, TimingErrorParams};
+pub use variation::VariationMap;

@@ -1,0 +1,251 @@
+//! The timing-error probability model (VARIUS-equivalent).
+//!
+//! VARIUS computes, from process parameters and operating conditions, the
+//! probability that a pipeline stage misses timing. As consumed by the
+//! paper, its output is a *per-flit, per-hop error probability* that
+//! increases with temperature and switching activity. We reproduce that
+//! interface with an exponential-in-temperature model calibrated to the
+//! paper's operating range (50–100 °C, link utilization ≤ 0.3
+//! flits/cycle):
+//!
+//! ```text
+//! p = p_ref · exp(k_T (T − T_ref)) · (1 + k_u · u) · v     (· relax if mode 3)
+//! ```
+//!
+//! where `v` is the router's process-variation factor. Operation mode 3
+//! adds two cycles of timing slack, which VARIUS-style models map to a
+//! collapse of the error probability — represented by the multiplicative
+//! `relaxed_factor` (default 1e-6, i.e. "near zero" per the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the timing-error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingErrorParams {
+    /// Per-flit error probability at `t_ref` with idle links and nominal
+    /// process.
+    pub p_ref: f64,
+    /// Reference temperature in °C.
+    pub t_ref: f64,
+    /// Exponential temperature coefficient (1/°C).
+    pub k_temp: f64,
+    /// Linear utilization coefficient (per flit/cycle).
+    pub k_util: f64,
+    /// Multiplier applied under mode-3 relaxed timing.
+    pub relaxed_factor: f64,
+    /// Probability that an erroneous flit has exactly 1, 2, or ≥3 bit
+    /// flips (normalized internally).
+    pub flip_weights: [f64; 3],
+}
+
+impl Default for TimingErrorParams {
+    /// Calibration: p rises from `1e-3` at 50 °C to ~5e-2 at 100 °C
+    /// (×50), matching the qualitative VARIUS exponential sensitivity the
+    /// paper exploits. At a typical 70 °C operating point this yields a
+    /// ~0.5 % per-flit-hop error rate — a 5–15 % end-to-end packet
+    /// failure rate for unprotected (CRC-only) transfers, rising steeply
+    /// in hot regions: the regime in which the paper's
+    /// reactive-vs-proactive comparison takes place.
+    fn default() -> Self {
+        Self {
+            p_ref: 1e-3,
+            t_ref: 50.0,
+            k_temp: 50f64.ln() / 50.0,
+            k_util: 3.0,
+            relaxed_factor: 1e-6,
+            flip_weights: [0.70, 0.25, 0.05],
+        }
+    }
+}
+
+/// The timing-error model.
+///
+/// # Example
+///
+/// ```
+/// use noc_fault::timing::TimingErrorModel;
+///
+/// let model = TimingErrorModel::default();
+/// let cool = model.flit_error_probability(55.0, 0.05, 1.0, false);
+/// let hot = model.flit_error_probability(95.0, 0.05, 1.0, false);
+/// assert!(hot > 10.0 * cool, "errors grow steeply with temperature");
+/// let relaxed = model.flit_error_probability(95.0, 0.05, 1.0, true);
+/// assert!(relaxed < 1e-6, "mode-3 slack all but eliminates errors");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingErrorModel {
+    params: TimingErrorParams,
+}
+
+impl TimingErrorModel {
+    /// Creates a model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_ref` is not a probability or the flip weights don't
+    /// sum to a positive value.
+    pub fn new(params: TimingErrorParams) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&params.p_ref),
+            "p_ref must be a probability"
+        );
+        assert!(
+            params.flip_weights.iter().sum::<f64>() > 0.0,
+            "flip weights must have positive mass"
+        );
+        Self { params }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &TimingErrorParams {
+        &self.params
+    }
+
+    /// Per-flit, per-hop timing-error probability.
+    ///
+    /// * `temperature_c` — router temperature in °C (from the thermal
+    ///   model).
+    /// * `utilization` — link utilization in flits/cycle (0..~0.3).
+    /// * `variation` — the router's process-variation factor.
+    /// * `relaxed` — `true` under operation mode 3's two-cycle slack.
+    ///
+    /// The result is clamped to `[0, 0.5]`: a link erring more than half
+    /// the time is electrically broken, outside this model's domain.
+    pub fn flit_error_probability(
+        &self,
+        temperature_c: f64,
+        utilization: f64,
+        variation: f64,
+        relaxed: bool,
+    ) -> f64 {
+        let p = &self.params;
+        let mut prob = p.p_ref
+            * (p.k_temp * (temperature_c - p.t_ref)).exp()
+            * (1.0 + p.k_util * utilization.max(0.0))
+            * variation.max(0.0);
+        if relaxed {
+            prob *= p.relaxed_factor;
+        }
+        prob.clamp(0.0, 0.5)
+    }
+
+    /// Given that a flit erred, the number of flipped bits (1, 2, or 3)
+    /// for a uniform draw `u ∈ [0,1)`.
+    pub fn flips_for_draw(&self, u: f64) -> u8 {
+        let w = &self.params.flip_weights;
+        let total: f64 = w.iter().sum();
+        let u = u.clamp(0.0, 1.0) * total;
+        if u < w[0] {
+            1
+        } else if u < w[0] + w[1] {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_monotone_in_temperature() {
+        let m = TimingErrorModel::default();
+        let mut prev = 0.0;
+        for t in [50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
+            let p = m.flit_error_probability(t, 0.1, 1.0, false);
+            assert!(p > prev, "p({t}) = {p} not increasing");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn probability_monotone_in_utilization() {
+        let m = TimingErrorModel::default();
+        let lo = m.flit_error_probability(70.0, 0.0, 1.0, false);
+        let hi = m.flit_error_probability(70.0, 0.3, 1.0, false);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn variation_scales_probability() {
+        let m = TimingErrorModel::default();
+        let base = m.flit_error_probability(70.0, 0.1, 1.0, false);
+        let worse = m.flit_error_probability(70.0, 0.1, 1.5, false);
+        assert!((worse / base - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_anchors() {
+        let m = TimingErrorModel::default();
+        let p50 = m.flit_error_probability(50.0, 0.0, 1.0, false);
+        let p100 = m.flit_error_probability(100.0, 0.0, 1.0, false);
+        assert!((p50 - 1e-3).abs() < 1e-9);
+        assert!((p100 / p50 - 50.0).abs() < 1e-6, "×50 from 50→100 °C");
+    }
+
+    #[test]
+    fn relaxed_mode_collapses_probability() {
+        let m = TimingErrorModel::default();
+        let normal = m.flit_error_probability(100.0, 0.3, 2.0, false);
+        let relaxed = m.flit_error_probability(100.0, 0.3, 2.0, true);
+        assert!(relaxed < normal * 1e-5);
+    }
+
+    #[test]
+    fn probability_clamped_to_half() {
+        let m = TimingErrorModel::default();
+        let p = m.flit_error_probability(500.0, 1.0, 100.0, false);
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn negative_inputs_are_safe() {
+        let m = TimingErrorModel::default();
+        let p = m.flit_error_probability(20.0, -1.0, -1.0, false);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn flips_follow_weights() {
+        let m = TimingErrorModel::default();
+        assert_eq!(m.flips_for_draw(0.0), 1);
+        assert_eq!(m.flips_for_draw(0.5), 1);
+        assert_eq!(m.flips_for_draw(0.9), 2);
+        assert_eq!(m.flips_for_draw(0.99), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_ref_panics() {
+        let _ = TimingErrorModel::new(TimingErrorParams {
+            p_ref: 2.0,
+            ..TimingErrorParams::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn probability_always_valid(t in -50.0f64..300.0, u in 0.0f64..2.0,
+                                    v in 0.0f64..10.0, relaxed: bool) {
+            let m = TimingErrorModel::default();
+            let p = m.flit_error_probability(t, u, v, relaxed);
+            prop_assert!((0.0..=0.5).contains(&p));
+            prop_assert!(p.is_finite());
+        }
+
+        #[test]
+        fn flips_always_one_to_three(u in 0.0f64..1.0) {
+            let m = TimingErrorModel::default();
+            let f = m.flips_for_draw(u);
+            prop_assert!((1..=3).contains(&f));
+        }
+    }
+}

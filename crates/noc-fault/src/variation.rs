@@ -1,0 +1,212 @@
+//! VARIUS-style process-variation map.
+//!
+//! Process variation makes some routers intrinsically more susceptible to
+//! timing errors than others. Following VARIUS, susceptibility has a
+//! *systematic* component — spatially correlated across the die, modeled
+//! here as a smooth low-frequency surface interpolated from random corner
+//! anchors — and a *random* per-router component. Both are multiplicative
+//! log-normal factors around 1.0.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-router timing-error susceptibility multipliers.
+///
+/// # Example
+///
+/// ```
+/// use noc_fault::variation::VariationMap;
+///
+/// let map = VariationMap::generate(8, 8, 0.1, 0.05, 1);
+/// let mean: f64 = (0..64).map(|i| map.factor(i)).sum::<f64>() / 64.0;
+/// assert!((0.8..1.3).contains(&mean));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationMap {
+    width: u16,
+    height: u16,
+    factors: Vec<f64>,
+}
+
+impl VariationMap {
+    /// Generates a map for a `width × height` mesh.
+    ///
+    /// `sigma_systematic` and `sigma_random` are the log-domain standard
+    /// deviations of the two components (VARIUS uses comparable
+    /// magnitudes, ~0.05–0.15 of nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or a sigma is negative.
+    pub fn generate(
+        width: u16,
+        height: u16,
+        sigma_systematic: f64,
+        sigma_random: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        assert!(
+            sigma_systematic >= 0.0 && sigma_random >= 0.0,
+            "sigmas must be non-negative"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Systematic surface: bilinear interpolation between four random
+        // corner anchors (a low-frequency spatial process).
+        let mut corner = || -> f64 { gaussian(&mut rng) * sigma_systematic };
+        let (c00, c10, c01, c11) = (corner(), corner(), corner(), corner());
+        let mut factors = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let fx = if width > 1 {
+                    f64::from(x) / f64::from(width - 1)
+                } else {
+                    0.0
+                };
+                let fy = if height > 1 {
+                    f64::from(y) / f64::from(height - 1)
+                } else {
+                    0.0
+                };
+                let systematic = c00 * (1.0 - fx) * (1.0 - fy)
+                    + c10 * fx * (1.0 - fy)
+                    + c01 * (1.0 - fx) * fy
+                    + c11 * fx * fy;
+                let random = gaussian(&mut rng) * sigma_random;
+                factors.push((systematic + random).exp());
+            }
+        }
+        Self {
+            width,
+            height,
+            factors,
+        }
+    }
+
+    /// A map with no variation (factor 1.0 everywhere).
+    pub fn uniform(width: u16, height: u16) -> Self {
+        Self {
+            width,
+            height,
+            factors: vec![1.0; width as usize * height as usize],
+        }
+    }
+
+    /// The susceptibility multiplier of router `node` (row-major index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn factor(&self, node: usize) -> f64 {
+        self.factors[node]
+    }
+
+    /// All factors in row-major order.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// Mesh width used at generation.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height used at generation.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a distribution-crate
+/// dependency).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_positive() {
+        let map = VariationMap::generate(8, 8, 0.15, 0.1, 7);
+        assert!(map.factors().iter().all(|&f| f > 0.0));
+        assert_eq!(map.factors().len(), 64);
+    }
+
+    #[test]
+    fn uniform_map_is_all_ones() {
+        let map = VariationMap::uniform(4, 4);
+        assert!(map.factors().iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = VariationMap::generate(8, 8, 0.1, 0.05, 3);
+        let b = VariationMap::generate(8, 8, 0.1, 0.05, 3);
+        assert_eq!(a, b);
+        let c = VariationMap::generate(8, 8, 0.1, 0.05, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_sigma_gives_unity() {
+        let map = VariationMap::generate(4, 4, 0.0, 0.0, 9);
+        for &f in map.factors() {
+            assert!((f - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn systematic_component_is_spatially_smooth() {
+        // With only the systematic component, adjacent routers must differ
+        // far less than opposite corners do on average.
+        let map = VariationMap::generate(8, 8, 0.5, 0.0, 11);
+        let f = |x: usize, y: usize| map.factor(y * 8 + x).ln();
+        let adjacent = (f(0, 0) - f(1, 0)).abs();
+        let corner_span = (f(0, 0) - f(7, 7)).abs().max((f(7, 0) - f(0, 7)).abs());
+        assert!(
+            adjacent <= corner_span + 1e-9,
+            "adjacent {adjacent} vs corner {corner_span}"
+        );
+    }
+
+    #[test]
+    fn mean_factor_near_one() {
+        let map = VariationMap::generate(16, 16, 0.1, 0.05, 21);
+        let mean: f64 = map.factors().iter().sum::<f64>() / 256.0;
+        assert!((0.8..1.3).contains(&mean), "mean factor {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_panic() {
+        let _ = VariationMap::generate(0, 8, 0.1, 0.1, 0);
+    }
+
+    #[test]
+    fn single_node_mesh_works() {
+        let map = VariationMap::generate(1, 1, 0.1, 0.1, 0);
+        assert!(map.factor(0) > 0.0);
+        assert_eq!(map.width(), 1);
+        assert_eq!(map.height(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_seed_yields_positive_factors(seed: u64, w in 1u16..12, h in 1u16..12) {
+            let map = VariationMap::generate(w, h, 0.2, 0.1, seed);
+            prop_assert_eq!(map.factors().len(), w as usize * h as usize);
+            prop_assert!(map.factors().iter().all(|&f| f.is_finite() && f > 0.0));
+        }
+    }
+}

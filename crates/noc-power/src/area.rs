@@ -1,0 +1,183 @@
+//! Router area model (§VI-B of the paper).
+//!
+//! The paper synthesizes the four router variants with Synopsys Design
+//! Compiler at 32 nm and reports:
+//!
+//! * the proposed RL router adds **2360 µm²** over the CRC baseline;
+//! * that is a **5.5 %** overhead vs. the CRC router, **4.8 %** vs. the
+//!   ARQ+ECC router, and **4.5 %** vs. the decision-tree router.
+//!
+//! This module carries an analytic per-component area budget whose sums
+//! reproduce those figures exactly; the component split follows standard
+//! proportions for a 4-VC 128-bit router (buffers dominate, then
+//! crossbar).
+
+use serde::{Deserialize, Serialize};
+
+/// The four router designs compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterVariant {
+    /// End-to-end CRC only (baseline).
+    Crc,
+    /// Static per-hop ARQ+ECC.
+    ArqEcc,
+    /// ARQ+ECC with decision-tree mode control.
+    DecisionTree,
+    /// ARQ+ECC with RL mode control (the proposed design).
+    ProposedRl,
+}
+
+impl RouterVariant {
+    /// All variants, in the paper's comparison order.
+    pub const ALL: [RouterVariant; 4] = [
+        RouterVariant::Crc,
+        RouterVariant::ArqEcc,
+        RouterVariant::DecisionTree,
+        RouterVariant::ProposedRl,
+    ];
+}
+
+impl std::fmt::Display for RouterVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RouterVariant::Crc => "CRC",
+            RouterVariant::ArqEcc => "ARQ+ECC",
+            RouterVariant::DecisionTree => "DT",
+            RouterVariant::ProposedRl => "RL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-component router areas in µm² at 32 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Input VC buffers (20 VC FIFOs × 4 flits × 128 b).
+    pub buffers: f64,
+    /// 5×5 128-bit crossbar.
+    pub crossbar: f64,
+    /// VA/SA allocators and routing logic.
+    pub allocators: f64,
+    /// Link drivers/receivers and clocking.
+    pub link_interface: f64,
+    /// CRC-32 encoder + decoder pair.
+    pub crc_codec: f64,
+    /// Four link SECDED encoder/decoder pairs.
+    pub ecc_codecs: f64,
+    /// Output retransmit buffers.
+    pub retransmit_buffers: f64,
+    /// Decision-tree comparator logic.
+    pub dt_logic: f64,
+    /// Q-value ALU.
+    pub rl_alu: f64,
+    /// Q-table SRAM.
+    pub rl_q_table: f64,
+    /// Fault-tolerant mode controller FSM.
+    pub rl_controller: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            buffers: 24_000.0,
+            crossbar: 10_500.0,
+            allocators: 3_000.0,
+            link_interface: 4_500.0,
+            crc_codec: 909.0,
+            ecc_codecs: 180.0,
+            retransmit_buffers: 107.0,
+            dt_logic: 124.0,
+            rl_alu: 600.0,
+            rl_q_table: 1_273.0,
+            rl_controller: 200.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Total area of one router of the given variant, in µm².
+    pub fn router_area(&self, variant: RouterVariant) -> f64 {
+        let base =
+            self.buffers + self.crossbar + self.allocators + self.link_interface + self.crc_codec;
+        match variant {
+            RouterVariant::Crc => base,
+            RouterVariant::ArqEcc => base + self.ecc_codecs + self.retransmit_buffers,
+            RouterVariant::DecisionTree => {
+                self.router_area(RouterVariant::ArqEcc) + self.dt_logic
+            }
+            RouterVariant::ProposedRl => {
+                self.router_area(RouterVariant::ArqEcc)
+                    + self.rl_alu
+                    + self.rl_q_table
+                    + self.rl_controller
+            }
+        }
+    }
+
+    /// Absolute area added by the proposed router over `baseline`, µm².
+    pub fn rl_overhead_um2(&self, baseline: RouterVariant) -> f64 {
+        self.router_area(RouterVariant::ProposedRl) - self.router_area(baseline)
+    }
+
+    /// Fractional area overhead of the proposed router vs. `baseline`.
+    pub fn rl_overhead_fraction(&self, baseline: RouterVariant) -> f64 {
+        self.rl_overhead_um2(baseline) / self.router_area(baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rl_adds_2360_um2_over_crc() {
+        let m = AreaModel::default();
+        assert!(
+            (m.rl_overhead_um2(RouterVariant::Crc) - 2360.0).abs() < 1.0,
+            "overhead {}",
+            m.rl_overhead_um2(RouterVariant::Crc)
+        );
+    }
+
+    #[test]
+    fn overhead_percentages_match_paper() {
+        let m = AreaModel::default();
+        let vs_crc = m.rl_overhead_fraction(RouterVariant::Crc);
+        let vs_arq = m.rl_overhead_fraction(RouterVariant::ArqEcc);
+        let vs_dt = m.rl_overhead_fraction(RouterVariant::DecisionTree);
+        assert!((vs_crc - 0.055).abs() < 0.001, "vs CRC: {vs_crc}");
+        assert!((vs_arq - 0.048).abs() < 0.001, "vs ARQ: {vs_arq}");
+        assert!((vs_dt - 0.045).abs() < 0.001, "vs DT: {vs_dt}");
+    }
+
+    #[test]
+    fn variant_areas_strictly_increase() {
+        let m = AreaModel::default();
+        let areas: Vec<f64> = RouterVariant::ALL
+            .iter()
+            .map(|&v| m.router_area(v))
+            .collect();
+        for w in areas.windows(2) {
+            assert!(w[0] < w[1], "areas must increase: {areas:?}");
+        }
+    }
+
+    #[test]
+    fn buffers_dominate_router_area() {
+        let m = AreaModel::default();
+        let total = m.router_area(RouterVariant::Crc);
+        assert!(m.buffers / total > 0.4, "buffers are the largest block");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RouterVariant::ProposedRl.to_string(), "RL");
+        assert_eq!(RouterVariant::ArqEcc.to_string(), "ARQ+ECC");
+    }
+
+    #[test]
+    fn self_overhead_is_zero() {
+        let m = AreaModel::default();
+        assert_eq!(m.rl_overhead_um2(RouterVariant::ProposedRl), 0.0);
+    }
+}

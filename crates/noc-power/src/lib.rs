@@ -1,0 +1,44 @@
+//! ORION-style power, energy, and area models for on-chip routers at
+//! 32 nm.
+//!
+//! The paper evaluates power with ORION 2.0 inside Booksim and area with
+//! Synopsys Design Compiler. This crate reproduces both interfaces:
+//!
+//! * [`params`] — per-event dynamic energies and per-component leakage at
+//!   32 nm / 1.0 V / 2.0 GHz, anchored to the paper's absolute numbers
+//!   (≈13.3 pJ per flit-hop in the baseline router; 0.16 pJ = 1.2 % RL
+//!   control overhead).
+//! * [`energy`] — turns the simulator's
+//!   [`EventCounters`](noc_sim::stats::EventCounters) into joules, plus
+//!   gateable static power.
+//! * [`area`] — the §VI-B area model reproducing the paper's 2360 µm² /
+//!   5.5 % / 4.8 % / 4.5 % overhead analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_power::energy::{EnergyModel, StaticConfig};
+//! use noc_sim::stats::EventCounters;
+//!
+//! let model = EnergyModel::default();
+//! let mut counters = EventCounters::default();
+//! counters.buffer_writes = 1000;
+//! counters.link_traversals[1] = 1000;
+//! let joules = model.dynamic_energy(&counters);
+//! assert!(joules > 0.0);
+//!
+//! // Static power with two of four ECC links gated off.
+//! let w = model.static_power(&StaticConfig { ecc_links_enabled: 2, ..StaticConfig::rl_router() });
+//! assert!(w > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod params;
+
+pub use area::{AreaModel, RouterVariant};
+pub use energy::{EnergyBreakdown, EnergyModel, StaticConfig};
+pub use params::PowerParams;

@@ -1,0 +1,353 @@
+//! The per-router ε-greedy Q-learning agent.
+//!
+//! At every control epoch the agent receives the reward earned by its
+//! previous action together with the newly observed state, applies the
+//! temporal-difference update to `Q(s, a)`, and picks the next action —
+//! greedy with probability `1 − ε`, uniformly random with probability
+//! `ε` (the paper's exploration scheme with ε = 0.1).
+
+use crate::qtable::QTable;
+use crate::schedule::Schedule;
+use crate::NUM_ACTIONS;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a Q-learning agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Learning-rate schedule (paper: constant 0.1).
+    pub alpha: Schedule,
+    /// Discount factor γ (paper: 0.5).
+    pub gamma: f64,
+    /// Exploration-probability schedule (paper: constant 0.1).
+    pub epsilon: Schedule,
+    /// Initial operation mode (paper: mode 0).
+    pub initial_action: usize,
+    /// Initial Q-value for every (state, action) pair. The paper uses 0;
+    /// an optimistic value (above the best achievable return) forces the
+    /// greedy policy to sample each action in a state before committing.
+    pub initial_q: f64,
+    /// Confidence gate: when fewer than three actions of a state have
+    /// ever been updated, greedy selection returns this safe default
+    /// instead of trusting one or two noisy samples. `None` disables the
+    /// gate (the paper's literal behaviour). Prevents self-selecting
+    /// attractors — states that only arise as a consequence of one mode's
+    /// behaviour and therefore never fairly sample the alternatives.
+    pub fallback_action: Option<usize>,
+}
+
+impl AgentConfig {
+    /// The paper's §IV-C initialization: α = 0.1, γ = 0.5, ε = 0.1,
+    /// starting in mode 0.
+    pub fn paper_default() -> Self {
+        Self {
+            alpha: Schedule::Constant(0.1),
+            gamma: 0.5,
+            epsilon: Schedule::Constant(0.1),
+            initial_action: 0,
+            initial_q: 0.0,
+            fallback_action: None,
+        }
+    }
+
+    /// The paper's parameters with an optimistic initial Q-value, the
+    /// configuration used by the experiment driver (see DESIGN.md).
+    pub fn optimistic(initial_q: f64) -> Self {
+        Self {
+            initial_q,
+            ..Self::paper_default()
+        }
+    }
+}
+
+/// One router's learning agent.
+///
+/// # Example
+///
+/// ```
+/// use noc_rl::agent::{AgentConfig, QLearningAgent};
+/// use noc_rl::schedule::Schedule;
+///
+/// let config = AgentConfig {
+///     epsilon: Schedule::Constant(0.2),
+///     ..AgentConfig::paper_default()
+/// };
+/// let mut agent = QLearningAgent::new(100, config, 7);
+/// let mut action = agent.observe_and_act(0, 0.0);
+/// for _ in 0..300 {
+///     // Reward action 2 whenever it is taken in state 0.
+///     let reward = if action == 2 { 1.0 } else { -0.1 };
+///     action = agent.observe_and_act(0, reward);
+/// }
+/// assert_eq!(agent.q_table().best_action(0), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QLearningAgent {
+    q: QTable,
+    config: AgentConfig,
+    rng: SmallRng,
+    step: u64,
+    last: Option<(usize, usize)>,
+    exploration_moves: u64,
+    learning: bool,
+}
+
+impl QLearningAgent {
+    /// Creates an agent over `num_states` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0`, `initial_action` is out of range, or
+    /// `gamma` is outside `[0, 1]`.
+    pub fn new(num_states: usize, config: AgentConfig, seed: u64) -> Self {
+        assert!(
+            config.initial_action < NUM_ACTIONS,
+            "initial action out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.gamma),
+            "gamma must be in [0,1]"
+        );
+        Self {
+            q: QTable::with_initial(num_states, config.initial_q),
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            step: 0,
+            last: None,
+            exploration_moves: 0,
+            learning: true,
+        }
+    }
+
+    /// The learned table.
+    pub fn q_table(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Control epochs observed so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// How many actions were exploratory (random) rather than greedy.
+    pub fn exploration_moves(&self) -> u64 {
+        self.exploration_moves
+    }
+
+    /// Whether learning updates are applied (disabled for frozen-policy
+    /// evaluation).
+    pub fn learning_enabled(&self) -> bool {
+        self.learning
+    }
+
+    /// One agent step: credit `reward` to the previous `(state, action)`
+    /// via the TD rule, then select the action for `state`.
+    ///
+    /// The first call (no previous action) performs no update and returns
+    /// the configured initial action.
+    pub fn observe_and_act(&mut self, state: usize, reward: f64) -> usize {
+        if let Some((s, a)) = self.last {
+            if self.learning {
+                let alpha = self.config.alpha.value(self.step);
+                self.q.update(s, a, reward, state, alpha, self.config.gamma);
+            }
+        }
+        let action = if self.last.is_none() {
+            self.config.initial_action
+        } else {
+            let eps = self.config.epsilon.value(self.step);
+            if self.rng.gen_bool(eps.clamp(0.0, 1.0)) {
+                self.exploration_moves += 1;
+                self.rng.gen_range(0..NUM_ACTIONS)
+            } else {
+                let greedy = self.q.best_action(state);
+                match self.config.fallback_action {
+                    Some(fallback) => {
+                        let covered = (0..NUM_ACTIONS)
+                            .filter(|&a| self.q.visit_count(state, a) > 0)
+                            .count();
+                        if covered < 3 {
+                            fallback
+                        } else {
+                            greedy
+                        }
+                    }
+                    None => greedy,
+                }
+            }
+        };
+        self.last = Some((state, action));
+        self.step += 1;
+        action
+    }
+
+    /// Like [`observe_and_act`](Self::observe_and_act) but with the next
+    /// action imposed by the caller instead of the ε-greedy policy.
+    ///
+    /// Used for curriculum pre-training: forcing the whole fleet into one
+    /// mode lets every agent learn that mode's *collective* value, which
+    /// a single agent's unilateral deviation cannot reveal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= NUM_ACTIONS`.
+    pub fn observe_and_force(&mut self, state: usize, reward: f64, action: usize) -> usize {
+        assert!(action < NUM_ACTIONS, "action out of range");
+        if let Some((s, a)) = self.last {
+            if self.learning {
+                let alpha = self.config.alpha.value(self.step);
+                self.q.update(s, a, reward, state, alpha, self.config.gamma);
+            }
+        }
+        self.last = Some((state, action));
+        self.step += 1;
+        action
+    }
+
+    /// Freezes or resumes learning (ε-greedy selection continues either
+    /// way; set ε to zero for fully greedy evaluation).
+    pub fn set_learning(&mut self, enabled: bool) {
+        self.learning = enabled;
+    }
+
+    /// Replaces the exploration schedule (e.g. ε → 0 after pre-training).
+    pub fn set_epsilon(&mut self, epsilon: Schedule) {
+        self.config.epsilon = epsilon;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(seed: u64) -> QLearningAgent {
+        QLearningAgent::new(16, AgentConfig::paper_default(), seed)
+    }
+
+    #[test]
+    fn first_action_is_initial_mode() {
+        let mut a = agent(1);
+        assert_eq!(a.observe_and_act(0, 0.0), 0);
+    }
+
+    #[test]
+    fn learns_rewarding_action() {
+        let mut a = QLearningAgent::new(
+            4,
+            AgentConfig {
+                epsilon: Schedule::Constant(0.2),
+                ..AgentConfig::paper_default()
+            },
+            7,
+        );
+        let mut action = a.observe_and_act(0, 0.0);
+        for _ in 0..300 {
+            let reward = if action == 3 { 1.0 } else { -0.1 };
+            action = a.observe_and_act(0, reward);
+        }
+        assert_eq!(a.q_table().best_action(0), 3);
+    }
+
+    #[test]
+    fn zero_epsilon_is_fully_greedy() {
+        let mut a = QLearningAgent::new(
+            4,
+            AgentConfig {
+                epsilon: Schedule::Constant(0.0),
+                ..AgentConfig::paper_default()
+            },
+            9,
+        );
+        let mut last = a.observe_and_act(0, 0.0);
+        for _ in 0..100 {
+            last = a.observe_and_act(0, if last == 0 { 1.0 } else { 0.0 });
+        }
+        assert_eq!(a.exploration_moves(), 0);
+    }
+
+    #[test]
+    fn epsilon_one_always_explores() {
+        let mut a = QLearningAgent::new(
+            4,
+            AgentConfig {
+                epsilon: Schedule::Constant(1.0),
+                ..AgentConfig::paper_default()
+            },
+            11,
+        );
+        a.observe_and_act(0, 0.0);
+        for _ in 0..50 {
+            a.observe_and_act(0, 0.0);
+        }
+        assert_eq!(a.exploration_moves(), 50);
+    }
+
+    #[test]
+    fn optimistic_init_tries_every_action_greedily() {
+        // With ε = 0 and an optimistic initial value, the greedy policy
+        // alone must cycle through all four actions in a revisited state.
+        let mut a = QLearningAgent::new(
+            4,
+            AgentConfig {
+                epsilon: Schedule::Constant(0.0),
+                ..AgentConfig::optimistic(10.0)
+            },
+            5,
+        );
+        let mut seen = [false; 4];
+        let mut action = a.observe_and_act(0, 0.0);
+        for _ in 0..12 {
+            seen[action] = true;
+            action = a.observe_and_act(0, 1.0);
+        }
+        assert!(seen.iter().all(|&s| s), "not all actions tried: {seen:?}");
+    }
+
+    #[test]
+    fn frozen_agent_stops_updating() {
+        let mut a = agent(3);
+        a.observe_and_act(0, 0.0);
+        a.observe_and_act(1, 5.0);
+        let snapshot = a.q_table().clone();
+        a.set_learning(false);
+        for _ in 0..20 {
+            a.observe_and_act(1, 123.0);
+        }
+        assert_eq!(a.q_table(), &snapshot, "no updates while frozen");
+        assert!(!a.learning_enabled());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut a = agent(seed);
+            (0..100)
+                .map(|i| a.observe_and_act(i % 16, (i % 3) as f64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn steps_count_calls() {
+        let mut a = agent(0);
+        for i in 0..7 {
+            a.observe_and_act(i, 0.0);
+        }
+        assert_eq!(a.steps(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial action out of range")]
+    fn bad_initial_action_panics() {
+        let _ = QLearningAgent::new(
+            4,
+            AgentConfig {
+                initial_action: 9,
+                ..AgentConfig::paper_default()
+            },
+            0,
+        );
+    }
+}

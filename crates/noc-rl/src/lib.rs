@@ -1,0 +1,50 @@
+//! Reinforcement-learning and supervised-learning substrates for NoC
+//! control policies.
+//!
+//! * [`state`] — Table I's feature vector and its discretization into a
+//!   compact tabular state index ({5,5,5,4,4,5} bins → 10 000 states).
+//! * [`qtable`] — the tabular action-value function with the
+//!   temporal-difference update of Eq. (2).
+//! * [`agent`] — the ε-greedy Q-learning agent each router runs.
+//! * [`schedule`] — learning-rate / exploration schedules.
+//! * [`decision_tree`] — a CART regression tree, the supervised baseline
+//!   (DiTomaso et al., MICRO 2016) the paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_rl::agent::{AgentConfig, QLearningAgent};
+//! use noc_rl::state::{RouterFeatures, StateSpace};
+//!
+//! let space = StateSpace::paper_default();
+//! let mut agent = QLearningAgent::new(space.num_states(), AgentConfig::paper_default(), 7);
+//! let features = RouterFeatures {
+//!     buffer_occupancy: 3.0,
+//!     input_utilization: 0.05,
+//!     output_utilization: 0.06,
+//!     input_nack_rate: 0.001,
+//!     output_nack_rate: 0.0,
+//!     temperature_c: 62.0,
+//! };
+//! let state = space.discretize(&features);
+//! let action = agent.observe_and_act(state, 0.5);
+//! assert!(action < 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod decision_tree;
+pub mod qtable;
+pub mod schedule;
+pub mod state;
+
+pub use agent::{AgentConfig, QLearningAgent};
+pub use decision_tree::{DecisionTree, TreeParams};
+pub use qtable::QTable;
+pub use schedule::Schedule;
+pub use state::{RouterFeatures, StateSpace};
+
+/// Number of actions: the four fault-tolerant operation modes.
+pub const NUM_ACTIONS: usize = 4;

@@ -1,0 +1,421 @@
+//! The tabular action-value function.
+//!
+//! One [`QTable`] per router maps `(state, action)` pairs to expected
+//! returns. Values are updated with the temporal-difference rule of the
+//! paper's Eq. (2):
+//!
+//! ```text
+//! Q(s,a) ← (1−α)·Q(s,a) + α·[r + γ·max_a' Q(s',a')]
+//! ```
+
+use crate::NUM_ACTIONS;
+use serde::{Deserialize, Serialize};
+
+/// A dense `num_states × NUM_ACTIONS` table of Q-values.
+///
+/// # Example
+///
+/// ```
+/// use noc_rl::qtable::QTable;
+///
+/// let mut q = QTable::new(100);
+/// q.update(3, 1, 10.0, 4, 0.1, 0.5);
+/// assert!(q.value(3, 1) > 0.0);
+/// assert_eq!(q.best_action(3), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    num_states: usize,
+    values: Vec<f64>,
+    visits: Vec<u32>,
+    updates: u64,
+}
+
+impl QTable {
+    /// Creates a table of zeros (the paper initializes Q-values to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0`.
+    pub fn new(num_states: usize) -> Self {
+        Self::with_initial(num_states, 0.0)
+    }
+
+    /// Creates a table with every entry set to `initial`.
+    ///
+    /// An *optimistic* initial value (above the maximum achievable
+    /// return) makes the greedy policy systematically try every action in
+    /// every visited state before settling — important for convergence
+    /// within the paper's pre-training budget when rewards are strictly
+    /// positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states == 0` or `initial` is not finite.
+    pub fn with_initial(num_states: usize, initial: f64) -> Self {
+        assert!(num_states > 0, "state space must be non-empty");
+        assert!(initial.is_finite(), "initial Q-value must be finite");
+        Self {
+            num_states,
+            values: vec![initial; num_states * NUM_ACTIONS],
+            visits: vec![0; num_states * NUM_ACTIONS],
+            updates: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Total TD updates applied (for the computation-overhead analysis).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The Q-value of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `action` is out of range.
+    pub fn value(&self, state: usize, action: usize) -> f64 {
+        assert!(action < NUM_ACTIONS, "action out of range");
+        self.values[state * NUM_ACTIONS + action]
+    }
+
+    /// All four Q-values of `state`.
+    pub fn row(&self, state: usize) -> &[f64] {
+        &self.values[state * NUM_ACTIONS..(state + 1) * NUM_ACTIONS]
+    }
+
+    /// The greedy action in `state` (lowest index wins ties — mode 0, the
+    /// cheapest, is the tie-break default).
+    pub fn best_action(&self, state: usize) -> usize {
+        let row = self.row(state);
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// The maximum Q-value in `state`.
+    pub fn max_value(&self, state: usize) -> f64 {
+        self.row(state).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Applies the temporal-difference update of Eq. (2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or `alpha`/`gamma` are outside
+    /// `[0, 1]`.
+    pub fn update(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next_state: usize,
+        alpha: f64,
+        gamma: f64,
+    ) {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0,1]");
+        let target = reward + gamma * self.max_value(next_state);
+        let cell = &mut self.values[state * NUM_ACTIONS + action];
+        *cell = (1.0 - alpha) * *cell + alpha * target;
+        self.visits[state * NUM_ACTIONS + action] += 1;
+        self.updates += 1;
+    }
+
+    /// How many TD updates have been applied to `(state, action)`.
+    pub fn visit_count(&self, state: usize, action: usize) -> u32 {
+        self.visits[state * NUM_ACTIONS + action]
+    }
+
+    /// States that have received at least one update, with their total
+    /// visit counts, most-visited first.
+    pub fn visited_states(&self) -> Vec<(usize, u32)> {
+        let mut out: Vec<(usize, u32)> = (0..self.num_states)
+            .filter_map(|s| {
+                let total: u32 = (0..NUM_ACTIONS).map(|a| self.visit_count(s, a)).sum();
+                (total > 0).then_some((s, total))
+            })
+            .collect();
+        out.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_is_zero() {
+        let q = QTable::new(10);
+        for s in 0..10 {
+            for a in 0..NUM_ACTIONS {
+                assert_eq!(q.value(s, a), 0.0);
+            }
+        }
+        assert_eq!(q.updates(), 0);
+    }
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut q = QTable::new(4);
+        q.update(0, 2, 1.0, 1, 0.5, 0.0);
+        assert_eq!(q.value(0, 2), 0.5);
+        q.update(0, 2, 1.0, 1, 0.5, 0.0);
+        assert_eq!(q.value(0, 2), 0.75);
+    }
+
+    #[test]
+    fn discounted_bootstrap_uses_next_state_max() {
+        let mut q = QTable::new(4);
+        // Prime the next state.
+        q.update(1, 3, 2.0, 2, 1.0, 0.0); // Q(1,3) = 2
+        q.update(0, 0, 0.0, 1, 1.0, 0.5); // target = 0 + 0.5 * 2 = 1
+        assert_eq!(q.value(0, 0), 1.0);
+    }
+
+    #[test]
+    fn best_action_breaks_ties_toward_mode_zero() {
+        let q = QTable::new(4);
+        assert_eq!(q.best_action(0), 0, "all-zero row defaults to mode 0");
+    }
+
+    #[test]
+    fn best_action_finds_maximum() {
+        let mut q = QTable::new(4);
+        q.update(2, 1, 5.0, 3, 1.0, 0.0);
+        q.update(2, 3, 7.0, 3, 1.0, 0.0);
+        assert_eq!(q.best_action(2), 3);
+        assert_eq!(q.max_value(2), 7.0);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_constant_reward() {
+        // With gamma = 0 and constant reward r, Q converges to r.
+        let mut q = QTable::new(2);
+        for _ in 0..200 {
+            q.update(0, 0, 3.0, 1, 0.1, 0.0);
+        }
+        assert!((q.value(0, 0) - 3.0).abs() < 1e-6);
+        assert_eq!(q.updates(), 200);
+    }
+
+    #[test]
+    fn row_has_four_entries() {
+        let q = QTable::new(3);
+        assert_eq!(q.row(1).len(), NUM_ACTIONS);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let mut q = QTable::new(2);
+        q.update(0, 0, 1.0, 1, 1.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space must be non-empty")]
+    fn empty_table_panics() {
+        let _ = QTable::new(0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Q-values stay bounded by max |reward| / (1 - gamma), the
+        /// standard contraction bound.
+        #[test]
+        fn values_bounded_by_return_bound(
+            updates in proptest::collection::vec((0usize..8, 0usize..4, -1.0f64..1.0, 0usize..8), 1..200)
+        ) {
+            let mut q = QTable::new(8);
+            let gamma = 0.5;
+            for (s, a, r, s2) in updates {
+                q.update(s, a, r, s2, 0.1, gamma);
+            }
+            let bound = 1.0 / (1.0 - gamma) + 1e-9;
+            for s in 0..8 {
+                for a in 0..NUM_ACTIONS {
+                    prop_assert!(q.value(s, a).abs() <= bound);
+                }
+            }
+        }
+
+        /// best_action is consistent with max_value.
+        #[test]
+        fn best_matches_max(
+            updates in proptest::collection::vec((0usize..4, 0usize..4, -1.0f64..1.0), 1..50)
+        ) {
+            let mut q = QTable::new(4);
+            for (s, a, r) in updates {
+                q.update(s, a, r, (s + 1) % 4, 0.2, 0.3);
+            }
+            for s in 0..4 {
+                prop_assert_eq!(q.value(s, q.best_action(s)), q.max_value(s));
+            }
+        }
+    }
+}
+
+/// Error parsing a persisted Q-table.
+#[derive(Debug)]
+pub struct ParseQTableError {
+    line: usize,
+    message: String,
+}
+
+impl std::fmt::Display for ParseQTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q-table parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQTableError {}
+
+impl QTable {
+    /// Writes the table in a sparse, line-oriented text format: a header
+    /// with the state count, then one line per visited state holding the
+    /// four Q-values and the four visit counts.
+    ///
+    /// Persisting a pre-trained policy lets deployments skip the
+    /// pre-training phase entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "qtable {} {}", self.num_states, self.updates)?;
+        for (state, _) in self.visited_states() {
+            write!(writer, "{state}")?;
+            for a in 0..NUM_ACTIONS {
+                write!(writer, " {:e}", self.value(state, a))?;
+            }
+            for a in 0..NUM_ACTIONS {
+                write!(writer, " {}", self.visit_count(state, a))?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a table previously written by [`save`](Self::save).
+    /// Unlisted states are zero-valued, as after [`QTable::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseQTableError`] on malformed input.
+    pub fn load<R: std::io::BufRead>(reader: R) -> Result<Self, ParseQTableError> {
+        let err = |line: usize, message: String| ParseQTableError { line, message };
+        let mut lines = reader.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(1, "empty input".into()))?;
+        let header = header.map_err(|e| err(1, e.to_string()))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("qtable") {
+            return Err(err(1, "missing `qtable` header".into()));
+        }
+        let num_states: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(1, "bad state count".into()))?;
+        let updates: u64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(1, "bad update count".into()))?;
+        let mut table = QTable::new(num_states);
+        table.updates = updates;
+        for (i, line) in lines {
+            let line = line.map_err(|e| err(i + 1, e.to_string()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 1 + 2 * NUM_ACTIONS {
+                return Err(err(i + 1, format!("expected 9 fields, got {}", fields.len())));
+            }
+            let state: usize = fields[0]
+                .parse()
+                .map_err(|e| err(i + 1, format!("bad state index: {e}")))?;
+            if state >= num_states {
+                return Err(err(i + 1, format!("state {state} out of range")));
+            }
+            for a in 0..NUM_ACTIONS {
+                let value: f64 = fields[1 + a]
+                    .parse()
+                    .map_err(|e| err(i + 1, format!("bad value: {e}")))?;
+                let visits: u32 = fields[1 + NUM_ACTIONS + a]
+                    .parse()
+                    .map_err(|e| err(i + 1, format!("bad visit count: {e}")))?;
+                table.values[state * NUM_ACTIONS + a] = value;
+                table.visits[state * NUM_ACTIONS + a] = visits;
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    fn trained_table() -> QTable {
+        let mut q = QTable::new(50);
+        q.update(3, 1, 1.5, 4, 0.5, 0.5);
+        q.update(4, 2, -0.25, 3, 0.5, 0.5);
+        q.update(49, 0, 3.125e-3, 0, 0.1, 0.5);
+        q
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let q = trained_table();
+        let mut buf = Vec::new();
+        q.save(&mut buf).expect("write to vec");
+        let loaded = QTable::load(buf.as_slice()).expect("parse own output");
+        assert_eq!(loaded, q);
+    }
+
+    #[test]
+    fn unlisted_states_stay_zero() {
+        let q = trained_table();
+        let mut buf = Vec::new();
+        q.save(&mut buf).expect("write");
+        let loaded = QTable::load(buf.as_slice()).expect("parse");
+        assert_eq!(loaded.value(10, 0), 0.0);
+        assert_eq!(loaded.visit_count(10, 0), 0);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(QTable::load(&b"not a table"[..]).is_err());
+        assert!(QTable::load(&b"qtable x 0"[..]).is_err());
+        assert!(QTable::load(&b"qtable 4 0\n9 0 0 0 0 0 0 0 0"[..]).is_err());
+        assert!(QTable::load(&b"qtable 4 0\n1 0 0 0"[..]).is_err());
+        assert!(QTable::load(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_policy() {
+        let q = trained_table();
+        let mut buf = Vec::new();
+        q.save(&mut buf).expect("write");
+        let loaded = QTable::load(buf.as_slice()).expect("parse");
+        for s in [3usize, 4, 49] {
+            assert_eq!(loaded.best_action(s), q.best_action(s));
+        }
+        assert_eq!(loaded.updates(), q.updates());
+    }
+}

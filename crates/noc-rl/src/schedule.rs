@@ -1,0 +1,145 @@
+//! Hyper-parameter schedules.
+//!
+//! The paper uses constant α and ε, but notes that "the learning rate α
+//! can be reduced over time"; decaying schedules are provided for the
+//! convergence ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar hyper-parameter as a function of the agent step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f64),
+    /// Linear interpolation from `from` to `to` over `steps`, constant
+    /// afterwards.
+    Linear {
+        /// Starting value at step 0.
+        from: f64,
+        /// Final value reached at `steps`.
+        to: f64,
+        /// Number of steps over which to interpolate.
+        steps: u64,
+    },
+    /// Exponential decay `from · decay^step`, floored at `floor`.
+    Exponential {
+        /// Starting value at step 0.
+        from: f64,
+        /// Per-step multiplicative decay (0 < decay ≤ 1).
+        decay: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+}
+
+impl Schedule {
+    /// The value at `step`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use noc_rl::schedule::Schedule;
+    ///
+    /// let s = Schedule::Linear { from: 1.0, to: 0.0, steps: 10 };
+    /// assert_eq!(s.value(0), 1.0);
+    /// assert_eq!(s.value(5), 0.5);
+    /// assert_eq!(s.value(100), 0.0);
+    /// ```
+    pub fn value(&self, step: u64) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { from, to, steps } => {
+                if steps == 0 || step >= steps {
+                    to
+                } else {
+                    let t = step as f64 / steps as f64;
+                    from + (to - from) * t
+                }
+            }
+            Schedule::Exponential { from, decay, floor } => {
+                (from * decay.powi(step.min(i32::MAX as u64) as i32)).max(floor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = Schedule::Constant(0.1);
+        assert_eq!(s.value(0), 0.1);
+        assert_eq!(s.value(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn linear_interpolates_and_saturates() {
+        let s = Schedule::Linear {
+            from: 0.5,
+            to: 0.1,
+            steps: 4,
+        };
+        assert_eq!(s.value(0), 0.5);
+        assert!((s.value(2) - 0.3).abs() < 1e-12);
+        assert_eq!(s.value(4), 0.1);
+        assert_eq!(s.value(99), 0.1);
+    }
+
+    #[test]
+    fn linear_zero_steps_is_target() {
+        let s = Schedule::Linear {
+            from: 1.0,
+            to: 0.2,
+            steps: 0,
+        };
+        assert_eq!(s.value(0), 0.2);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::Exponential {
+            from: 1.0,
+            decay: 0.5,
+            floor: 0.1,
+        };
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(1), 0.5);
+        assert_eq!(s.value(2), 0.25);
+        assert_eq!(s.value(10), 0.1, "floored");
+    }
+
+    #[test]
+    fn exponential_huge_step_is_safe() {
+        let s = Schedule::Exponential {
+            from: 1.0,
+            decay: 0.99,
+            floor: 0.01,
+        };
+        assert_eq!(s.value(u64::MAX), 0.01);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn linear_stays_between_endpoints(from in 0.0f64..1.0, to in 0.0f64..1.0,
+                                          steps in 1u64..1000, step in 0u64..2000) {
+            let s = Schedule::Linear { from, to, steps };
+            let v = s.value(step);
+            let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+
+        #[test]
+        fn exponential_monotone_nonincreasing(step in 0u64..100) {
+            let s = Schedule::Exponential { from: 1.0, decay: 0.9, floor: 0.0 };
+            prop_assert!(s.value(step + 1) <= s.value(step) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Flits, packets, and payload generation.
+//!
+//! Data moves through the network as *packets* segmented into fixed-size
+//! *flits* (128 bits each in the paper's configuration). The head flit
+//! carries routing information; every flit carries its own end-to-end CRC
+//! computed by the source router's CRC encoder.
+
+use crate::topology::NodeId;
+use noc_coding::crc::Crc32;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit; carries the route.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit; frees the virtual channel.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// `true` for `Head` and `HeadTail`.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// `true` for `Tail` and `HeadTail`.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// The semantic class of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// Ordinary data traffic from the workload.
+    Data,
+    /// A retransmission request sent from a destination back to the source
+    /// after an end-to-end CRC failure (the CRC scheme's NACK-to-source).
+    RetransmitRequest {
+        /// The data packet that must be re-sent.
+        of: PacketId,
+    },
+}
+
+impl PacketClass {
+    /// `true` for control (non-data) packets.
+    pub fn is_control(self) -> bool {
+        matches!(self, PacketClass::RetransmitRequest { .. })
+    }
+}
+
+/// One 128-bit flow-control unit.
+///
+/// Payload corruption is applied *in place* by the fault layer; the
+/// separate [`Flit::ground_truth_crc`] lets the destination distinguish
+/// genuine corruption from clean delivery without re-deriving the original
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flit index within the packet (0-based).
+    pub index: u8,
+    /// End-to-end retransmission attempt (0 = first transmission).
+    pub attempt: u8,
+    /// Packet class, replicated on every flit for ejection handling.
+    pub class: PacketClass,
+    /// 128-bit payload as two 64-bit words.
+    pub payload: [u64; 2],
+    /// CRC-32 computed over the payload by the source CRC encoder.
+    pub crc: u32,
+    /// Cycle at which the packet was first enqueued at the source NI
+    /// (retransmissions keep the original time so end-to-end latency
+    /// includes recovery).
+    pub injected_at: u64,
+}
+
+impl Flit {
+    /// Returns `true` when the stored CRC matches the current payload —
+    /// the destination router's CRC decoder.
+    pub fn crc_ok(&self, crc: &Crc32) -> bool {
+        crc.checksum_words(&self.payload) == self.crc
+    }
+
+    /// Flips bit `bit` (0..128) of the payload, as a link fault would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 128`.
+    pub fn flip_payload_bit(&mut self, bit: u32) {
+        assert!(bit < 128, "payload bit {bit} out of range");
+        self.payload[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+    }
+}
+
+/// A packet descriptor held by the source protocol state until delivery is
+/// confirmed (needed for source retransmission in the CRC scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Number of flits.
+    pub num_flits: u8,
+    /// Packet class.
+    pub class: PacketClass,
+    /// Cycle of first injection into the source queue.
+    pub injected_at: u64,
+    /// Seed from which the deterministic payload is derived.
+    pub payload_seed: u64,
+}
+
+impl Packet {
+    /// Deterministic payload for flit `index` (splitmix64 over the seed).
+    pub fn payload_for(&self, index: u8) -> [u64; 2] {
+        [
+            splitmix64(self.payload_seed ^ (u64::from(index) << 32)),
+            splitmix64(self.payload_seed.wrapping_add(u64::from(index)).wrapping_mul(0x9E37)),
+        ]
+    }
+
+    /// Materializes flit `index` (with CRC encoded) for transmission
+    /// attempt `attempt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_flits`.
+    pub fn make_flit(&self, index: u8, attempt: u8, crc: &Crc32) -> Flit {
+        assert!(index < self.num_flits, "flit index out of range");
+        let kind = match (self.num_flits, index) {
+            (1, _) => FlitKind::HeadTail,
+            (_, 0) => FlitKind::Head,
+            (n, i) if i == n - 1 => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        let payload = self.payload_for(index);
+        Flit {
+            packet: self.id,
+            kind,
+            src: self.src,
+            dst: self.dst,
+            index,
+            attempt,
+            class: self.class,
+            payload,
+            crc: crc.checksum_words(&payload),
+            injected_at: self.injected_at,
+        }
+    }
+}
+
+/// The splitmix64 mixing function — used for deterministic payload
+/// derivation so retransmitted packets carry identical bits.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet(num_flits: u8) -> Packet {
+        Packet {
+            id: PacketId(42),
+            src: NodeId(0),
+            dst: NodeId(63),
+            num_flits,
+            class: PacketClass::Data,
+            injected_at: 100,
+            payload_seed: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn flit_kinds_follow_position() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        assert_eq!(p.make_flit(0, 0, &crc).kind, FlitKind::Head);
+        assert_eq!(p.make_flit(1, 0, &crc).kind, FlitKind::Body);
+        assert_eq!(p.make_flit(2, 0, &crc).kind, FlitKind::Body);
+        assert_eq!(p.make_flit(3, 0, &crc).kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let crc = Crc32::new();
+        let p = sample_packet(1);
+        let f = p.make_flit(0, 0, &crc);
+        assert_eq!(f.kind, FlitKind::HeadTail);
+        assert!(f.kind.is_head() && f.kind.is_tail());
+    }
+
+    #[test]
+    fn fresh_flit_passes_crc() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        for i in 0..4 {
+            assert!(p.make_flit(i, 0, &crc).crc_ok(&crc));
+        }
+    }
+
+    #[test]
+    fn corrupted_flit_fails_crc() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        let mut f = p.make_flit(2, 0, &crc);
+        f.flip_payload_bit(77);
+        assert!(!f.crc_ok(&crc));
+    }
+
+    #[test]
+    fn payload_is_deterministic_across_attempts() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        let a = p.make_flit(1, 0, &crc);
+        let b = p.make_flit(1, 3, &crc);
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(a.crc, b.crc);
+        assert_eq!(b.attempt, 3);
+    }
+
+    #[test]
+    fn payloads_differ_across_flits() {
+        let p = sample_packet(4);
+        assert_ne!(p.payload_for(0), p.payload_for(1));
+    }
+
+    #[test]
+    fn flip_payload_bit_round_trips() {
+        let crc = Crc32::new();
+        let p = sample_packet(2);
+        let mut f = p.make_flit(0, 0, &crc);
+        let orig = f.payload;
+        f.flip_payload_bit(127);
+        assert_ne!(f.payload, orig);
+        f.flip_payload_bit(127);
+        assert_eq!(f.payload, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        let crc = Crc32::new();
+        let mut f = sample_packet(1).make_flit(0, 0, &crc);
+        f.flip_payload_bit(128);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit index out of range")]
+    fn make_flit_out_of_range_panics() {
+        let crc = Crc32::new();
+        let _ = sample_packet(2).make_flit(2, 0, &crc);
+    }
+
+    #[test]
+    fn control_class_is_control() {
+        assert!(PacketClass::RetransmitRequest { of: PacketId(1) }.is_control());
+        assert!(!PacketClass::Data.is_control());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PacketId(9).to_string(), "p9");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_single_flip_breaks_crc(seed: u64, bit in 0u32..128) {
+            let crc = Crc32::new();
+            let p = Packet {
+                id: PacketId(1),
+                src: NodeId(0),
+                dst: NodeId(1),
+                num_flits: 1,
+                class: PacketClass::Data,
+                injected_at: 0,
+                payload_seed: seed,
+            };
+            let mut f = p.make_flit(0, 0, &crc);
+            f.flip_payload_bit(bit);
+            prop_assert!(!f.crc_ok(&crc));
+        }
+
+        #[test]
+        fn splitmix_is_injective_on_small_range(a in 0u64..10_000, b in 0u64..10_000) {
+            prop_assume!(a != b);
+            prop_assert_ne!(splitmix64(a), splitmix64(b));
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The virtual-channel router microarchitecture.
+//!
+//! Each router implements the canonical 4-stage pipeline:
+//!
+//! 1. **BW** — buffer write: an arriving flit spends at least one cycle in
+//!    its input VC FIFO.
+//! 2. **RC** — route computation: the head flit of an idle VC computes its
+//!    output port (X-Y routing).
+//! 3. **VA** — virtual-channel allocation: the packet competes for a free
+//!    VC on the chosen output port (round-robin arbitration).
+//! 4. **SA/ST** — switch allocation and traversal: per-cycle separable
+//!    (input-first, then output) arbitration for the crossbar, followed by
+//!    link traversal.
+//!
+//! The inter-router mechanics (flit arrival, ejection, credits, ARQ
+//! acknowledgements) are orchestrated by
+//! [`Network`](crate::network::Network); this module owns the per-router
+//! state and the RC/VA stages.
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::config::NocConfig;
+use crate::flit::Flit;
+use crate::routing::xy_route;
+use crate::topology::{Direction, Mesh, NodeId, NUM_PORTS};
+use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
+use std::collections::VecDeque;
+
+/// A flit resident in an input VC buffer, stamped with its arrival cycle
+/// so the pipeline can enforce the buffer-write stage.
+#[derive(Debug, Clone)]
+pub(crate) struct BufferedFlit {
+    pub flit: Flit,
+    pub arrived_at: u64,
+}
+
+/// Input VC pipeline state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcState {
+    /// No packet assigned.
+    Idle,
+    /// Route computed; awaiting an output VC.
+    NeedsVa { out_port: Direction },
+    /// Output VC held; flits flow through SA.
+    Active { out_port: Direction, out_vc: u8 },
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone)]
+pub(crate) struct InputVc {
+    pub fifo: VecDeque<BufferedFlit>,
+    pub state: VcState,
+    /// Go-back-N gate: when a flit with this sequence number was rejected,
+    /// later flits on this VC are auto-rejected until its retransmission
+    /// arrives (preserves per-VC flit order under hop-level ARQ).
+    pub awaiting_retx: Option<SequenceNumber>,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        Self {
+            fifo: VecDeque::new(),
+            state: VcState::Idle,
+            awaiting_retx: None,
+        }
+    }
+
+    /// An input VC counts as occupied for the buffer-utilization feature
+    /// when it holds flits or an active packet.
+    pub(crate) fn occupied(&self) -> bool {
+        !self.fifo.is_empty() || self.state != VcState::Idle
+    }
+}
+
+/// Credit/allocation state of one output VC.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutputVc {
+    pub allocated: bool,
+    pub credits: u8,
+}
+
+/// A NACKed flit waiting for priority resend on its output port.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRetransmit {
+    pub flit: Flit,
+    pub out_vc: u8,
+    pub seq: SequenceNumber,
+}
+
+/// One output port: its VC credit state, the ARQ retransmit buffer, and
+/// the link-busy horizon used by operation modes 2 and 3.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputPort {
+    pub vcs: Vec<OutputVc>,
+    /// Earliest cycle at which the port may transmit again.
+    pub next_free: u64,
+    /// Copies of unacknowledged flits sent on ECC-enabled links.
+    pub retx_buffer: RetransmitBuffer<(Flit, u8)>,
+    /// NACKed flits queued for priority resend.
+    pub retx_pending: VecDeque<PendingRetransmit>,
+}
+
+/// A mesh router: five input ports of `V` VCs each, five output ports, and
+/// the arbiters for VA and SA.
+#[derive(Debug, Clone)]
+pub struct Router {
+    pub(crate) id: NodeId,
+    /// `inputs[port][vc]`.
+    pub(crate) inputs: Vec<Vec<InputVc>>,
+    /// `outputs[port]`.
+    pub(crate) outputs: Vec<OutputPort>,
+    /// Per output port, over `NUM_PORTS * V` flattened input VCs.
+    pub(crate) va_arbiters: Vec<RoundRobinArbiter>,
+    /// Per input port, over its `V` VCs.
+    pub(crate) sa_input_arbiters: Vec<RoundRobinArbiter>,
+    /// Per output port, over the five input ports.
+    pub(crate) sa_output_arbiters: Vec<RoundRobinArbiter>,
+}
+
+impl Router {
+    /// Builds an empty router for node `id` under `config`.
+    pub(crate) fn new(id: NodeId, config: &NocConfig) -> Self {
+        let v = config.vcs_per_port as usize;
+        let inputs = (0..NUM_PORTS)
+            .map(|_| (0..v).map(|_| InputVc::new()).collect())
+            .collect();
+        let outputs = (0..NUM_PORTS)
+            .map(|p| OutputPort {
+                vcs: (0..v)
+                    .map(|_| OutputVc {
+                        allocated: false,
+                        // The ejection port drains into the core; model it
+                        // as never back-pressured.
+                        credits: if p == Direction::Local.index() {
+                            u8::MAX
+                        } else {
+                            config.vc_depth
+                        },
+                    })
+                    .collect(),
+                next_free: 0,
+                retx_buffer: RetransmitBuffer::new(config.retransmit_buffer_depth),
+                retx_pending: VecDeque::new(),
+            })
+            .collect();
+        Self {
+            id,
+            inputs,
+            outputs,
+            va_arbiters: (0..NUM_PORTS)
+                .map(|_| RoundRobinArbiter::new(NUM_PORTS * v))
+                .collect(),
+            sa_input_arbiters: (0..NUM_PORTS).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa_output_arbiters: (0..NUM_PORTS)
+                .map(|_| RoundRobinArbiter::new(NUM_PORTS))
+                .collect(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of currently occupied input VCs (the RL buffer-utilization
+    /// feature).
+    pub fn occupied_input_vcs(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .filter(|vc| vc.occupied())
+            .count()
+    }
+
+    /// Route computation: idle input VCs whose head flit has completed its
+    /// buffer-write stage compute their output port.
+    pub(crate) fn rc_stage(&mut self, cycle: u64, mesh: Mesh) {
+        for port in &mut self.inputs {
+            for vc in port.iter_mut() {
+                if vc.state != VcState::Idle {
+                    continue;
+                }
+                let Some(front) = vc.fifo.front() else {
+                    continue;
+                };
+                if front.arrived_at >= cycle {
+                    continue; // still in the BW stage
+                }
+                debug_assert!(
+                    front.flit.kind.is_head(),
+                    "non-head flit {:?} at front of idle VC",
+                    front.flit.kind
+                );
+                let out_port = xy_route(mesh, self.id, front.flit.dst);
+                vc.state = VcState::NeedsVa { out_port };
+            }
+        }
+    }
+
+    /// Virtual-channel allocation: one grant per output port per cycle.
+    ///
+    /// Returns the number of allocations performed (for the power model).
+    pub(crate) fn va_stage(&mut self) -> u64 {
+        let v = self.inputs[0].len();
+        let mut allocations = 0;
+        for out_p in 0..NUM_PORTS {
+            // Find a free output VC.
+            let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
+                continue;
+            };
+            // Gather requesting input VCs (flattened index).
+            let mut requests = vec![false; NUM_PORTS * v];
+            let mut any = false;
+            for (in_p, port) in self.inputs.iter().enumerate() {
+                for (in_v, vc) in port.iter().enumerate() {
+                    if vc.state == (VcState::NeedsVa { out_port: Direction::from_index(out_p) }) {
+                        requests[in_p * v + in_v] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let winner = self.va_arbiters[out_p]
+                .grant(&requests)
+                .expect("a request was asserted");
+            let (in_p, in_v) = (winner / v, winner % v);
+            self.inputs[in_p][in_v].state = VcState::Active {
+                out_port: Direction::from_index(out_p),
+                out_vc: free_vc as u8,
+            };
+            self.outputs[out_p].vcs[free_vc].allocated = true;
+            allocations += 1;
+        }
+        allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Packet, PacketClass, PacketId};
+    use noc_coding::crc::Crc32;
+
+    fn test_config() -> NocConfig {
+        NocConfig::builder().mesh(4, 4).build()
+    }
+
+    fn head_flit(src: NodeId, dst: NodeId) -> Flit {
+        Packet {
+            id: PacketId(1),
+            src,
+            dst,
+            num_flits: 4,
+            class: PacketClass::Data,
+            injected_at: 0,
+            payload_seed: 7,
+        }
+        .make_flit(0, 0, &Crc32::new())
+    }
+
+    #[test]
+    fn new_router_is_empty() {
+        let r = Router::new(NodeId(5), &test_config());
+        assert_eq!(r.id(), NodeId(5));
+        assert_eq!(r.occupied_input_vcs(), 0);
+        assert_eq!(r.inputs.len(), NUM_PORTS);
+        assert_eq!(r.inputs[0].len(), 4);
+        assert_eq!(r.outputs[0].vcs[0].credits, 4);
+        assert_eq!(
+            r.outputs[Direction::Local.index()].vcs[0].credits,
+            u8::MAX,
+            "ejection port is never back-pressured"
+        );
+    }
+
+    #[test]
+    fn rc_waits_for_buffer_write_stage() {
+        let config = test_config();
+        let mesh = config.mesh;
+        let mut r = Router::new(mesh.node_at(0, 0), &config);
+        let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
+        r.inputs[Direction::Local.index()][0].fifo.push_back(BufferedFlit {
+            flit: f,
+            arrived_at: 10,
+        });
+        // Same cycle: still in BW.
+        r.rc_stage(10, mesh);
+        assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
+        // Next cycle: RC fires, X-first routing goes east.
+        r.rc_stage(11, mesh);
+        assert_eq!(
+            r.inputs[Direction::Local.index()][0].state,
+            VcState::NeedsVa {
+                out_port: Direction::East
+            }
+        );
+    }
+
+    #[test]
+    fn va_allocates_one_vc_per_output_per_cycle() {
+        let config = test_config();
+        let mesh = config.mesh;
+        let mut r = Router::new(mesh.node_at(0, 0), &config);
+        // Two input VCs both want East.
+        for vc in 0..2 {
+            let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
+            r.inputs[Direction::Local.index()][vc].fifo.push_back(BufferedFlit {
+                flit: f,
+                arrived_at: 0,
+            });
+        }
+        r.rc_stage(1, mesh);
+        let granted = r.va_stage();
+        assert_eq!(granted, 1, "one VA grant per output port per cycle");
+        let active = r.inputs[Direction::Local.index()]
+            .iter()
+            .filter(|vc| matches!(vc.state, VcState::Active { .. }))
+            .count();
+        assert_eq!(active, 1);
+        // Second cycle: the other one gets a (different) VC.
+        let granted = r.va_stage();
+        assert_eq!(granted, 1);
+        let vcs: Vec<u8> = r.inputs[Direction::Local.index()]
+            .iter()
+            .filter_map(|vc| match vc.state {
+                VcState::Active { out_vc, .. } => Some(out_vc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vcs.len(), 2);
+        assert_ne!(vcs[0], vcs[1], "distinct output VCs");
+    }
+
+    #[test]
+    fn va_exhausts_output_vcs() {
+        let config = test_config();
+        let mesh = config.mesh;
+        let mut r = Router::new(mesh.node_at(0, 0), &config);
+        // 5 requesters for East across two input ports, only 4 output VCs.
+        for vc in 0..4 {
+            let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
+            r.inputs[Direction::Local.index()][vc].fifo.push_back(BufferedFlit {
+                flit: f,
+                arrived_at: 0,
+            });
+        }
+        let f = head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0));
+        r.inputs[Direction::West.index()][0].fifo.push_back(BufferedFlit {
+            flit: f,
+            arrived_at: 0,
+        });
+        r.rc_stage(1, mesh);
+        let mut total = 0;
+        for _ in 0..8 {
+            total += r.va_stage();
+        }
+        assert_eq!(total, 4, "only 4 output VCs exist on East");
+    }
+
+    #[test]
+    fn occupied_vcs_counts_active_and_buffered() {
+        let config = test_config();
+        let mesh = config.mesh;
+        let mut r = Router::new(mesh.node_at(0, 0), &config);
+        assert_eq!(r.occupied_input_vcs(), 0);
+        let f = head_flit(mesh.node_at(0, 0), mesh.node_at(1, 0));
+        r.inputs[0][0].fifo.push_back(BufferedFlit {
+            flit: f,
+            arrived_at: 0,
+        });
+        assert_eq!(r.occupied_input_vcs(), 1);
+    }
+}

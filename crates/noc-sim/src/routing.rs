@@ -1,0 +1,170 @@
+//! Routing functions.
+//!
+//! The paper's configuration uses deterministic X-Y dimension-order
+//! routing, which is deadlock-free on a mesh without virtual-channel
+//! restrictions: a packet first travels along the X dimension to the
+//! destination column, then along Y to the destination row.
+
+use crate::topology::{Direction, Mesh, NodeId};
+
+/// Computes the X-Y output port at router `current` for a packet headed to
+/// `dst`.
+///
+/// Returns [`Direction::Local`] when `current == dst` (eject).
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::routing::xy_route;
+/// use noc_sim::topology::{Direction, Mesh};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let src = mesh.node_at(1, 1);
+/// let dst = mesh.node_at(4, 6);
+/// // X first…
+/// assert_eq!(xy_route(mesh, src, dst), Direction::East);
+/// // …then Y once the column matches.
+/// let mid = mesh.node_at(4, 1);
+/// assert_eq!(xy_route(mesh, mid, dst), Direction::South);
+/// assert_eq!(xy_route(mesh, dst, dst), Direction::Local);
+/// ```
+pub fn xy_route(mesh: Mesh, current: NodeId, dst: NodeId) -> Direction {
+    let c = mesh.coord(current);
+    let d = mesh.coord(dst);
+    if c.x < d.x {
+        Direction::East
+    } else if c.x > d.x {
+        Direction::West
+    } else if c.y < d.y {
+        Direction::South
+    } else if c.y > d.y {
+        Direction::North
+    } else {
+        Direction::Local
+    }
+}
+
+/// Enumerates the routers an X-Y-routed packet visits from `src` to `dst`,
+/// inclusive of both endpoints.
+///
+/// Used by the reward function, which attributes a delivered packet's
+/// end-to-end latency to every router on its path.
+pub fn xy_path(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::with_capacity(mesh.hop_distance(src, dst) as usize + 1);
+    let mut current = src;
+    path.push(current);
+    while current != dst {
+        let dir = xy_route(mesh, current, dst);
+        current = mesh
+            .neighbor(current, dir)
+            .expect("xy_route never walks off the mesh");
+        path.push(current);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_to_self_is_local() {
+        let mesh = Mesh::new(8, 8);
+        for node in mesh.nodes() {
+            assert_eq!(xy_route(mesh, node, node), Direction::Local);
+        }
+    }
+
+    #[test]
+    fn x_dimension_resolved_first() {
+        let mesh = Mesh::new(8, 8);
+        let src = mesh.node_at(0, 0);
+        let dst = mesh.node_at(7, 7);
+        assert_eq!(xy_route(mesh, src, dst), Direction::East);
+        let col = mesh.node_at(7, 0);
+        assert_eq!(xy_route(mesh, col, dst), Direction::South);
+    }
+
+    #[test]
+    fn west_and_north_used_when_needed() {
+        let mesh = Mesh::new(8, 8);
+        assert_eq!(
+            xy_route(mesh, mesh.node_at(5, 5), mesh.node_at(2, 5)),
+            Direction::West
+        );
+        assert_eq!(
+            xy_route(mesh, mesh.node_at(5, 5), mesh.node_at(5, 2)),
+            Direction::North
+        );
+    }
+
+    #[test]
+    fn path_endpoints_and_length() {
+        let mesh = Mesh::new(8, 8);
+        let src = mesh.node_at(1, 2);
+        let dst = mesh.node_at(6, 7);
+        let path = xy_path(mesh, src, dst);
+        assert_eq!(path.first(), Some(&src));
+        assert_eq!(path.last(), Some(&dst));
+        assert_eq!(path.len(), mesh.hop_distance(src, dst) as usize + 1);
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let mesh = Mesh::new(4, 4);
+        let n = mesh.node_at(2, 2);
+        assert_eq!(xy_path(mesh, n, n), vec![n]);
+    }
+
+    #[test]
+    fn path_turns_at_most_once() {
+        // X-Y routing: the direction sequence changes at most once
+        // (E/W segment then N/S segment).
+        let mesh = Mesh::new(8, 8);
+        let path = xy_path(mesh, mesh.node_at(0, 7), mesh.node_at(7, 0));
+        let mut changes = 0;
+        let mut prev: Option<Direction> = None;
+        for w in path.windows(2) {
+            let dir = xy_route(mesh, w[0], w[1]);
+            if prev.is_some() && prev != Some(dir) {
+                changes += 1;
+            }
+            prev = Some(dir);
+        }
+        assert!(changes <= 1, "X-Y path turned {changes} times");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn every_step_decreases_distance(a in 0u16..64, b in 0u16..64) {
+            let mesh = Mesh::new(8, 8);
+            let (src, dst) = (NodeId(a), NodeId(b));
+            let mut current = src;
+            let mut steps = 0;
+            while current != dst {
+                let before = mesh.hop_distance(current, dst);
+                let dir = xy_route(mesh, current, dst);
+                current = mesh.neighbor(current, dir).expect("route stays on mesh");
+                prop_assert_eq!(mesh.hop_distance(current, dst), before - 1);
+                steps += 1;
+                prop_assert!(steps <= 14, "route did not converge");
+            }
+        }
+
+        #[test]
+        fn path_has_no_repeated_nodes(a in 0u16..64, b in 0u16..64) {
+            let mesh = Mesh::new(8, 8);
+            let path = xy_path(mesh, NodeId(a), NodeId(b));
+            let mut sorted: Vec<_> = path.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len());
+        }
+    }
+}

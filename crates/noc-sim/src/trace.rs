@@ -1,0 +1,277 @@
+//! Trace-driven workloads.
+//!
+//! The paper replays PARSEC application traces: streams of timestamped
+//! packet-injection events. This module defines the trace format (a
+//! serde-serializable event list), a [`TraceSource`] that replays one
+//! through the [`TrafficSource`](crate::traffic::TrafficSource) interface,
+//! and save/load helpers in a simple line-oriented text format
+//! (`cycle src dst` per line) so traces can be inspected and diffed.
+
+use crate::topology::NodeId;
+use crate::traffic::TrafficSource;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One packet-injection event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// A finite, time-ordered sequence of injection events.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::topology::NodeId;
+/// use noc_sim::trace::{Trace, TraceEvent};
+///
+/// let mut trace = Trace::new();
+/// trace.push(TraceEvent { cycle: 3, src: NodeId(0), dst: NodeId(5) });
+/// trace.push(TraceEvent { cycle: 1, src: NodeId(2), dst: NodeId(7) });
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events()[0].cycle, 1, "events are kept time-sorted");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// Error parsing a textual trace.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Inserts an event, keeping the list sorted by cycle (stable for
+    /// equal cycles).
+    pub fn push(&mut self, event: TraceEvent) {
+        let pos = self.events.partition_point(|e| e.cycle <= event.cycle);
+        self.events.insert(pos, event);
+    }
+
+    /// Cycle of the last event, or 0 for an empty trace.
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.cycle)
+    }
+
+    /// Writes the trace as `cycle src dst` lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn save<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for e in &self.events {
+            writeln!(writer, "{} {} {}", e.cycle, e.src.0, e.dst.0)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a trace from `cycle src dst` lines; `#`-prefixed lines and
+    /// blanks are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on malformed lines and wraps I/O errors
+    /// in the message.
+    pub fn load<R: BufRead>(reader: R) -> Result<Self, ParseTraceError> {
+        let mut trace = Trace::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| ParseTraceError {
+                line: i + 1,
+                message: e.to_string(),
+            })?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mut field = |name: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| ParseTraceError {
+                        line: i + 1,
+                        message: format!("missing field {name}"),
+                    })?
+                    .parse::<u64>()
+                    .map_err(|e| ParseTraceError {
+                        line: i + 1,
+                        message: format!("bad {name}: {e}"),
+                    })
+            };
+            let cycle = field("cycle")?;
+            let src = field("src")? as u16;
+            let dst = field("dst")? as u16;
+            trace.push(TraceEvent {
+                cycle,
+                src: NodeId(src),
+                dst: NodeId(dst),
+            });
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut events: Vec<TraceEvent> = iter.into_iter().collect();
+        events.sort_by_key(|e| e.cycle);
+        Self { events }
+    }
+}
+
+/// Replays a [`Trace`] as a [`TrafficSource`].
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    trace: Trace,
+    next: usize,
+}
+
+impl TraceSource {
+    /// Creates a replay source over `trace`.
+    pub fn new(trace: Trace) -> Self {
+        Self { trace, next: 0 }
+    }
+
+    /// Events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+}
+
+impl TrafficSource for TraceSource {
+    fn generate(&mut self, cycle: u64, offer: &mut dyn FnMut(NodeId, NodeId)) {
+        while let Some(e) = self.trace.events().get(self.next) {
+            if e.cycle > cycle {
+                break;
+            }
+            offer(e.src, e.dst);
+            self.next += 1;
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next >= self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, src: u16, dst: u16) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            src: NodeId(src),
+            dst: NodeId(dst),
+        }
+    }
+
+    #[test]
+    fn push_keeps_time_order() {
+        let mut t = Trace::new();
+        t.push(ev(10, 0, 1));
+        t.push(ev(5, 1, 2));
+        t.push(ev(7, 2, 3));
+        let cycles: Vec<u64> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![5, 7, 10]);
+        assert_eq!(t.horizon(), 10);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let trace: Trace = [ev(1, 0, 5), ev(2, 3, 4), ev(2, 5, 0), ev(9, 7, 1)]
+            .into_iter()
+            .collect();
+        let mut buf = Vec::new();
+        trace.save(&mut buf).expect("write to vec");
+        let loaded = Trace::load(buf.as_slice()).expect("parse own output");
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn load_skips_comments_and_blanks() {
+        let text = "# header\n\n1 0 2\n# mid\n3 4 5\n";
+        let t = Trace::load(text.as_bytes()).expect("valid trace");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[1], ev(3, 4, 5));
+    }
+
+    #[test]
+    fn load_reports_bad_lines() {
+        let err = Trace::load("1 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = Trace::load("x 0 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad cycle"));
+    }
+
+    #[test]
+    fn replay_respects_timestamps() {
+        let trace: Trace = [ev(0, 0, 1), ev(2, 1, 2), ev(2, 2, 3), ev(5, 3, 0)]
+            .into_iter()
+            .collect();
+        let mut src = TraceSource::new(trace);
+        let mut per_cycle = Vec::new();
+        for cycle in 0..6 {
+            let mut n = 0;
+            src.generate(cycle, &mut |_, _| n += 1);
+            per_cycle.push(n);
+        }
+        assert_eq!(per_cycle, vec![1, 0, 2, 0, 0, 1]);
+        assert!(src.is_exhausted());
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_catches_up_after_gap() {
+        // If generate() is first called at a late cycle, earlier events
+        // are still delivered (no silent loss).
+        let trace: Trace = [ev(1, 0, 1), ev(2, 1, 2)].into_iter().collect();
+        let mut src = TraceSource::new(trace);
+        let mut n = 0;
+        src.generate(10, &mut |_, _| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let t: Trace = [ev(9, 0, 1), ev(1, 1, 2)].into_iter().collect();
+        assert_eq!(t.events()[0].cycle, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Visualize what the RL agents learned: per-router temperature and the
+//! mode each router prefers in its most-visited state, as mesh heatmaps.
+//!
+//! ```text
+//! cargo run --release --example policy_map
+//! ```
+
+use rlnoc::core::benchmarks::WorkloadProfile;
+use rlnoc::core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (report, artifacts) = Experiment::builder()
+        .scheme(ErrorControlScheme::ProposedRl)
+        .workload(WorkloadProfile::streamcluster())
+        .seed(7)
+        .pretrain_cycles(200_000)
+        .measure_cycles(20_000)
+        .build()?
+        .run_inspect();
+
+    println!(
+        "workload {} — avg latency {:.1} cycles, mode usage {:?}\n",
+        report.workload, report.avg_latency_cycles, report.mode_histogram
+    );
+
+    println!("per-router temperature (°C):");
+    for y in 0..8 {
+        for x in 0..8 {
+            print!("{:>6.1}", artifacts.temperatures[y * 8 + x]);
+        }
+        println!();
+    }
+
+    let (agents, _space) = artifacts
+        .controllers
+        .rl_agents()
+        .expect("RL scheme exposes agents");
+    println!("\npreferred mode in each router's most-visited state:");
+    for y in 0..8 {
+        for x in 0..8 {
+            let q = agents[y * 8 + x].q_table();
+            let mode = q
+                .visited_states()
+                .first()
+                .map(|&(s, _)| q.best_action(s))
+                .unwrap_or(0);
+            print!("{mode:>3}");
+        }
+        println!();
+    }
+    println!("\n(0 = ECC off, 1 = ARQ+ECC, 2 = pre-retransmission, 3 = timing relaxation)");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run the proposed RL scheme on one PARSEC-like workload
+//! and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rlnoc::core::benchmarks::WorkloadProfile;
+use rlnoc::core::experiment::{ErrorControlScheme, Experiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = Experiment::builder()
+        .scheme(ErrorControlScheme::ProposedRl)
+        .workload(WorkloadProfile::bodytrack())
+        .seed(42)
+        .pretrain_cycles(120_000)
+        .measure_cycles(20_000)
+        .build()?
+        .run();
+
+    println!("scheme:            {}", report.scheme);
+    println!("workload:          {}", report.workload);
+    println!(
+        "packets:           {} delivered / {} offered",
+        report.packets_delivered, report.packets_injected
+    );
+    println!("avg E2E latency:   {:.1} cycles", report.avg_latency_cycles);
+    println!("p99 latency:       {} cycles", report.p99_latency_cycles);
+    println!("execution time:    {} cycles", report.execution_cycles);
+    println!(
+        "retransmissions:   {:.1} packet-equivalents ({} hop flits, {} full packets)",
+        report.retransmitted_packets_equiv,
+        report.flit_retransmissions,
+        report.packet_retransmissions
+    );
+    println!(
+        "energy:            {:.2} µJ dynamic, {:.2} µJ static, {:.3} µJ control",
+        report.dynamic_energy_j * 1e6,
+        report.static_energy_j * 1e6,
+        report.control_energy_j * 1e6
+    );
+    println!(
+        "energy efficiency: {:.2e} flits/J",
+        report.energy_efficiency()
+    );
+    println!(
+        "temperatures:      mean {:.1} °C, max {:.1} °C",
+        report.mean_temperature_c, report.max_temperature_c
+    );
+    println!(
+        "mode usage:        {:?} (router-epochs in modes 0-3)",
+        report.mode_histogram
+    );
+    Ok(())
+}

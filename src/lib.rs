@@ -1,0 +1,39 @@
+//! `rlnoc` — facade crate for the RL-driven fault-tolerant NoC workspace.
+//!
+//! This crate re-exports every subsystem so that examples and downstream
+//! users need a single dependency:
+//!
+//! * [`sim`] — cycle-accurate NoC simulator (mesh, VC routers, traffic).
+//! * [`fault`] — timing-error, thermal, and process-variation models.
+//! * [`coding`] — CRC, SECDED, and ARQ building blocks.
+//! * [`power`] — ORION-style power/energy/area models.
+//! * [`rl`] — tabular Q-learning and the decision-tree baseline.
+//! * [`core`] — the paper's contribution: dynamic fault-tolerant operation
+//!   modes, per-router controllers, and the experiment driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rlnoc::core::{Experiment, ErrorControlScheme};
+//! use rlnoc::core::benchmarks::WorkloadProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = Experiment::builder()
+//!     .scheme(ErrorControlScheme::ProposedRl)
+//!     .workload(WorkloadProfile::blackscholes())
+//!     .warmup_cycles(2_000)
+//!     .measure_cycles(6_000)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
+//! assert!(report.packets_delivered > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use noc_coding as coding;
+pub use noc_fault as fault;
+pub use noc_power as power;
+pub use noc_rl as rl;
+pub use noc_sim as sim;
+pub use rlnoc_core as core;

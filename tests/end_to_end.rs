@@ -1,0 +1,176 @@
+//! Cross-crate integration: the full evaluation pipeline on a small mesh.
+//!
+//! These tests run real experiments (simulator + fault models + power +
+//! controllers) and assert the *qualitative* properties the paper's
+//! evaluation depends on — delivery guarantees, scheme orderings under
+//! stress, determinism.
+
+use rlnoc::core::benchmarks::{PhaseSpec, WorkloadProfile};
+use rlnoc::core::experiment::{ErrorControlScheme, Experiment, ExperimentReport};
+use rlnoc::sim::config::NocConfig;
+use rlnoc::sim::traffic::TrafficPattern;
+
+/// A small, hot configuration that exercises every protocol path in a
+/// few seconds. The error rate is raised above the default calibration
+/// because the 4×4 mesh's short paths (≈2.7 hops) otherwise keep the CRC
+/// baseline out of the error-dominated regime the assertions probe.
+fn run(scheme: ErrorControlScheme, seed: u64) -> ExperimentReport {
+    Experiment::builder()
+        .scheme(scheme)
+        .workload(WorkloadProfile::canneal())
+        .noc(NocConfig::builder().mesh(4, 4).build())
+        .timing(rlnoc::fault::timing::TimingErrorParams {
+            p_ref: 5e-3,
+            ..Default::default()
+        })
+        .seed(seed)
+        .pretrain_cycles(60_000)
+        .warmup_cycles(1_000)
+        .measure_cycles(10_000)
+        .drain_limit(80_000)
+        .build()
+        .expect("valid configuration")
+        .run()
+}
+
+#[test]
+fn every_scheme_delivers_every_packet() {
+    for scheme in ErrorControlScheme::ALL {
+        let report = run(scheme, 5);
+        assert!(report.drained, "{scheme}: network failed to drain");
+        assert_eq!(
+            report.packets_delivered, report.packets_injected,
+            "{scheme}: packets lost"
+        );
+        assert_eq!(report.silent_corruptions, 0, "{scheme}: corrupted delivery");
+        assert!(report.avg_latency_cycles > 0.0);
+        assert!(report.total_energy_j() > 0.0);
+    }
+}
+
+#[test]
+fn arq_reduces_retransmission_traffic_vs_crc() {
+    let crc = run(ErrorControlScheme::StaticCrc, 6);
+    let arq = run(ErrorControlScheme::StaticArqEcc, 6);
+    assert!(
+        arq.retransmitted_packets_equiv < crc.retransmitted_packets_equiv,
+        "ARQ {} >= CRC {}",
+        arq.retransmitted_packets_equiv,
+        crc.retransmitted_packets_equiv
+    );
+    assert!(
+        arq.avg_latency_cycles < crc.avg_latency_cycles,
+        "per-hop correction must beat end-to-end retransmission on latency"
+    );
+}
+
+#[test]
+fn crc_scheme_pays_with_crc_failures_not_nacks() {
+    let crc = run(ErrorControlScheme::StaticCrc, 7);
+    assert!(crc.crc_failures > 0, "hot canneal must produce CRC failures");
+    assert_eq!(crc.hop_nacks, 0, "no ARQ hardware in the CRC scheme");
+    assert_eq!(crc.ecc_corrections, 0);
+    assert_eq!(crc.flit_retransmissions, 0);
+}
+
+#[test]
+fn arq_scheme_corrects_most_errors_in_place() {
+    let arq = run(ErrorControlScheme::StaticArqEcc, 7);
+    assert!(arq.ecc_corrections > 0, "SECDED must correct single flips");
+    assert!(
+        arq.ecc_corrections > arq.hop_nacks,
+        "single-bit errors dominate the flip distribution"
+    );
+    assert!(
+        arq.crc_failures < arq.ecc_corrections / 4,
+        "few multi-bit escapes reach the destination CRC"
+    );
+}
+
+#[test]
+fn experiments_are_bit_reproducible() {
+    let a = run(ErrorControlScheme::ProposedRl, 11);
+    let b = run(ErrorControlScheme::ProposedRl, 11);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn learning_schemes_track_static_arq_or_better_on_hot_uniform_load() {
+    // On a uniformly hot workload the optimum is close to "ECC everywhere",
+    // so the adaptive schemes must land in the CRC–ARQ latency band, far
+    // from the CRC baseline.
+    let crc = run(ErrorControlScheme::StaticCrc, 8);
+    let arq = run(ErrorControlScheme::StaticArqEcc, 8);
+    for scheme in [ErrorControlScheme::DecisionTree, ErrorControlScheme::ProposedRl] {
+        let adaptive = run(scheme, 8);
+        assert!(
+            adaptive.avg_latency_cycles < crc.avg_latency_cycles,
+            "{scheme} latency {} not below CRC {}",
+            adaptive.avg_latency_cycles,
+            crc.avg_latency_cycles
+        );
+        assert!(
+            adaptive.avg_latency_cycles < arq.avg_latency_cycles * 2.0,
+            "{scheme} latency {} far above ARQ {}",
+            adaptive.avg_latency_cycles,
+            arq.avg_latency_cycles
+        );
+    }
+}
+
+#[test]
+fn cold_workload_lets_adaptive_schemes_gate_ecc_off() {
+    // swaptions is light and cool: the DT (and usually RL) should spend
+    // most router-epochs in mode 0, saving the ECC overhead.
+    let report = Experiment::builder()
+        .scheme(ErrorControlScheme::DecisionTree)
+        .workload(WorkloadProfile::swaptions())
+        .noc(NocConfig::builder().mesh(4, 4).build())
+        .seed(5)
+        .pretrain_cycles(60_000)
+        .warmup_cycles(1_000)
+        .measure_cycles(10_000)
+        .drain_limit(80_000)
+        .build()
+        .expect("valid configuration")
+        .run();
+    let total: u64 = report.mode_histogram.iter().sum();
+    assert!(
+        report.mode_histogram[0] * 2 > total,
+        "expected mostly mode 0 on a cold workload, got {:?}",
+        report.mode_histogram
+    );
+}
+
+#[test]
+fn custom_workload_phases_drive_the_pipeline() {
+    let workload = WorkloadProfile {
+        name: "spiky",
+        phases: vec![
+            PhaseSpec {
+                cycles: 200,
+                injection_rate: 0.03,
+                pattern: TrafficPattern::Transpose,
+            },
+            PhaseSpec {
+                cycles: 800,
+                injection_rate: 0.002,
+                pattern: TrafficPattern::UniformRandom,
+            },
+        ],
+        duration_cycles: 8_000,
+    };
+    let report = Experiment::builder()
+        .scheme(ErrorControlScheme::StaticArqEcc)
+        .workload(workload)
+        .noc(NocConfig::builder().mesh(4, 4).build())
+        .seed(3)
+        .warmup_cycles(500)
+        .drain_limit(60_000)
+        .build()
+        .expect("valid configuration")
+        .run();
+    assert!(report.drained);
+    assert_eq!(report.packets_delivered, report.packets_injected);
+    assert_eq!(report.workload, "spiky");
+}

@@ -1,0 +1,169 @@
+//! Cross-crate consistency checks between the simulator, the coding
+//! layer, the fault models, and the power model.
+
+use rlnoc::coding::crc::Crc32;
+use rlnoc::core::modes::OperationMode;
+use rlnoc::core::protocol::FaultTolerantProtocol;
+use rlnoc::fault::injector::FaultInjector;
+use rlnoc::fault::timing::TimingErrorModel;
+use rlnoc::power::energy::EnergyModel;
+use rlnoc::sim::config::NocConfig;
+use rlnoc::sim::error_control::{ErrorControl, HopOutcome, TransferKind};
+use rlnoc::sim::flit::{Packet, PacketClass, PacketId};
+use rlnoc::sim::network::Network;
+use rlnoc::sim::stats::EventCounters;
+use rlnoc::sim::topology::{Direction, LinkId, Mesh, NodeId};
+
+fn sample_flit(seed: u64) -> rlnoc::sim::flit::Flit {
+    Packet {
+        id: PacketId(seed),
+        src: NodeId(0),
+        dst: NodeId(15),
+        num_flits: 1,
+        class: PacketClass::Data,
+        injected_at: 0,
+        payload_seed: seed,
+    }
+    .make_flit(0, 0, &Crc32::new())
+}
+
+/// The protocol's observed error rate must match the analytic model the
+/// controller (and the DT oracle) relies on.
+#[test]
+fn injected_error_rate_matches_model_prediction() {
+    let mesh = Mesh::new(4, 4);
+    let mut protocol = FaultTolerantProtocol::new(
+        mesh,
+        TimingErrorModel::default(),
+        rlnoc::fault::variation::VariationMap::uniform(4, 4),
+        99,
+    );
+    protocol.set_temperatures(&[90.0; 16]);
+    protocol.set_utilizations(&[0.2; 16]);
+    let expected = protocol.raw_error_probability(0);
+    let link = LinkId {
+        src: NodeId(0),
+        dir: Direction::East,
+    };
+    let mut counters = EventCounters::default();
+    let trials = 200_000u64;
+    for i in 0..trials {
+        let mut f = sample_flit(i);
+        let _ = protocol.hop_transfer(link, &mut f, 0, TransferKind::Original, false, &mut counters);
+    }
+    let observed = protocol.faults_injected() as f64 / trials as f64;
+    let rel = (observed - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "observed rate {observed:.5} vs model {expected:.5} (rel err {rel:.3})"
+    );
+}
+
+/// Every flit the protocol rejects would genuinely fail SECDED; every
+/// accepted one passes the end-to-end CRC unless ≥3 bits flipped.
+#[test]
+fn protocol_rejects_are_honest() {
+    let mesh = Mesh::new(4, 4);
+    let mut protocol = FaultTolerantProtocol::new(
+        mesh,
+        TimingErrorModel::default(),
+        rlnoc::fault::variation::VariationMap::uniform(4, 4),
+        123,
+    );
+    protocol.set_all_modes(OperationMode::Mode1);
+    protocol.set_temperatures(&[105.0; 16]);
+    protocol.set_utilizations(&[0.3; 16]);
+    let link = LinkId {
+        src: NodeId(0),
+        dir: Direction::East,
+    };
+    let crc = Crc32::new();
+    let mut counters = EventCounters::default();
+    let (mut rejects, mut crc_fails_after_accept) = (0u64, 0u64);
+    for i in 0..50_000u64 {
+        let mut f = sample_flit(i);
+        match protocol.hop_transfer(link, &mut f, 0, TransferKind::Original, true, &mut counters) {
+            HopOutcome::Reject => rejects += 1,
+            _ => {
+                if !f.crc_ok(&crc) {
+                    crc_fails_after_accept += 1;
+                }
+            }
+        }
+    }
+    assert!(rejects > 0, "hot link must reject some flits");
+    // Mis-corrections (≥3 flips) escape SECDED but are rare relative to
+    // rejections (flip distribution: doubles 25%, triples 5%).
+    assert!(
+        crc_fails_after_accept < rejects,
+        "escapes ({crc_fails_after_accept}) should be rarer than rejects ({rejects})"
+    );
+}
+
+/// Power accounting is conservative: energy computed from the network's
+/// counters equals the per-component breakdown sum.
+#[test]
+fn energy_breakdown_is_consistent_with_totals() {
+    let config = NocConfig::builder().mesh(4, 4).build();
+    let mut protocol = FaultTolerantProtocol::fault_free(config.mesh, 1);
+    protocol.set_all_modes(OperationMode::Mode1);
+    let mut net = Network::new(config, protocol, 3);
+    for i in 0..10u16 {
+        net.offer(NodeId(i), NodeId(15 - i));
+    }
+    assert!(net.run_until_quiescent(5_000));
+    let model = EnergyModel::default();
+    for c in net.counters() {
+        let breakdown = model.dynamic_breakdown(c);
+        let total = model.dynamic_energy(c);
+        assert!((breakdown.total() - total).abs() <= 1e-18);
+    }
+    // ECC work happened on every inter-router hop (mode 1 everywhere).
+    let ecc: u64 = net.counters().iter().map(|c| c.ecc_encodes).sum();
+    assert!(ecc > 0);
+}
+
+/// Deterministic fault streams: same seed, same faults, across the whole
+/// stack.
+#[test]
+fn fault_injection_is_deterministic_across_stack() {
+    let model = TimingErrorModel::default();
+    let run = |seed: u64| {
+        let mut inj = FaultInjector::new(seed);
+        (0..1_000)
+            .map(|_| inj.sample_flips(&model, 0.05))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78));
+}
+
+/// Mode 3's timing relaxation must eliminate errors end-to-end, not just
+/// in the model: a mode-3 network transports hot traffic without a single
+/// retransmission.
+#[test]
+fn mode3_network_is_error_free_under_heat() {
+    let config = NocConfig::builder().mesh(4, 4).build();
+    let mut protocol = FaultTolerantProtocol::new(
+        config.mesh,
+        TimingErrorModel::default(),
+        rlnoc::fault::variation::VariationMap::uniform(4, 4),
+        5,
+    );
+    protocol.set_all_modes(OperationMode::Mode3);
+    protocol.set_temperatures(&[105.0; 16]);
+    protocol.set_utilizations(&[0.3; 16]);
+    let mut net = Network::new(config, protocol, 6);
+    for i in 0..16u16 {
+        for j in 0..16u16 {
+            if i != j {
+                net.offer(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    assert!(net.run_until_quiescent(30_000));
+    let stats = net.stats();
+    assert_eq!(stats.packets_delivered, stats.packets_injected);
+    assert_eq!(stats.hop_nacks, 0, "relaxed timing must prevent NACKs");
+    assert_eq!(stats.packets_failed_crc, 0);
+}
