@@ -54,27 +54,25 @@ fn bench_network_step(c: &mut Criterion) {
 
 fn bench_protocol_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_cycle_8x8_protocol");
-    for (name, mode) in [("mode0", OperationMode::Mode0), ("mode1", OperationMode::Mode1)] {
+    for (name, mode) in [
+        ("mode0", OperationMode::Mode0),
+        ("mode1", OperationMode::Mode1),
+    ] {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
                     let config = NocConfig::default();
-                    let mut protocol =
-                        FaultTolerantProtocol::new(
-                            config.mesh,
-                            noc_fault::timing::TimingErrorModel::default(),
-                            noc_fault::variation::VariationMap::uniform(8, 8),
-                            3,
-                        );
+                    let mut protocol = FaultTolerantProtocol::new(
+                        config.mesh,
+                        noc_fault::timing::TimingErrorModel::default(),
+                        noc_fault::variation::VariationMap::uniform(8, 8),
+                        3,
+                    );
                     protocol.set_all_modes(mode);
                     protocol.set_temperatures(&[75.0; 64]);
                     let mut net = Network::new(config, protocol, 7);
-                    let mut traffic = SyntheticSource::new(
-                        net.mesh(),
-                        TrafficPattern::UniformRandom,
-                        0.02,
-                        7,
-                    );
+                    let mut traffic =
+                        SyntheticSource::new(net.mesh(), TrafficPattern::UniformRandom, 0.02, 7);
                     for _ in 0..2_000 {
                         step_once(&mut net, &mut traffic);
                     }

@@ -1,0 +1,95 @@
+//! Telemetry overhead benchmarks: the cost of the instrumentation hooks
+//! on the network tick with telemetry disabled (the default) and enabled.
+//!
+//! The acceptance bar is that a disabled `Telemetry` handle adds < 2% to
+//! the per-cycle cost of `Network::step` — every disabled instrument is a
+//! single `Option` branch, with no clock reads and no atomics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_sim::config::NocConfig;
+use noc_sim::error_control::PerfectLink;
+use noc_sim::network::Network;
+use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
+use rlnoc_telemetry::Telemetry;
+
+const WARMUP_CYCLES: u64 = 2_000;
+const RATE: f64 = 0.02;
+
+/// Builds a warmed-up 8×8 network with uniform traffic and the given
+/// telemetry handle attached.
+fn warmed(telemetry: &Telemetry) -> (Network<PerfectLink>, SyntheticSource) {
+    let config = NocConfig::default();
+    let mut net = Network::new(config, PerfectLink::new(), 7);
+    net.set_telemetry(telemetry);
+    let mut traffic = SyntheticSource::new(net.mesh(), TrafficPattern::UniformRandom, RATE, 7);
+    for _ in 0..WARMUP_CYCLES {
+        step_once(&mut net, &mut traffic);
+    }
+    (net, traffic)
+}
+
+fn step_once(net: &mut Network<PerfectLink>, traffic: &mut SyntheticSource) {
+    let cycle = net.cycle();
+    let mut offers = Vec::new();
+    traffic.generate(cycle, &mut |s, d| offers.push((s, d)));
+    for (s, d) in offers {
+        net.offer(s, d);
+    }
+    net.step();
+}
+
+fn bench_tick_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_tick_8x8");
+    for (name, telemetry) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::enabled()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || warmed(&telemetry),
+                |(mut net, mut traffic)| {
+                    for _ in 0..100 {
+                        step_once(&mut net, &mut traffic);
+                    }
+                    net.cycle()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Direct A/B of the disabled-handle tick against the enabled-handle tick
+/// over a long run, reporting the overhead percentage the criterion table
+/// above leaves implicit.
+fn report_overhead_ratio(_c: &mut Criterion) {
+    const MEASURE_CYCLES: u64 = 50_000;
+    let time_variant = |telemetry: &Telemetry| -> f64 {
+        let (mut net, mut traffic) = warmed(telemetry);
+        let t0 = std::time::Instant::now();
+        for _ in 0..MEASURE_CYCLES {
+            step_once(&mut net, &mut traffic);
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        criterion::black_box(net.cycle());
+        elapsed / MEASURE_CYCLES as f64
+    };
+    let disabled = time_variant(&Telemetry::disabled());
+    let enabled = time_variant(&Telemetry::enabled());
+    println!(
+        "telemetry overhead on the network tick ({MEASURE_CYCLES} cycles, 8x8, uniform {RATE}):"
+    );
+    println!("  disabled handle: {disabled:>9.1} ns/cycle");
+    println!(
+        "  enabled handle:  {enabled:>9.1} ns/cycle  ({:+.2}% vs disabled)",
+        100.0 * (enabled - disabled) / disabled
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tick_telemetry, report_overhead_ratio
+}
+criterion_main!(benches);

@@ -5,11 +5,13 @@
 //! time". This sweep varies the bin count uniformly across features.
 
 use noc_rl::state::StateSpace;
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = telemetry_from_env();
     println!("=== Ablation: feature bins per dimension (canneal, RL scheme) ===\n");
     println!(
         "{:>6}{:>12}{:>12}{:>14}{:>16}",
@@ -22,6 +24,7 @@ fn main() {
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
             .seed(2019)
+            .telemetry(telemetry.clone())
             .rl_state_space(space);
         if quick {
             builder = builder
@@ -41,4 +44,5 @@ fn main() {
             report.energy_efficiency()
         );
     }
+    export_telemetry(&telemetry);
 }

@@ -7,11 +7,13 @@
 
 use noc_rl::agent::AgentConfig;
 use noc_rl::schedule::Schedule;
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = telemetry_from_env();
     println!("=== Ablation: curriculum + confidence gate (canneal, RL scheme) ===\n");
     println!(
         "{:<22}{:>12}{:>14}{:>16}{:>26}",
@@ -41,6 +43,7 @@ fn main() {
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
             .seed(2019)
+            .telemetry(telemetry.clone())
             .rl_curriculum(curriculum)
             .rl_config(config);
         if quick {
@@ -61,4 +64,5 @@ fn main() {
             format!("{:?}", report.mode_histogram)
         );
     }
+    export_telemetry(&telemetry);
 }

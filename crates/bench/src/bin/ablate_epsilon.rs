@@ -6,11 +6,13 @@
 
 use noc_rl::agent::AgentConfig;
 use noc_rl::schedule::Schedule;
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = telemetry_from_env();
     println!("=== Ablation: exploration probability ε (canneal, RL scheme) ===\n");
     println!(
         "{:>6}{:>12}{:>14}{:>14}{:>16}",
@@ -21,6 +23,7 @@ fn main() {
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
             .seed(2019)
+            .telemetry(telemetry.clone())
             .rl_config(AgentConfig {
                 epsilon: Schedule::Constant(epsilon),
                 alpha: Schedule::Exponential {
@@ -48,4 +51,5 @@ fn main() {
             report.energy_efficiency()
         );
     }
+    export_telemetry(&telemetry);
 }

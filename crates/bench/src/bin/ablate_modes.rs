@@ -4,12 +4,14 @@
 //! falls back to mode 1 when its pick is disallowed) to show what each
 //! of §III's four strategies contributes to the full scheme.
 
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 use rlnoc_core::modes::OperationMode;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = telemetry_from_env();
     println!("=== Ablation: operation-mode availability (canneal, RL scheme) ===\n");
     let m = OperationMode::ALL;
     let variants: [(&str, Vec<OperationMode>); 6] = [
@@ -29,6 +31,7 @@ fn main() {
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
             .seed(2019)
+            .telemetry(telemetry.clone())
             .allowed_modes(&allowed);
         if quick {
             builder = builder
@@ -48,4 +51,5 @@ fn main() {
             format!("{:?}", report.mode_histogram)
         );
     }
+    export_telemetry(&telemetry);
 }

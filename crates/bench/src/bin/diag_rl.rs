@@ -1,14 +1,17 @@
 //! Diagnostic: inspect what the RL agents learned on one workload.
 use noc_rl::NUM_ACTIONS;
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 
 fn main() {
+    let telemetry = telemetry_from_env();
     let (report, artifacts) = Experiment::builder()
         .scheme(ErrorControlScheme::ProposedRl)
         .workload(WorkloadProfile::dedup())
         .seed(2019)
         .measure_cycles(20_000)
+        .telemetry(telemetry.clone())
         .build()
         .expect("valid")
         .run_inspect();
@@ -41,4 +44,5 @@ fn main() {
             );
         }
     }
+    export_telemetry(&telemetry);
 }

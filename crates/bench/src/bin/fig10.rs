@@ -1,16 +1,15 @@
 //! Regenerates Fig. 10: dynamic power consumption, normalized to the CRC
 //! baseline.
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
-    banner(
-        "Fig. 10 — dynamic power",
-        "RL −46% vs CRC; RL 17% below DT",
-    );
-    let result = campaign_from_env().run();
+    banner("Fig. 10 — dynamic power", "RL −46% vs CRC; RL 17% below DT");
+    let campaign = campaign_from_env();
+    let result = campaign.run();
     print!(
         "{}",
         result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
     );
+    export_telemetry(&campaign.telemetry);
 }

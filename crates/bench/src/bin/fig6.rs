@@ -1,18 +1,20 @@
 //! Regenerates Fig. 6: retransmitted packets per scheme, normalized to
 //! the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
     banner(
         "Fig. 6 — retransmitted packets",
         "RL −48% vs CRC on average; ARQ+ECC −33%; RL 15% below ARQ+ECC",
     );
-    let result = campaign_from_env().run();
+    let campaign = campaign_from_env();
+    let result = campaign.run();
     print!(
         "{}",
         result.figure_table("retransmission traffic (packet equivalents)", |r| {
             r.retransmitted_packets_equiv.max(0.5)
         })
     );
+    export_telemetry(&campaign.telemetry);
 }

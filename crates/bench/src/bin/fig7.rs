@@ -1,17 +1,19 @@
 //! Regenerates Fig. 7: execution-time speed-up over the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
     banner(
         "Fig. 7 — execution-time speed-up",
         "RL 1.25× over CRC on average",
     );
-    let result = campaign_from_env().run();
+    let campaign = campaign_from_env();
+    let result = campaign.run();
     print!(
         "{}",
         result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
             1.0 / r.execution_cycles.max(1) as f64
         })
     );
+    export_telemetry(&campaign.telemetry);
 }

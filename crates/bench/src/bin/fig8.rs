@@ -1,16 +1,18 @@
 //! Regenerates Fig. 8: average end-to-end packet latency, normalized to
 //! the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
     banner(
         "Fig. 8 — average end-to-end latency",
         "RL −55% vs CRC; ARQ+ECC −30%; RL 10% below DT",
     );
-    let result = campaign_from_env().run();
+    let campaign = campaign_from_env();
+    let result = campaign.run();
     print!(
         "{}",
         result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles)
     );
+    export_telemetry(&campaign.telemetry);
 }

@@ -1,16 +1,18 @@
 //! Regenerates Fig. 9: energy efficiency (delivered flits per unit
 //! energy), normalized to the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
     banner(
         "Fig. 9 — energy efficiency (flits/energy)",
         "RL +64% vs CRC; RL 15% above DT",
     );
-    let result = campaign_from_env().run();
+    let campaign = campaign_from_env();
+    let result = campaign.run();
     print!(
         "{}",
         result.figure_table("energy efficiency", |r| r.energy_efficiency())
     );
+    export_telemetry(&campaign.telemetry);
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p rlnoc-bench --bin figures -- --quick # smoke run
 //! ```
 
-use rlnoc_bench::{banner, campaign_from_env};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
 
 fn main() {
     let campaign = campaign_from_env();
@@ -58,12 +58,10 @@ fn main() {
     );
     println!();
 
-    banner(
-        "Fig. 10 — dynamic power",
-        "RL −46% vs CRC; RL 17% below DT",
-    );
+    banner("Fig. 10 — dynamic power", "RL −46% vs CRC; RL 17% below DT");
     print!(
         "{}",
         result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
     );
+    export_telemetry(&campaign.telemetry);
 }

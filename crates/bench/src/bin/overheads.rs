@@ -12,7 +12,10 @@ fn main() {
     println!("paper: +2360 µm² vs CRC router; 5.5% / 4.8% / 4.5% vs CRC / ARQ+ECC / DT");
     println!();
     let area = AreaModel::default();
-    println!("{:<14}{:>14}{:>18}", "router", "area (µm²)", "RL overhead (%)");
+    println!(
+        "{:<14}{:>14}{:>18}",
+        "router", "area (µm²)", "RL overhead (%)"
+    );
     for variant in RouterVariant::ALL {
         println!(
             "{:<14}{:>14.0}{:>18.2}",

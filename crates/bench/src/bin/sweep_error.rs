@@ -6,11 +6,13 @@
 //! ARQ+ECC and then the adaptive schemes take over.
 
 use noc_fault::timing::TimingErrorParams;
+use rlnoc_bench::{export_telemetry, telemetry_from_env};
 use rlnoc_core::benchmarks::WorkloadProfile;
 use rlnoc_core::experiment::{ErrorControlScheme, Experiment};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let telemetry = telemetry_from_env();
     println!("=== Sweep: error-rate scale × scheme (bodytrack) ===\n");
     println!(
         "{:>8}{:>10}{:>12}{:>14}{:>16}",
@@ -27,6 +29,7 @@ fn main() {
                 .scheme(scheme)
                 .workload(WorkloadProfile::bodytrack())
                 .seed(2019)
+                .telemetry(telemetry.clone())
                 .timing(TimingErrorParams {
                     p_ref,
                     ..TimingErrorParams::default()
@@ -50,4 +53,5 @@ fn main() {
             );
         }
     }
+    export_telemetry(&telemetry);
 }

@@ -6,7 +6,12 @@ fn main() {
     let c = NocConfig::default();
     println!("=== Table II: simulation parameters ===");
     println!("{:<28}{}", "# of cores", c.mesh.num_nodes());
-    println!("{:<28}{} V, {:.1} GHz", "Voltage and Frequency", c.voltage, c.frequency / 1e9);
+    println!(
+        "{:<28}{} V, {:.1} GHz",
+        "Voltage and Frequency",
+        c.voltage,
+        c.frequency / 1e9
+    );
     println!(
         "{:<28}{}x{} 2D Mesh, X-Y Routing",
         "NoC Parameters",

@@ -2,24 +2,31 @@
 //!
 //! Every `fig*` / `ablate_*` / `sweep_*` binary runs a
 //! [`Campaign`](rlnoc_core::campaign::Campaign) (or a sweep of
-//! experiments) and prints the corresponding table of the paper. Two
-//! environment variables control cost:
+//! experiments) and prints the corresponding table of the paper.
+//! Environment variables control cost and observability:
 //!
 //! * `RLNOC_QUICK=1` — 4×4 mesh, short windows (~seconds); for smoke
 //!   tests.
 //! * `RLNOC_SEED=<n>` — override the campaign master seed.
 //! * `RLNOC_MEASURE=<cycles>` — cap the measured injection window.
+//! * `TELEMETRY_OUT=<path>` — enable telemetry and dump the full
+//!   per-router per-epoch series plus instruments and run summaries on
+//!   exit (`.csv` extension → CSV epoch table, otherwise JSONL).
+//! * `TELEMETRY_CAP=<records>` — bound the epoch ring buffer (default
+//!   262 144 records; oldest evicted first).
 //!
 //! Passing `--quick` as the first CLI argument is equivalent to
 //! `RLNOC_QUICK=1`.
 
 use rlnoc_core::campaign::Campaign;
+use rlnoc_telemetry::Telemetry;
 
 /// Builds the campaign configuration for a figure binary, honoring the
-/// `RLNOC_*` environment variables and the `--quick` flag.
+/// `RLNOC_*` / `TELEMETRY_*` environment variables and the `--quick`
+/// flag.
 pub fn campaign_from_env() -> Campaign {
     let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("RLNOC_QUICK").map_or(false, |v| v == "1");
+        || std::env::var("RLNOC_QUICK").is_ok_and(|v| v == "1");
     let mut campaign = if quick {
         Campaign::quick()
     } else {
@@ -35,7 +42,49 @@ pub fn campaign_from_env() -> Campaign {
             campaign.measure_cycles = Some(cap);
         }
     }
+    campaign.telemetry = telemetry_from_env();
     campaign
+}
+
+/// An enabled [`Telemetry`] handle when `TELEMETRY_OUT` is set (with an
+/// optional `TELEMETRY_CAP` ring-buffer bound), disabled otherwise.
+pub fn telemetry_from_env() -> Telemetry {
+    if std::env::var_os("TELEMETRY_OUT").is_none() {
+        return Telemetry::disabled();
+    }
+    match std::env::var("TELEMETRY_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(cap) => Telemetry::with_epoch_capacity(cap),
+        None => Telemetry::enabled(),
+    }
+}
+
+/// Exports `telemetry` to the `TELEMETRY_OUT` path (no-op when the
+/// variable is unset or the handle is disabled) and prints per-run
+/// wall-clock / throughput summaries to stderr.
+pub fn export_telemetry(telemetry: &Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    for run in telemetry.run_summaries() {
+        eprintln!(
+            "telemetry: run {} — {:.2}s wall, {} cycles, {:.0} cycles/s",
+            run.label, run.wall_seconds, run.cycles, run.cycles_per_sec
+        );
+    }
+    let Some(path) = std::env::var_os("TELEMETRY_OUT") else {
+        return;
+    };
+    match rlnoc_telemetry::export::export_to_path(telemetry, &path) {
+        Ok(()) => eprintln!(
+            "telemetry: wrote {} epoch records to {}",
+            telemetry.epoch_len(),
+            path.to_string_lossy()
+        ),
+        Err(e) => eprintln!("telemetry: failed to write {}: {e}", path.to_string_lossy()),
+    }
 }
 
 /// Prints the standard banner: what is being regenerated and what the

@@ -400,7 +400,10 @@ mod tests {
         }
         let expected = w.mean_injection_rate() * 64.0 * w.duration_cycles as f64;
         let ratio = offered as f64 / expected;
-        assert!((0.9..1.1).contains(&ratio), "offered {offered} vs ≈{expected}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "offered {offered} vs ≈{expected}"
+        );
     }
 
     #[test]
@@ -440,7 +443,11 @@ mod tests {
         let mut burst = 0u64;
         let mut lull = 0u64;
         for cycle in 0..1_000 {
-            let counter = if cycle % 1_000 < 600 { &mut burst } else { &mut lull };
+            let counter = if cycle % 1_000 < 600 {
+                &mut burst
+            } else {
+                &mut lull
+            };
             src.generate(cycle, &mut |_, _| *counter += 1);
         }
         // Burst phase rate is 5.5× the lull rate over 1.5× the cycles.

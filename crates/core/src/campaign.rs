@@ -9,6 +9,7 @@
 use crate::benchmarks::WorkloadProfile;
 use crate::experiment::{ErrorControlScheme, Experiment, ExperimentBuilder, ExperimentReport};
 use noc_sim::config::NocConfig;
+use rlnoc_telemetry::Telemetry;
 
 /// A grid of experiments: schemes × workloads.
 #[derive(Debug, Clone)]
@@ -31,6 +32,10 @@ pub struct Campaign {
     pub drain_limit: u64,
     /// Optional customization applied to every experiment builder.
     pub customize: Option<fn(ExperimentBuilder) -> ExperimentBuilder>,
+    /// Telemetry handle cloned into every run (default: disabled). All
+    /// runs share it, so the epoch series and run summaries accumulate
+    /// campaign-wide and can be exported once at the end.
+    pub telemetry: Telemetry,
 }
 
 impl Campaign {
@@ -46,6 +51,7 @@ impl Campaign {
             measure_cycles: None,
             drain_limit: 200_000,
             customize: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -61,6 +67,7 @@ impl Campaign {
             measure_cycles: Some(6_000),
             drain_limit: 60_000,
             customize: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -76,7 +83,8 @@ impl Campaign {
                     .seed(self.seed)
                     .pretrain_cycles(self.pretrain_cycles)
                     .warmup_cycles(self.warmup_cycles)
-                    .drain_limit(self.drain_limit);
+                    .drain_limit(self.drain_limit)
+                    .telemetry(self.telemetry.clone());
                 if let Some(cap) = self.measure_cycles {
                     builder = builder.measure_cycles(cap);
                 }
@@ -234,8 +242,8 @@ mod tests {
                 r.avg_latency_cycles
             })
             .expect("exists");
-        let geo = result
-            .geomean_normalized(ErrorControlScheme::StaticArqEcc, |r| r.avg_latency_cycles);
+        let geo =
+            result.geomean_normalized(ErrorControlScheme::StaticArqEcc, |r| r.avg_latency_cycles);
         assert!((point - geo).abs() < 1e-12);
     }
 

@@ -114,18 +114,20 @@ impl ControllerBank {
     /// The proposed per-router Q-learning bank with the paper's
     /// hyper-parameters (α = 0.1, γ = 0.5, ε = 0.1).
     pub fn rl(num_routers: usize, seed: u64) -> Self {
-        Self::rl_with(num_routers, seed, AgentConfig::paper_default(), StateSpace::paper_default())
+        Self::rl_with(
+            num_routers,
+            seed,
+            AgentConfig::paper_default(),
+            StateSpace::paper_default(),
+        )
     }
 
     /// An RL bank with explicit hyper-parameters (used by ablations).
-    pub fn rl_with(
-        num_routers: usize,
-        seed: u64,
-        config: AgentConfig,
-        space: StateSpace,
-    ) -> Self {
+    pub fn rl_with(num_routers: usize, seed: u64, config: AgentConfig, space: StateSpace) -> Self {
         let agents = (0..num_routers)
-            .map(|i| QLearningAgent::new(space.num_states(), config.clone(), seed ^ (i as u64) << 17))
+            .map(|i| {
+                QLearningAgent::new(space.num_states(), config.clone(), seed ^ (i as u64) << 17)
+            })
             .collect();
         Self {
             bank: Bank::Rl {
@@ -192,7 +194,10 @@ impl ControllerBank {
             panic!("train_dt on a non-DT controller bank");
         };
         assert!(!samples.is_empty(), "no DT training samples collected");
-        let xs: Vec<Vec<f64>> = samples.iter().map(|s| feature_vector(&s.features)).collect();
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| feature_vector(&s.features))
+            .collect();
         let ys: Vec<f64> = samples.iter().map(|s| s.error_rate).collect();
         *tree = Some(DecisionTree::fit(&xs, &ys, TreeParams::default()));
         samples.clear();
@@ -209,7 +214,12 @@ impl ControllerBank {
     ///
     /// For the untrained DT bank this returns mode 1 (the safe static
     /// default used during its own pre-training).
-    pub fn decide(&mut self, router: usize, features: &RouterFeatures, reward: f64) -> OperationMode {
+    pub fn decide(
+        &mut self,
+        router: usize,
+        features: &RouterFeatures,
+        reward: f64,
+    ) -> OperationMode {
         self.decisions += 1;
         match &mut self.bank {
             Bank::Static(mode) => *mode,
@@ -269,6 +279,30 @@ impl ControllerBank {
             }
         }
     }
+
+    /// Wires telemetry through to every RL agent (the `rl.td_update`
+    /// span timer). No-op for non-RL banks or a disabled handle.
+    pub fn set_telemetry(&mut self, telemetry: &rlnoc_telemetry::Telemetry) {
+        if let Bank::Rl { agents, .. } = &mut self.bank {
+            for a in agents {
+                a.set_telemetry(telemetry);
+            }
+        }
+    }
+
+    /// Per-epoch learning signals for `router`: the exploration rate its
+    /// next draw will use and the magnitude of its last TD update.
+    /// `(0.0, 0.0)` for non-RL banks, whose policies neither explore nor
+    /// update.
+    pub fn learning_signals(&self, router: usize) -> (f64, f64) {
+        match &self.bank {
+            Bank::Rl { agents, .. } => (
+                agents[router].current_epsilon(),
+                agents[router].last_td_delta(),
+            ),
+            _ => (0.0, 0.0),
+        }
+    }
 }
 
 impl std::fmt::Debug for ControllerBank {
@@ -319,14 +353,20 @@ mod tests {
         assert!(bank.is_rl());
         // First decision per agent is the initial action (mode 0).
         for r in 0..4 {
-            assert_eq!(bank.decide(r, &features(55.0, 0.05), 0.0), OperationMode::Mode0);
+            assert_eq!(
+                bank.decide(r, &features(55.0, 0.05), 0.0),
+                OperationMode::Mode0
+            );
         }
         // Subsequent decisions are defined (any mode) and counted.
         for r in 0..4 {
             let _ = bank.decide(r, &features(90.0, 0.2), 0.5);
         }
         assert_eq!(bank.decisions(), 8);
-        assert!(bank.rl_updates() >= 4, "TD updates applied after first step");
+        assert!(
+            bank.rl_updates() >= 4,
+            "TD updates applied after first step"
+        );
     }
 
     #[test]
@@ -336,13 +376,25 @@ mod tests {
         let hot = features(95.0, 0.25);
         let mut mode = bank.decide(0, &hot, 0.0);
         for _ in 0..600 {
-            let reward = if mode == OperationMode::Mode3 { 1.0 } else { -0.2 };
+            let reward = if mode == OperationMode::Mode3 {
+                1.0
+            } else {
+                -0.2
+            };
             mode = bank.decide(0, &hot, reward);
         }
         // Count preference over a window (ε = 0.1 keeps some exploration).
         let mut votes = [0u32; 4];
         for _ in 0..100 {
-            let m = bank.decide(0, &hot, if mode == OperationMode::Mode3 { 1.0 } else { -0.2 });
+            let m = bank.decide(
+                0,
+                &hot,
+                if mode == OperationMode::Mode3 {
+                    1.0
+                } else {
+                    -0.2
+                },
+            );
             votes[m.index()] += 1;
             mode = m;
         }
@@ -357,7 +409,10 @@ mod tests {
         let mut bank = ControllerBank::dt(DtThresholds::default());
         assert!(bank.is_dt());
         assert!(!bank.dt_trained());
-        assert_eq!(bank.decide(0, &features(99.0, 0.3), 0.0), OperationMode::Mode1);
+        assert_eq!(
+            bank.decide(0, &features(99.0, 0.3), 0.0),
+            OperationMode::Mode1
+        );
     }
 
     #[test]
@@ -400,7 +455,10 @@ mod tests {
             error_rate: 1e-3,
         });
         // Nothing to assert beyond "does not panic" and stays static.
-        assert_eq!(bank.decide(0, &features(60.0, 0.1), 0.0), OperationMode::Mode0);
+        assert_eq!(
+            bank.decide(0, &features(60.0, 0.1), 0.0),
+            OperationMode::Mode0
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use noc_sim::config::NocConfig;
 use noc_sim::network::Network;
 use noc_sim::stats::EventCounters;
 use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
+use rlnoc_telemetry::{EpochRecord, Phase, RunId, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Reward normalization for Eq. (3): the product of a nominal latency
@@ -125,6 +126,7 @@ pub struct ExperimentBuilder {
     rl_curriculum: bool,
     dt_thresholds: DtThresholds,
     allowed_modes: [bool; 4],
+    telemetry: Telemetry,
 }
 
 impl ExperimentBuilder {
@@ -244,6 +246,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches a telemetry handle (default: disabled). An enabled
+    /// handle records per-phase span timings in the simulator, ARQ and
+    /// TD-update instruments, one [`EpochRecord`] per router per control
+    /// epoch, and a wall-clock run summary. Clones share state, so one
+    /// handle can aggregate a whole campaign.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Restricts the controller's action set (mode-ablation studies);
     /// modes outside the set fall back to mode 1.
     pub fn allowed_modes(mut self, modes: &[OperationMode]) -> Self {
@@ -313,6 +325,7 @@ impl Experiment {
             rl_curriculum: true,
             dt_thresholds: DtThresholds::default(),
             allowed_modes: [true; 4],
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -454,6 +467,9 @@ struct Runner {
     mode_histogram: [u64; 4],
     max_temp: f64,
     epoch_count: u64,
+    telemetry: Telemetry,
+    run_id: RunId,
+    phase: Phase,
 }
 
 impl Runner {
@@ -468,8 +484,7 @@ impl Runner {
             cfg.seed ^ 0x5EED_0001,
         );
         let timing = TimingErrorModel::new(cfg.timing);
-        let protocol =
-            FaultTolerantProtocol::new(mesh, timing, variation, cfg.seed ^ 0x5EED_0002);
+        let protocol = FaultTolerantProtocol::new(mesh, timing, variation, cfg.seed ^ 0x5EED_0002);
         let net = Network::new(cfg.noc, protocol, cfg.seed ^ 0x5EED_0003);
         let thermal = ThermalModel::new(mesh.width(), mesh.height(), cfg.thermal);
         let controllers = match cfg.scheme {
@@ -510,6 +525,7 @@ impl Runner {
             }
             _ => OperationMode::Mode0,
         };
+        let telemetry = cfg.telemetry.clone();
         let mut runner = Self {
             cfg,
             net,
@@ -525,12 +541,23 @@ impl Runner {
             mode_histogram: [0; 4],
             max_temp: 0.0,
             epoch_count: 0,
+            telemetry,
+            run_id: RunId::DISABLED,
+            phase: Phase::Measure,
         };
+        runner.net.set_telemetry(&runner.telemetry);
+        runner.controllers.set_telemetry(&runner.telemetry);
         runner.net.protocol_mut().set_all_modes(initial_mode);
         runner
     }
 
     fn run(&mut self) -> ExperimentReport {
+        self.run_id = self.telemetry.begin_run(&format!(
+            "{}/{}/seed{}",
+            self.cfg.scheme, self.cfg.workload.name, self.cfg.seed
+        ));
+        let start_cycle = self.net.cycle();
+        self.phase = Phase::Pretrain;
         // Phase 1: pre-training (learning schemes). The synthetic traffic
         // intensity tracks the workload's mean so the visited state bins
         // match the measurement phase.
@@ -559,8 +586,7 @@ impl Runner {
                     .into_iter()
                     .filter(|m| self.cfg.allowed_modes[m.index()])
                     .collect();
-                let forced_epochs =
-                    (self.cfg.pretrain_cycles * 2 / 3) / self.cfg.epoch_cycles;
+                let forced_epochs = (self.cfg.pretrain_cycles * 2 / 3) / self.cfg.epoch_cycles;
                 // The forced mode is drawn at random per 4-epoch block:
                 // random (not cyclic) so states — which partly encode the
                 // previous mode through the NACK features — do not
@@ -600,6 +626,7 @@ impl Runner {
             }
         }
         // Phase 2: warm-up (all schemes).
+        self.phase = Phase::Warmup;
         if self.cfg.warmup_cycles > 0 {
             let mut source = SyntheticSource::new(
                 self.cfg.noc.mesh,
@@ -614,6 +641,7 @@ impl Runner {
         self.reset_accounting();
 
         // Phase 3: measurement.
+        self.phase = Phase::Measure;
         let measure_start = self.net.cycle();
         let inject_window = self
             .cfg
@@ -635,6 +663,8 @@ impl Runner {
         } else {
             self.net.cycle().saturating_sub(measure_start)
         };
+        self.telemetry
+            .finish_run(self.run_id, self.net.cycle().saturating_sub(start_cycle));
         let temps = self.thermal.temperatures();
         let mean_temp = temps.iter().sum::<f64>() / temps.len() as f64;
         ExperimentReport {
@@ -682,7 +712,7 @@ impl Runner {
                 }
             }
             self.net.step();
-            if self.net.cycle() % self.cfg.epoch_cycles == 0 {
+            if self.net.cycle().is_multiple_of(self.cfg.epoch_cycles) {
                 self.control_epoch(pretrain);
             }
             let _ = i;
@@ -801,13 +831,35 @@ impl Runner {
         );
 
         // Advance the physical substrate.
-        self.thermal.update(&tile_powers, epoch_time);
+        self.thermal
+            .update_with_telemetry(&tile_powers, epoch_time, &self.telemetry);
         for &t in self.thermal.temperatures() {
             self.max_temp = self.max_temp.max(t);
         }
         let temps = self.thermal.temperatures().to_vec();
         self.net.protocol_mut().set_temperatures(&temps);
         self.net.protocol_mut().set_utilizations(&utilizations);
+
+        // Export one record per router into the telemetry epoch series.
+        if self.telemetry.is_enabled() {
+            for i in 0..n {
+                let (epsilon, max_q_delta) = self.controllers.learning_signals(i);
+                self.telemetry.record_epoch(EpochRecord {
+                    run: self.run_id,
+                    phase: self.phase,
+                    epoch: self.epoch_count,
+                    router: i as u16,
+                    utilization: features[i].output_utilization,
+                    nack_rate: features[i].output_nack_rate,
+                    temperature_c: self.thermal.temperature(i),
+                    mode: self.modes[i].index() as u8,
+                    reward: rewards[i],
+                    epsilon,
+                    max_q_delta,
+                });
+            }
+        }
+
         self.net.reset_epoch_stats();
         self.epoch_count += 1;
     }
@@ -957,6 +1009,82 @@ mod tests {
             .run();
         assert_eq!(r.mode_histogram[2], 0);
         assert_eq!(r.mode_histogram[3], 0);
+    }
+
+    #[test]
+    fn telemetry_records_epochs_runs_and_spans() {
+        let telemetry = Telemetry::enabled();
+        let report = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::blackscholes())
+            .noc(NocConfig::builder().mesh(4, 4).build())
+            .pretrain_cycles(4_000)
+            .warmup_cycles(1_000)
+            .measure_cycles(4_000)
+            .drain_limit(40_000)
+            .seed(11)
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("valid test configuration")
+            .run();
+
+        // One record per router per control epoch, covering every router.
+        let records = telemetry.epoch_records();
+        assert!(!records.is_empty());
+        assert_eq!(records.len() % 16, 0, "records come in full-mesh batches");
+        let routers: std::collections::BTreeSet<u16> = records.iter().map(|r| r.router).collect();
+        assert_eq!(routers.len(), 16, "all routers covered");
+        for r in &records {
+            assert!((0.0..=1.0).contains(&r.utilization), "utilization {r:?}");
+            assert!((0.0..=1.0).contains(&r.nack_rate));
+            assert!(r.temperature_c > 0.0 && r.temperature_c < 200.0);
+            assert!(r.mode < 4);
+            assert!(r.reward.is_finite());
+            assert!((0.0..=1.0).contains(&r.epsilon));
+            assert!(r.max_q_delta >= 0.0);
+        }
+        assert!(
+            records
+                .iter()
+                .any(|r| r.phase == rlnoc_telemetry::Phase::Pretrain),
+            "pretrain epochs recorded"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.phase == rlnoc_telemetry::Phase::Measure),
+            "measurement epochs recorded"
+        );
+
+        // Run summary: wall clock and simulated-cycle throughput.
+        let runs = telemetry.run_summaries();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "RL/blackscholes/seed11");
+        assert!(runs[0].cycles > 0);
+        assert!(runs[0].wall_seconds > 0.0);
+
+        // Hot-path instruments saw traffic.
+        let cycles = telemetry.counter("sim.cycles").get();
+        assert_eq!(runs[0].cycles, cycles, "run cycles match the counter");
+        assert!(telemetry.timer("sim.phase.sa_st").snapshot().count >= cycles);
+        assert!(telemetry.timer("rl.td_update").snapshot().count > 0);
+        assert!(telemetry.timer("thermal.update").snapshot().count > 0);
+
+        // Telemetry must not perturb the simulation itself: the same
+        // configuration without telemetry produces an identical report.
+        let bare = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::blackscholes())
+            .noc(NocConfig::builder().mesh(4, 4).build())
+            .pretrain_cycles(4_000)
+            .warmup_cycles(1_000)
+            .measure_cycles(4_000)
+            .drain_limit(40_000)
+            .seed(11)
+            .build()
+            .expect("valid test configuration")
+            .run();
+        assert_eq!(report, bare, "telemetry must be observation-only");
     }
 
     #[test]

@@ -322,8 +322,14 @@ mod tests {
         for i in 0..500u64 {
             let mut f = test_flit(i);
             let before = f;
-            let out =
-                p.hop_transfer(link(), &mut f, 0, TransferKind::Original, true, &mut counters);
+            let out = p.hop_transfer(
+                link(),
+                &mut f,
+                0,
+                TransferKind::Original,
+                true,
+                &mut counters,
+            );
             assert_eq!(out, HopOutcome::Delivered);
             assert_eq!(f, before);
         }
@@ -338,15 +344,24 @@ mod tests {
         for i in 0..2000u64 {
             let mut f = test_flit(i);
             let before = f;
-            let out =
-                p.hop_transfer(link(), &mut f, 0, TransferKind::Original, false, &mut counters);
+            let out = p.hop_transfer(
+                link(),
+                &mut f,
+                0,
+                TransferKind::Original,
+                false,
+                &mut counters,
+            );
             assert_eq!(out, HopOutcome::Delivered, "unprotected links never reject");
             if f.payload != before.payload {
                 corrupted += 1;
                 assert!(!f.crc_ok(&Crc32::new()), "CRC must catch the corruption");
             }
         }
-        assert!(corrupted > 10, "expected corruption at 100 °C, got {corrupted}");
+        assert!(
+            corrupted > 10,
+            "expected corruption at 100 °C, got {corrupted}"
+        );
         assert_eq!(counters.ecc_encodes, 0, "no ECC work in mode 0");
     }
 
@@ -359,7 +374,14 @@ mod tests {
         for i in 0..5000u64 {
             let mut f = test_flit(i);
             let before = f;
-            match p.hop_transfer(link(), &mut f, 0, TransferKind::Original, true, &mut counters) {
+            match p.hop_transfer(
+                link(),
+                &mut f,
+                0,
+                TransferKind::Original,
+                true,
+                &mut counters,
+            ) {
                 HopOutcome::Delivered => {
                     clean += 1;
                 }
@@ -382,7 +404,10 @@ mod tests {
             "miscorrections ({miscorrected}) must be rare vs corrections ({corrected})"
         );
         // Single-bit flips dominate the flip distribution (85/12/3).
-        assert!(corrected > rejected, "corrected {corrected} vs rejected {rejected}");
+        assert!(
+            corrected > rejected,
+            "corrected {corrected} vs rejected {rejected}"
+        );
         assert_eq!(counters.ecc_encodes, 5000);
         assert_eq!(counters.ecc_decodes, 5000);
     }
@@ -394,8 +419,14 @@ mod tests {
         let mut counters = EventCounters::default();
         for i in 0..3000u64 {
             let mut f = test_flit(i);
-            let out =
-                p.hop_transfer(link(), &mut f, 0, TransferKind::Original, true, &mut counters);
+            let out = p.hop_transfer(
+                link(),
+                &mut f,
+                0,
+                TransferKind::Original,
+                true,
+                &mut counters,
+            );
             assert_ne!(out, HopOutcome::Reject, "relaxed timing ≈ no errors");
         }
         assert_eq!(p.faults_injected(), 0);

@@ -1,0 +1,292 @@
+//! Offline micro-benchmark harness with a `criterion`-compatible API.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be vendored. This shim implements the subset the workspace's
+//! benches use — `bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a straightforward
+//! warmup-then-measure loop. Reported numbers are mean wall-clock time
+//! per iteration (with min/max across samples); there is no statistical
+//! outlier analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Setup re-run for every single iteration.
+    PerIteration,
+}
+
+/// Measurement configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        if let Some(r) = bencher.report {
+            println!(
+                "{name:<44} time: [{} {} {}]",
+                format_ns(r.min_ns),
+                format_ns(r.mean_ns),
+                format_ns(r.max_ns)
+            );
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (reporting-side no-op in the shim).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine` in a warmup-then-measure loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-call cost to size measurement batches.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut per_call_ns = f64::MAX;
+        let mut calls: u64 = 0;
+        while Instant::now() < warm_until {
+            let t0 = Instant::now();
+            black_box(routine());
+            per_call_ns = per_call_ns.min(t0.elapsed().as_nanos() as f64);
+            calls += 1;
+        }
+        if calls == 0 {
+            let t0 = Instant::now();
+            black_box(routine());
+            per_call_ns = t0.elapsed().as_nanos() as f64;
+        }
+        let samples = self.config.sample_size;
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let per_sample = (budget_ns / samples as f64 / per_call_ns.max(1.0)).clamp(1.0, 1e9) as u64;
+
+        let mut mins = f64::MAX;
+        let mut maxs: f64 = 0.0;
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / per_sample as f64;
+            mins = mins.min(ns);
+            maxs = maxs.max(ns);
+            total_ns += ns * per_sample as f64;
+            total_iters += per_sample;
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns / total_iters as f64,
+            min_ns: mins,
+            max_ns: maxs,
+        });
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let samples = self.config.sample_size;
+        let mut mins = f64::MAX;
+        let mut maxs: f64 = 0.0;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let ns = t0.elapsed().as_nanos() as f64;
+            mins = mins.min(ns);
+            maxs = maxs.max(ns);
+            total += ns;
+        }
+        self.report = Some(Report {
+            mean_ns: total / samples as f64,
+            min_ns: mins,
+            max_ns: maxs,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with("s"));
+    }
+}

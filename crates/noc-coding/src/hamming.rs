@@ -134,7 +134,7 @@ impl<const K: usize> CodeTables<K> {
                 syndrome |= 1 << j;
             }
         }
-        let overall_ok = code.count_ones() % 2 == 0;
+        let overall_ok = code.count_ones().is_multiple_of(2);
         let corrected_bit = match (syndrome, overall_ok) {
             (0, true) => None,
             (0, false) => {
@@ -171,7 +171,10 @@ static TABLES_32: CodeTables<32> = CodeTables::build(38);
 /// (position 0 = overall parity).
 fn encode_generic(data: u64, data_bits: u32, total_positions: u32) -> u128 {
     debug_assert!(data_bits <= 64);
-    debug_assert!(data_bits == 64 || data >> data_bits == 0, "data exceeds width");
+    debug_assert!(
+        data_bits == 64 || data >> data_bits == 0,
+        "data exceeds width"
+    );
     let mut code: u128 = 0;
     // Scatter data bits into non-power-of-two positions 3, 5, 6, 7, 9, ...
     let mut d = 0u32;
@@ -217,7 +220,7 @@ fn decode_generic(mut code: u128, data_bits: u32, total_positions: u32) -> Decod
             syndrome ^= pos;
         }
     }
-    let overall_ok = code.count_ones() % 2 == 0;
+    let overall_ok = code.count_ones().is_multiple_of(2);
     let corrected_bit = match (syndrome, overall_ok) {
         (0, true) => None,
         (0, false) => {
@@ -418,7 +421,10 @@ mod tests {
     #[test]
     fn secded64_clean_round_trip() {
         for data in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xAAAA_5555_AAAA_5555] {
-            assert_eq!(Secded64::encode(data).decode(), DecodeOutcome::Clean { data });
+            assert_eq!(
+                Secded64::encode(data).decode(),
+                DecodeOutcome::Clean { data }
+            );
         }
     }
 
@@ -427,7 +433,9 @@ mod tests {
         for data in [0u32, u32::MAX, 0xDEAD_BEEF, 0x5555_AAAA] {
             assert_eq!(
                 Secded32::encode(data).decode(),
-                DecodeOutcome::Clean { data: u64::from(data) }
+                DecodeOutcome::Clean {
+                    data: u64::from(data)
+                }
             );
         }
     }
@@ -524,7 +532,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        assert_eq!(DecodeOutcome::DoubleError.to_string(), "double error detected");
+        assert_eq!(
+            DecodeOutcome::DoubleError.to_string(),
+            "double error detected"
+        );
         assert_eq!(DecodeOutcome::Clean { data: 0 }.to_string(), "clean");
     }
 }
@@ -568,6 +579,62 @@ mod prop_tests {
         fn secded32_single_flip_corrected(data: u32, bit in 0u32..39) {
             let out = Secded32::encode(data).with_bit_flipped(bit).decode();
             prop_assert_eq!(out.data(), Some(u64::from(data)));
+        }
+
+        #[test]
+        fn secded32_double_flip_detected(data: u32, a in 0u32..39, b in 0u32..39) {
+            prop_assume!(a != b);
+            let out = Secded32::encode(data)
+                .with_bit_flipped(a)
+                .with_bit_flipped(b)
+                .decode();
+            prop_assert_eq!(out, DecodeOutcome::DoubleError);
+        }
+
+        // The decoder's classification must track the injected flip count
+        // exactly: 0 flips → Clean, 1 flip → Corrected at that position,
+        // 2 distinct flips → DoubleError.
+        #[test]
+        fn secded64_classification_matches_flip_count(data: u64, a in 0u32..72, b in 0u32..72) {
+            let cw = Secded64::encode(data);
+            prop_assert_eq!(cw.decode(), DecodeOutcome::Clean { data });
+            prop_assert_eq!(
+                cw.with_bit_flipped(a).decode(),
+                DecodeOutcome::Corrected { data, bit: a }
+            );
+            prop_assume!(a != b);
+            prop_assert_eq!(
+                cw.with_bit_flipped(a).with_bit_flipped(b).decode(),
+                DecodeOutcome::DoubleError
+            );
+        }
+
+        #[test]
+        fn secded32_classification_matches_flip_count(data: u32, a in 0u32..39, b in 0u32..39) {
+            let cw = Secded32::encode(data);
+            prop_assert_eq!(cw.decode(), DecodeOutcome::Clean { data: u64::from(data) });
+            prop_assert_eq!(
+                cw.with_bit_flipped(a).decode(),
+                DecodeOutcome::Corrected { data: u64::from(data), bit: a }
+            );
+            prop_assume!(a != b);
+            prop_assert_eq!(
+                cw.with_bit_flipped(a).with_bit_flipped(b).decode(),
+                DecodeOutcome::DoubleError
+            );
+        }
+
+        // Transport round-trip: raw bits survive from_raw/as_raw untouched.
+        #[test]
+        fn secded64_raw_round_trip(data: u64) {
+            let cw = Secded64::encode(data);
+            prop_assert_eq!(Secded64::from_raw(cw.as_raw()), cw);
+        }
+
+        #[test]
+        fn secded32_raw_round_trip(data: u32) {
+            let cw = Secded32::encode(data);
+            prop_assert_eq!(Secded32::from_raw(cw.as_raw()), cw);
         }
     }
 }

@@ -171,6 +171,34 @@ impl ThermalModel {
     pub fn isolated_steady_state(&self, power: f64) -> f64 {
         self.params.ambient_c + power * self.params.r_vertical
     }
+
+    /// [`ThermalModel::update`] instrumented through `telemetry`: the
+    /// solve runs under a `thermal.update` span, and the resulting mean
+    /// and maximum tile temperatures land in the `thermal.mean_c` /
+    /// `thermal.max_c` gauges. The model itself stays telemetry-free so
+    /// its value semantics (`Clone`/`PartialEq`/serde) are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` does not match the grid size.
+    pub fn update_with_telemetry(
+        &mut self,
+        powers: &[f64],
+        dt: f64,
+        telemetry: &rlnoc_telemetry::Telemetry,
+    ) {
+        {
+            let _span = telemetry.timer("thermal.update").start();
+            self.update(powers, dt);
+        }
+        if telemetry.is_enabled() {
+            let n = self.temperatures.len() as f64;
+            let sum: f64 = self.temperatures.iter().sum();
+            let max = self.temperatures.iter().copied().fold(f64::MIN, f64::max);
+            telemetry.gauge("thermal.mean_c").set(sum / n);
+            telemetry.gauge("thermal.max_c").set(max);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,10 +223,7 @@ mod tests {
         settle(&mut m, &powers);
         let expect = m.isolated_steady_state(0.1);
         for &t in m.temperatures() {
-            assert!(
-                (t - expect).abs() < 0.5,
-                "tile at {t}, expected ≈{expect}"
-            );
+            assert!((t - expect).abs() < 0.5, "tile at {t}, expected ≈{expect}");
         }
     }
 
@@ -272,10 +297,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_capacitance_panics() {
-        let _ = ThermalModel::new(2, 2, ThermalParams {
-            c_th: 0.0,
-            ..ThermalParams::default()
-        });
+        let _ = ThermalModel::new(
+            2,
+            2,
+            ThermalParams {
+                c_th: 0.0,
+                ..ThermalParams::default()
+            },
+        );
     }
 }
 

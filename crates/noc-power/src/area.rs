@@ -102,9 +102,7 @@ impl AreaModel {
         match variant {
             RouterVariant::Crc => base,
             RouterVariant::ArqEcc => base + self.ecc_codecs + self.retransmit_buffers,
-            RouterVariant::DecisionTree => {
-                self.router_area(RouterVariant::ArqEcc) + self.dt_logic
-            }
+            RouterVariant::DecisionTree => self.router_area(RouterVariant::ArqEcc) + self.dt_logic,
             RouterVariant::ProposedRl => {
                 self.router_area(RouterVariant::ArqEcc)
                     + self.rl_alu

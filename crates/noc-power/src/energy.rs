@@ -186,13 +186,15 @@ mod tests {
     use super::*;
 
     fn counters_one_packet_one_hop() -> EventCounters {
-        let mut c = EventCounters::default();
-        c.buffer_writes = 4;
-        c.buffer_reads = 4;
-        c.sa_grants = 4;
-        c.crossbar_traversals = 4;
+        let mut c = EventCounters {
+            buffer_writes: 4,
+            buffer_reads: 4,
+            sa_grants: 4,
+            crossbar_traversals: 4,
+            va_allocations: 1,
+            ..EventCounters::default()
+        };
         c.link_traversals[1] = 4;
-        c.va_allocations = 1;
         c
     }
 

@@ -11,6 +11,7 @@ use crate::schedule::Schedule;
 use crate::NUM_ACTIONS;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rlnoc_telemetry::{Telemetry, TimerHandle};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of a Q-learning agent.
@@ -91,6 +92,8 @@ pub struct QLearningAgent {
     last: Option<(usize, usize)>,
     exploration_moves: u64,
     learning: bool,
+    td_timer: TimerHandle,
+    last_td_delta: f64,
 }
 
 impl QLearningAgent {
@@ -117,7 +120,16 @@ impl QLearningAgent {
             last: None,
             exploration_moves: 0,
             learning: true,
+            td_timer: TimerHandle::default(),
+            last_td_delta: 0.0,
         }
+    }
+
+    /// Installs a telemetry handle: TD updates are timed under the
+    /// `rl.td_update` span. Inert (the default) until called with an
+    /// enabled handle.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.td_timer = telemetry.timer("rl.td_update");
     }
 
     /// The learned table.
@@ -147,12 +159,7 @@ impl QLearningAgent {
     /// The first call (no previous action) performs no update and returns
     /// the configured initial action.
     pub fn observe_and_act(&mut self, state: usize, reward: f64) -> usize {
-        if let Some((s, a)) = self.last {
-            if self.learning {
-                let alpha = self.config.alpha.value(self.step);
-                self.q.update(s, a, reward, state, alpha, self.config.gamma);
-            }
-        }
+        self.credit_previous(state, reward);
         let action = if self.last.is_none() {
             self.config.initial_action
         } else {
@@ -194,15 +201,25 @@ impl QLearningAgent {
     /// Panics if `action >= NUM_ACTIONS`.
     pub fn observe_and_force(&mut self, state: usize, reward: f64, action: usize) -> usize {
         assert!(action < NUM_ACTIONS, "action out of range");
-        if let Some((s, a)) = self.last {
-            if self.learning {
-                let alpha = self.config.alpha.value(self.step);
-                self.q.update(s, a, reward, state, alpha, self.config.gamma);
-            }
-        }
+        self.credit_previous(state, reward);
         self.last = Some((state, action));
         self.step += 1;
         action
+    }
+
+    /// Applies the TD update crediting `reward` to the previous
+    /// `(state, action)` pair, tracking the update magnitude and timing
+    /// the update under the `rl.td_update` span when telemetry is wired.
+    fn credit_previous(&mut self, state: usize, reward: f64) {
+        if let Some((s, a)) = self.last {
+            if self.learning {
+                let _span = self.td_timer.start();
+                let alpha = self.config.alpha.value(self.step);
+                let before = self.q.value(s, a);
+                self.q.update(s, a, reward, state, alpha, self.config.gamma);
+                self.last_td_delta = (self.q.value(s, a) - before).abs();
+            }
+        }
     }
 
     /// Freezes or resumes learning (ε-greedy selection continues either
@@ -214,6 +231,18 @@ impl QLearningAgent {
     /// Replaces the exploration schedule (e.g. ε → 0 after pre-training).
     pub fn set_epsilon(&mut self, epsilon: Schedule) {
         self.config.epsilon = epsilon;
+    }
+
+    /// The exploration probability the next action draw will use.
+    pub fn current_epsilon(&self) -> f64 {
+        self.config.epsilon.value(self.step).clamp(0.0, 1.0)
+    }
+
+    /// Magnitude of the most recent TD update to the Q-table (0.0 before
+    /// any update). This is the convergence signal exported per epoch as
+    /// `max_q_delta`.
+    pub fn last_td_delta(&self) -> f64 {
+        self.last_td_delta
     }
 }
 

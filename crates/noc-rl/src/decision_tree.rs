@@ -121,7 +121,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -137,11 +141,8 @@ impl DecisionTree {
         params: &TreeParams,
     ) -> usize {
         let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
-        let variance = indices
-            .iter()
-            .map(|&i| (ys[i] - mean).powi(2))
-            .sum::<f64>()
-            / indices.len() as f64;
+        let variance =
+            indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum::<f64>() / indices.len() as f64;
         let stop = depth >= params.max_depth
             || indices.len() < params.min_samples_split
             || variance <= params.min_variance;
@@ -153,9 +154,8 @@ impl DecisionTree {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| xs[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| xs[i][feature] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
@@ -179,11 +179,12 @@ impl DecisionTree {
 fn best_split(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> Option<(usize, f64)> {
     let dim = xs[indices[0]].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+                                                    // `feature` selects a column across every sample row, so there is no
+                                                    // single container to enumerate here.
+    #[allow(clippy::needless_range_loop)]
     for feature in 0..dim {
-        let mut values: Vec<(f64, f64)> = indices
-            .iter()
-            .map(|&i| (xs[i][feature], ys[i]))
-            .collect();
+        let mut values: Vec<(f64, f64)> =
+            indices.iter().map(|&i| (xs[i][feature], ys[i])).collect();
         values.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Prefix sums for O(n) SSE evaluation per feature.
         let n = values.len();
@@ -202,7 +203,7 @@ fn best_split(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> Option<(usize, 
             let (ql, qr) = (prefix_sq[split], prefix_sq[n] - prefix_sq[split]);
             let sse = (ql - sl * sl / nl) + (qr - sr * sr / nr);
             let threshold = (values[split - 1].0 + values[split].0) / 2.0;
-            if best.map_or(true, |(_, _, b)| sse < b) {
+            if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((feature, threshold, sse));
             }
         }

@@ -103,7 +103,10 @@ impl QTable {
 
     /// The maximum Q-value in `state`.
     pub fn max_value(&self, state: usize) -> f64 {
-        self.row(state).iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.row(state)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Applies the temporal-difference update of Eq. (2).
@@ -278,7 +281,11 @@ pub struct ParseQTableError {
 
 impl std::fmt::Display for ParseQTableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "q-table parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "q-table parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -319,9 +326,7 @@ impl QTable {
     pub fn load<R: std::io::BufRead>(reader: R) -> Result<Self, ParseQTableError> {
         let err = |line: usize, message: String| ParseQTableError { line, message };
         let mut lines = reader.lines().enumerate();
-        let (_, header) = lines
-            .next()
-            .ok_or_else(|| err(1, "empty input".into()))?;
+        let (_, header) = lines.next().ok_or_else(|| err(1, "empty input".into()))?;
         let header = header.map_err(|e| err(1, e.to_string()))?;
         let mut parts = header.split_whitespace();
         if parts.next() != Some("qtable") {
@@ -344,7 +349,10 @@ impl QTable {
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
             if fields.len() != 1 + 2 * NUM_ACTIONS {
-                return Err(err(i + 1, format!("expected 9 fields, got {}", fields.len())));
+                return Err(err(
+                    i + 1,
+                    format!("expected 9 fields, got {}", fields.len()),
+                ));
             }
             let state: usize = fields[0]
                 .parse()

@@ -135,7 +135,7 @@ fn linear_bin(value: f64, (min, max): (f64, f64), bins: usize) -> usize {
 /// Log-decade bin: values below `min_rate` are bin 0; each decade above
 /// occupies the next bin.
 fn log_bin(rate: f64, min_rate: f64, bins: usize) -> usize {
-    if bins <= 1 || !(rate > min_rate) {
+    if bins <= 1 || rate <= min_rate || rate.is_nan() {
         return 0;
     }
     let decades = (rate / min_rate).log10();
@@ -224,7 +224,11 @@ mod tests {
         assert_eq!(linear_bin(0.19, (0.0, 1.0), 5), 0);
         assert_eq!(linear_bin(0.21, (0.0, 1.0), 5), 1);
         assert_eq!(linear_bin(0.99, (0.0, 1.0), 5), 4);
-        assert_eq!(linear_bin(1.0, (0.0, 1.0), 5), 4, "max clamps into last bin");
+        assert_eq!(
+            linear_bin(1.0, (0.0, 1.0), 5),
+            4,
+            "max clamps into last bin"
+        );
         assert_eq!(linear_bin(f64::NAN, (0.0, 1.0), 5), 0, "NaN is bin 0");
     }
 

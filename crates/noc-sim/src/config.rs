@@ -81,10 +81,10 @@ impl NocConfig {
         if self.retransmit_buffer_depth == 0 {
             return Err(ConfigError("retransmit_buffer_depth must be positive"));
         }
-        if !(self.voltage > 0.0) {
+        if self.voltage <= 0.0 || self.voltage.is_nan() {
             return Err(ConfigError("voltage must be positive"));
         }
-        if !(self.frequency > 0.0) {
+        if self.frequency <= 0.0 || self.frequency.is_nan() {
             return Err(ConfigError("frequency must be positive"));
         }
         Ok(())
@@ -249,22 +249,31 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_values() {
-        let mut c = NocConfig::default();
-        c.vc_depth = 0;
+        let c = NocConfig {
+            vc_depth: 0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = NocConfig::default();
-        c.voltage = -1.0;
+        let c = NocConfig {
+            voltage: -1.0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = NocConfig::default();
-        c.link_latency = 0;
+        let c = NocConfig {
+            link_latency: 0,
+            ..NocConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn config_error_displays() {
-        let err = NocConfig { vc_depth: 0, ..NocConfig::default() }
-            .validate()
-            .unwrap_err();
+        let err = NocConfig {
+            vc_depth: 0,
+            ..NocConfig::default()
+        }
+        .validate()
+        .unwrap_err();
         assert!(err.to_string().contains("vc_depth"));
     }
 }

@@ -269,7 +269,7 @@ impl ErrorControl for ScriptedErrorControl {
             return HopOutcome::Delivered;
         }
         self.transfers += 1;
-        if self.reject_every > 0 && self.transfers % self.reject_every == 0 {
+        if self.reject_every > 0 && self.transfers.is_multiple_of(self.reject_every) {
             HopOutcome::Reject
         } else {
             HopOutcome::Delivered
@@ -356,7 +356,14 @@ mod tests {
         };
         let mut f = flit();
         assert_eq!(
-            boxed.hop_transfer(link, &mut f, 0, TransferKind::Original, false, &mut counters),
+            boxed.hop_transfer(
+                link,
+                &mut f,
+                0,
+                TransferKind::Original,
+                false,
+                &mut counters
+            ),
             HopOutcome::Delivered
         );
         assert_eq!(boxed.tx_delay(link), 0);

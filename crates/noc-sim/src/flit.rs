@@ -140,7 +140,11 @@ impl Packet {
     pub fn payload_for(&self, index: u8) -> [u64; 2] {
         [
             splitmix64(self.payload_seed ^ (u64::from(index) << 32)),
-            splitmix64(self.payload_seed.wrapping_add(u64::from(index)).wrapping_mul(0x9E37)),
+            splitmix64(
+                self.payload_seed
+                    .wrapping_add(u64::from(index))
+                    .wrapping_mul(0x9E37),
+            ),
         ]
     }
 

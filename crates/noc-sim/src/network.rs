@@ -37,6 +37,7 @@ use crate::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use crate::topology::{Direction, LinkId, Mesh, NodeId, NUM_PORTS};
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
+use rlnoc_telemetry::{Counter, Histogram, Telemetry, TimerHandle};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -69,7 +70,11 @@ enum Event {
     /// A flit leaves through the local port into the destination core.
     Eject { node: NodeId, flit: Flit },
     /// A buffer credit returns to the upstream router's output port.
-    Credit { node: NodeId, port: Direction, vc: u8 },
+    Credit {
+        node: NodeId,
+        port: Direction,
+        vc: u8,
+    },
     /// An ACK/NACK side-band signal reaches the sending router.
     AckSignal {
         node: NodeId,
@@ -157,6 +162,41 @@ pub struct Network<E: ErrorControl> {
     stats: NetworkStats,
     epoch: Vec<RouterEpochStats>,
     counters: Vec<EventCounters>,
+    tel: NetTelemetry,
+}
+
+/// Pre-resolved telemetry handles for the simulation hot path. All
+/// handles are inert no-ops until [`Network::set_telemetry`] installs an
+/// enabled [`Telemetry`]; disabled, each site costs one branch.
+#[derive(Debug, Clone, Default)]
+struct NetTelemetry {
+    phase_events: TimerHandle,
+    phase_inject: TimerHandle,
+    phase_sa_st: TimerHandle,
+    phase_va: TimerHandle,
+    phase_rc: TimerHandle,
+    phase_sample: TimerHandle,
+    cycles: Counter,
+    arq_nacks: Counter,
+    arq_retransmits: Counter,
+    buffered_flits: Histogram,
+}
+
+impl NetTelemetry {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        Self {
+            phase_events: telemetry.timer("sim.phase.process_events"),
+            phase_inject: telemetry.timer("sim.phase.inject"),
+            phase_sa_st: telemetry.timer("sim.phase.sa_st"),
+            phase_va: telemetry.timer("sim.phase.va"),
+            phase_rc: telemetry.timer("sim.phase.rc"),
+            phase_sample: telemetry.timer("sim.phase.sample"),
+            cycles: telemetry.counter("sim.cycles"),
+            arq_nacks: telemetry.counter("sim.arq.nacks"),
+            arq_retransmits: telemetry.counter("sim.arq.retransmit_sends"),
+            buffered_flits: telemetry.histogram("sim.router.buffered_flits"),
+        }
+    }
 }
 
 impl<E: ErrorControl> Network<E> {
@@ -191,7 +231,17 @@ impl<E: ErrorControl> Network<E> {
             stats: NetworkStats::default(),
             epoch: vec![RouterEpochStats::default(); n],
             counters: vec![EventCounters::default(); n],
+            tel: NetTelemetry::default(),
         }
+    }
+
+    /// Installs a telemetry handle, resolving the simulator's hot-path
+    /// instruments (per-phase span timers, cycle/ARQ counters, buffer
+    /// occupancy histogram). With a disabled handle — also the state of
+    /// a freshly built network — every instrument is a single-branch
+    /// no-op.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.tel = NetTelemetry::resolve(telemetry);
     }
 
     /// The network configuration.
@@ -220,7 +270,15 @@ impl<E: ErrorControl> Network<E> {
     }
 
     /// Resets per-router epoch statistics (call at each control epoch).
+    /// When telemetry is enabled, samples each router's buffered-flit
+    /// occupancy into the `sim.router.buffered_flits` histogram first —
+    /// an epoch-boundary congestion snapshot with no per-cycle cost.
     pub fn reset_epoch_stats(&mut self) {
+        if self.tel.buffered_flits.is_enabled() {
+            for r in &self.routers {
+                self.tel.buffered_flits.record(r.buffered_flits());
+            }
+        }
         for e in &mut self.epoch {
             e.reset();
         }
@@ -311,12 +369,31 @@ impl<E: ErrorControl> Network<E> {
     /// Advances the simulation by one clock cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
-        self.process_events(cycle);
-        self.inject_phase(cycle);
-        self.sa_st_phase(cycle);
-        self.va_phase();
-        self.rc_phase(cycle);
-        self.sample_phase();
+        {
+            let _span = self.tel.phase_events.start();
+            self.process_events(cycle);
+        }
+        {
+            let _span = self.tel.phase_inject.start();
+            self.inject_phase(cycle);
+        }
+        {
+            let _span = self.tel.phase_sa_st.start();
+            self.sa_st_phase(cycle);
+        }
+        {
+            let _span = self.tel.phase_va.start();
+            self.va_phase();
+        }
+        {
+            let _span = self.tel.phase_rc.start();
+            self.rc_phase(cycle);
+        }
+        {
+            let _span = self.tel.phase_sample.start();
+            self.sample_phase();
+        }
+        self.tel.cycles.inc();
         self.cycle += 1;
     }
 
@@ -386,7 +463,8 @@ impl<E: ErrorControl> Network<E> {
                     let out = &mut self.routers[node.index()].outputs[port.index()];
                     let (_, copy) = out.retx_buffer.acknowledge(seq, kind);
                     if let Some((flit, out_vc)) = copy {
-                        out.retx_pending.push_back(PendingRetransmit { flit, out_vc, seq });
+                        out.retx_pending
+                            .push_back(PendingRetransmit { flit, out_vc, seq });
                     }
                 }
             }
@@ -422,6 +500,7 @@ impl<E: ErrorControl> Network<E> {
             if !matches {
                 if let Some(seq) = seq {
                     self.stats.hop_nacks += 1;
+                    self.tel.arq_nacks.inc();
                     self.epoch[di].nacks_out += 1;
                     self.epoch[si].nacks_in += 1;
                     self.counters[di].ack_signals += 1;
@@ -553,6 +632,7 @@ impl<E: ErrorControl> Network<E> {
                 let seq = seq.expect("reject requires hop ARQ");
                 self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx = Some(seq);
                 self.stats.hop_nacks += 1;
+                self.tel.arq_nacks.inc();
                 self.epoch[di].nacks_out += 1;
                 self.epoch[si].nacks_in += 1;
                 self.counters[di].ack_signals += 1;
@@ -696,7 +776,9 @@ impl<E: ErrorControl> Network<E> {
             if fifo.len() >= vdepth {
                 continue; // local port back-pressured this cycle
             }
-            let flit = prog.packet.make_flit(prog.next_flit, prog.attempt, &self.crc);
+            let flit = prog
+                .packet
+                .make_flit(prog.next_flit, prog.attempt, &self.crc);
             fifo.push_back(BufferedFlit {
                 flit,
                 arrived_at: cycle,
@@ -724,6 +806,7 @@ impl<E: ErrorControl> Network<E> {
             wheel,
             config,
             mesh,
+            tel,
             ..
         } = self;
         let link_latency = config.link_latency as u64;
@@ -736,21 +819,24 @@ impl<E: ErrorControl> Network<E> {
 
             // Phase A: priority resends of NACKed flits. A port with a
             // pending retransmission is dedicated to it (order safety).
-            for out_p in 0..NUM_PORTS {
+            for (out_p, used) in port_used.iter_mut().enumerate() {
                 let dir = Direction::from_index(out_p);
                 if dir == Direction::Local {
                     continue;
                 }
                 if cycle < router.outputs[out_p].next_free {
-                    port_used[out_p] = true;
+                    *used = true;
                     continue;
                 }
                 if router.outputs[out_p].retx_pending.is_empty() {
                     continue;
                 }
-                port_used[out_p] = true;
+                *used = true;
                 let can_send = {
-                    let pr = router.outputs[out_p].retx_pending.front().expect("non-empty");
+                    let pr = router.outputs[out_p]
+                        .retx_pending
+                        .front()
+                        .expect("non-empty");
                     router.outputs[out_p].vcs[pr.out_vc as usize].credits > 0
                 };
                 if !can_send {
@@ -769,6 +855,7 @@ impl<E: ErrorControl> Network<E> {
                 counters[ri].link_traversals[out_p] += 1 + u64::from(pre);
                 epoch[ri].flits_out[out_p] += 1;
                 stats.flit_retransmissions += 1;
+                tel.arq_retransmits.inc();
                 wheel.push(
                     cycle,
                     cycle + link_latency + delay + pipeline,
@@ -786,7 +873,7 @@ impl<E: ErrorControl> Network<E> {
 
             // Phase B: input-first selection.
             let mut selected: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
-            for in_p in 0..NUM_PORTS {
+            for (in_p, sel) in selected.iter_mut().enumerate() {
                 let mut requests = vec![false; v];
                 for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
                     let VcState::Active { out_port, out_vc } = ivc.state else {
@@ -821,13 +908,13 @@ impl<E: ErrorControl> Network<E> {
                     else {
                         unreachable!("selected VC must be active");
                     };
-                    selected[in_p] = Some((win, out_port.index(), out_vc));
+                    *sel = Some((win, out_port.index(), out_vc));
                 }
             }
 
             // Phase C: output arbitration + switch traversal.
-            for out_p in 0..NUM_PORTS {
-                if port_used[out_p] || cycle < router.outputs[out_p].next_free {
+            for (out_p, &used) in port_used.iter().enumerate() {
+                if used || cycle < router.outputs[out_p].next_free {
                     continue;
                 }
                 let mut requests = [false; NUM_PORTS];
@@ -1087,7 +1174,10 @@ mod tests {
                 "router {node} missing latency attribution"
             );
         }
-        assert_eq!(net.epoch_stats()[mesh.node_at(3, 3).index()].latency_count, 0);
+        assert_eq!(
+            net.epoch_stats()[mesh.node_at(3, 3).index()].latency_count,
+            0
+        );
     }
 
     #[test]
@@ -1157,7 +1247,11 @@ mod arq_tests {
         assert_eq!(s.hop_nacks, 0);
         assert_eq!(s.flit_retransmissions, 0);
         // Every inter-router hop buffered a copy and got an ACK back.
-        let copies: u64 = net.counters().iter().map(|c| c.retransmit_buffer_writes).sum();
+        let copies: u64 = net
+            .counters()
+            .iter()
+            .map(|c| c.retransmit_buffer_writes)
+            .sum();
         let acks: u64 = net.counters().iter().map(|c| c.ack_signals).sum();
         assert!(copies > 0);
         assert_eq!(acks, copies, "one ACK per buffered transfer");
@@ -1166,11 +1260,13 @@ mod arq_tests {
     #[test]
     fn rejected_flits_are_retransmitted_and_delivered_intact() {
         let mut net = net_with(ScriptedErrorControl::reject_every(7));
-        let mesh = net.mesh();
         for i in 0..8u16 {
             net.offer(NodeId(i), NodeId(15 - i));
         }
-        assert!(net.run_until_quiescent(10_000), "must drain despite rejects");
+        assert!(
+            net.run_until_quiescent(10_000),
+            "must drain despite rejects"
+        );
         let s = net.stats();
         assert_eq!(s.packets_delivered, 8);
         assert!(s.hop_nacks > 0, "rejects must raise NACKs");
@@ -1209,9 +1305,7 @@ mod arq_tests {
         // With proactive duplicates and every 6th transfer rejected, the
         // duplicate (next transfer, not divisible by 6) always rescues:
         // no NACK round trips at all.
-        let mut net = net_with(
-            ScriptedErrorControl::reject_every(6).with_pre_retransmit(true),
-        );
+        let mut net = net_with(ScriptedErrorControl::reject_every(6).with_pre_retransmit(true));
         let mesh = net.mesh();
         net.offer(mesh.node_at(0, 0), mesh.node_at(3, 0));
         net.offer(mesh.node_at(0, 1), mesh.node_at(3, 1));

@@ -171,6 +171,17 @@ impl Router {
             .count()
     }
 
+    /// Total flits currently buffered across all input VC FIFOs — a
+    /// point-in-time congestion measure sampled by the telemetry layer
+    /// at control-epoch boundaries.
+    pub fn buffered_flits(&self) -> u64 {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .map(|vc| vc.fifo.len() as u64)
+            .sum()
+    }
+
     /// Route computation: idle input VCs whose head flit has completed its
     /// buffer-write stage compute their output port.
     pub(crate) fn rc_stage(&mut self, cycle: u64, mesh: Mesh) {
@@ -212,7 +223,11 @@ impl Router {
             let mut any = false;
             for (in_p, port) in self.inputs.iter().enumerate() {
                 for (in_v, vc) in port.iter().enumerate() {
-                    if vc.state == (VcState::NeedsVa { out_port: Direction::from_index(out_p) }) {
+                    if vc.state
+                        == (VcState::NeedsVa {
+                            out_port: Direction::from_index(out_p),
+                        })
+                    {
                         requests[in_p * v + in_v] = true;
                         any = true;
                     }
@@ -280,10 +295,12 @@ mod tests {
         let mesh = config.mesh;
         let mut r = Router::new(mesh.node_at(0, 0), &config);
         let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-        r.inputs[Direction::Local.index()][0].fifo.push_back(BufferedFlit {
-            flit: f,
-            arrived_at: 10,
-        });
+        r.inputs[Direction::Local.index()][0]
+            .fifo
+            .push_back(BufferedFlit {
+                flit: f,
+                arrived_at: 10,
+            });
         // Same cycle: still in BW.
         r.rc_stage(10, mesh);
         assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
@@ -305,10 +322,12 @@ mod tests {
         // Two input VCs both want East.
         for vc in 0..2 {
             let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-            r.inputs[Direction::Local.index()][vc].fifo.push_back(BufferedFlit {
-                flit: f,
-                arrived_at: 0,
-            });
+            r.inputs[Direction::Local.index()][vc]
+                .fifo
+                .push_back(BufferedFlit {
+                    flit: f,
+                    arrived_at: 0,
+                });
         }
         r.rc_stage(1, mesh);
         let granted = r.va_stage();
@@ -340,16 +359,20 @@ mod tests {
         // 5 requesters for East across two input ports, only 4 output VCs.
         for vc in 0..4 {
             let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-            r.inputs[Direction::Local.index()][vc].fifo.push_back(BufferedFlit {
+            r.inputs[Direction::Local.index()][vc]
+                .fifo
+                .push_back(BufferedFlit {
+                    flit: f,
+                    arrived_at: 0,
+                });
+        }
+        let f = head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0));
+        r.inputs[Direction::West.index()][0]
+            .fifo
+            .push_back(BufferedFlit {
                 flit: f,
                 arrived_at: 0,
             });
-        }
-        let f = head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0));
-        r.inputs[Direction::West.index()][0].fifo.push_back(BufferedFlit {
-            flit: f,
-            arrived_at: 0,
-        });
         r.rc_stage(1, mesh);
         let mut total = 0;
         for _ in 0..8 {

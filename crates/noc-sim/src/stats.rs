@@ -407,21 +407,25 @@ mod tests {
 
     #[test]
     fn epoch_stats_utilizations() {
-        let mut e = RouterEpochStats::default();
-        e.cycles = 100;
-        e.flits_in = [10, 20, 0, 0, 20];
-        e.flits_out = [5, 5, 5, 5, 5];
+        let e = RouterEpochStats {
+            cycles: 100,
+            flits_in: [10, 20, 0, 0, 20],
+            flits_out: [5, 5, 5, 5, 5],
+            ..RouterEpochStats::default()
+        };
         assert!((e.mean_input_utilization() - 0.1).abs() < 1e-12);
         assert!((e.mean_output_utilization() - 0.05).abs() < 1e-12);
     }
 
     #[test]
     fn epoch_stats_nack_rates() {
-        let mut e = RouterEpochStats::default();
-        e.flits_out = [10, 10, 10, 10, 10];
-        e.flits_in = [25, 25, 0, 0, 0];
-        e.nacks_in = 5;
-        e.nacks_out = 10;
+        let e = RouterEpochStats {
+            flits_out: [10, 10, 10, 10, 10],
+            flits_in: [25, 25, 0, 0, 0],
+            nacks_in: 5,
+            nacks_out: 10,
+            ..RouterEpochStats::default()
+        };
         assert!((e.input_nack_rate() - 0.1).abs() < 1e-12);
         assert!((e.output_nack_rate() - 0.2).abs() < 1e-12);
     }

@@ -320,7 +320,10 @@ mod tests {
     #[test]
     fn hop_distance_is_manhattan() {
         let mesh = Mesh::new(8, 8);
-        assert_eq!(mesh.hop_distance(mesh.node_at(0, 0), mesh.node_at(7, 7)), 14);
+        assert_eq!(
+            mesh.hop_distance(mesh.node_at(0, 0), mesh.node_at(7, 7)),
+            14
+        );
         assert_eq!(mesh.hop_distance(mesh.node_at(3, 3), mesh.node_at(3, 3)), 0);
         assert_eq!(mesh.hop_distance(mesh.node_at(2, 5), mesh.node_at(4, 1)), 6);
     }

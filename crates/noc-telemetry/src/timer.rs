@@ -1,0 +1,103 @@
+//! Scoped wall-clock timers for hot-path spans.
+//!
+//! A [`TimerHandle`] is resolved once per span name; starting it returns
+//! a [`ScopedTimer`] guard that records elapsed nanoseconds into a
+//! log-bucket histogram on drop. When telemetry is disabled the handle
+//! holds no histogram and `start()` never reads the clock — the entire
+//! span costs one branch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{HistogramCore, HistogramSnapshot};
+
+/// Reusable handle for timing a named span. Default-constructed handles
+/// (disabled telemetry) are inert.
+#[derive(Debug, Clone, Default)]
+pub struct TimerHandle(pub(crate) Option<Arc<HistogramCore>>);
+
+impl TimerHandle {
+    /// Begins a span. The returned guard records on drop; when the
+    /// handle is disabled no clock is read and nothing is recorded.
+    /// The guard owns its histogram reference, so it does not extend
+    /// any borrow of the handle (or the struct holding it).
+    #[inline]
+    pub fn start(&self) -> ScopedTimer {
+        ScopedTimer {
+            started: self
+                .0
+                .as_ref()
+                .map(|core| (Arc::clone(core), Instant::now())),
+        }
+    }
+
+    /// Times `f`, recording its duration, and returns its result.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _span = self.start();
+        f()
+    }
+
+    /// Point-in-time snapshot of recorded span durations (nanoseconds).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |c| c.snapshot())
+    }
+}
+
+/// Drop guard measuring one span.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    started: Option<(Arc<HistogramCore>, Instant)>,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some((core, t0)) = self.started.take() {
+            let ns = t0.elapsed().as_nanos();
+            core.record(u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let handle = TimerHandle(Some(reg.timer_core("span")));
+        {
+            let _t = handle.start();
+            std::hint::black_box(0u64);
+        }
+        {
+            let _t = handle.start();
+        }
+        let snap = handle.snapshot();
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn time_passes_through_result() {
+        let reg = MetricsRegistry::new();
+        let handle = TimerHandle(Some(reg.timer_core("span")));
+        let out = handle.time(|| 41 + 1);
+        assert_eq!(out, 42);
+        assert_eq!(handle.snapshot().count, 1);
+    }
+
+    #[test]
+    fn disabled_timer_records_nothing() {
+        let handle = TimerHandle::default();
+        {
+            let _t = handle.start();
+        }
+        let out = handle.time(|| 7);
+        assert_eq!(out, 7);
+        assert_eq!(handle.snapshot(), HistogramSnapshot::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to empty
+//! impls of the corresponding marker trait. The input is parsed with the
+//! bare `proc_macro` API (no `syn`/`quote` — the build container has no
+//! registry access): we scan for the `struct`/`enum`/`union` keyword and
+//! take the following identifier as the type name. Generic types are
+//! intentionally unsupported; none of the workspace's serde-derived
+//! types are generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a derive input token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contains no struct/enum/union definition");
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("generated impl is valid Rust")
+}
+
+/// Expands to `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Expands to `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl is valid Rust")
+}

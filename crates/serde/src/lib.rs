@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! report types so that downstream consumers *could* serialize them, but
+//! nothing in-tree performs serde-based (de)serialization — the
+//! telemetry exporters hand-roll JSON/CSV precisely to avoid the
+//! dependency. Since the build container has no crates.io access, this
+//! shim keeps those derives compiling: the traits are empty markers and
+//! the derive macros expand to empty impls.
+//!
+//! If real serialization is ever needed, vendor the real `serde` and
+//! delete this crate; no call sites need to change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

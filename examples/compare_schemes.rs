@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Some(base) = baseline_latency {
-        println!("\n(CRC baseline latency = {base:.1} cycles; the paper reports ≈55% reduction for RL)");
+        println!(
+            "\n(CRC baseline latency = {base:.1} cycles; the paper reports ≈55% reduction for RL)"
+        );
     }
     Ok(())
 }

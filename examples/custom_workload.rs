@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         duration_cycles: 25_000,
     };
 
-    for scheme in [ErrorControlScheme::StaticCrc, ErrorControlScheme::ProposedRl] {
+    for scheme in [
+        ErrorControlScheme::StaticCrc,
+        ErrorControlScheme::ProposedRl,
+    ] {
         let report = Experiment::builder()
             .scheme(scheme)
             .workload(workload.clone())

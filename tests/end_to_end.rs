@@ -67,7 +67,10 @@ fn arq_reduces_retransmission_traffic_vs_crc() {
 #[test]
 fn crc_scheme_pays_with_crc_failures_not_nacks() {
     let crc = run(ErrorControlScheme::StaticCrc, 7);
-    assert!(crc.crc_failures > 0, "hot canneal must produce CRC failures");
+    assert!(
+        crc.crc_failures > 0,
+        "hot canneal must produce CRC failures"
+    );
     assert_eq!(crc.hop_nacks, 0, "no ARQ hardware in the CRC scheme");
     assert_eq!(crc.ecc_corrections, 0);
     assert_eq!(crc.flit_retransmissions, 0);
@@ -101,7 +104,10 @@ fn learning_schemes_track_static_arq_or_better_on_hot_uniform_load() {
     // from the CRC baseline.
     let crc = run(ErrorControlScheme::StaticCrc, 8);
     let arq = run(ErrorControlScheme::StaticArqEcc, 8);
-    for scheme in [ErrorControlScheme::DecisionTree, ErrorControlScheme::ProposedRl] {
+    for scheme in [
+        ErrorControlScheme::DecisionTree,
+        ErrorControlScheme::ProposedRl,
+    ] {
         let adaptive = run(scheme, 8);
         assert!(
             adaptive.avg_latency_cycles < crc.avg_latency_cycles,

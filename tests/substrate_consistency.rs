@@ -49,7 +49,14 @@ fn injected_error_rate_matches_model_prediction() {
     let trials = 200_000u64;
     for i in 0..trials {
         let mut f = sample_flit(i);
-        let _ = protocol.hop_transfer(link, &mut f, 0, TransferKind::Original, false, &mut counters);
+        let _ = protocol.hop_transfer(
+            link,
+            &mut f,
+            0,
+            TransferKind::Original,
+            false,
+            &mut counters,
+        );
     }
     let observed = protocol.faults_injected() as f64 / trials as f64;
     let rel = (observed - expected).abs() / expected;
