@@ -17,7 +17,7 @@ fn main() {
         "{:>6}{:>12}{:>12}{:>14}{:>16}",
         "bins", "states", "latency", "retx (pkts)", "eff (flits/J)"
     );
-    for &bins in &[2usize, 3, 4, 5, 6] {
+    let reports = rlnoc_bench::run_variants(vec![2usize, 3, 4, 5, 6], |bins| {
         let space = StateSpace::with_uniform_bins(bins);
         let states = space.num_states();
         let mut builder = Experiment::builder()
@@ -34,7 +34,13 @@ fn main() {
         } else {
             builder = builder.measure_cycles(20_000);
         }
-        let report = builder.build().expect("valid ablation config").run();
+        (
+            bins,
+            states,
+            builder.build().expect("valid ablation config").run(),
+        )
+    });
+    for (bins, states, report) in reports {
         println!(
             "{:>6}{:>12}{:>12.2}{:>14.1}{:>16.3e}",
             bins,

@@ -38,7 +38,7 @@ fn main() {
         ("gate only", false, tuned),
         ("paper-literal", false, AgentConfig::paper_default()),
     ];
-    for (name, curriculum, config) in variants {
+    let reports = rlnoc_bench::run_variants(variants.to_vec(), |(name, curriculum, config)| {
         let mut builder = Experiment::builder()
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
@@ -54,7 +54,9 @@ fn main() {
         } else {
             builder = builder.measure_cycles(20_000);
         }
-        let report = builder.build().expect("valid ablation config").run();
+        (name, builder.build().expect("valid ablation config").run())
+    });
+    for (name, report) in reports {
         println!(
             "{:<22}{:>12.2}{:>14.1}{:>16.3e}{:>26}",
             name,

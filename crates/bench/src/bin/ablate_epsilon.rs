@@ -18,7 +18,7 @@ fn main() {
         "{:>6}{:>12}{:>14}{:>14}{:>16}",
         "ε", "latency", "retx (pkts)", "exec cycles", "eff (flits/J)"
     );
-    for &epsilon in &[0.0, 0.05, 0.1, 0.2, 0.4] {
+    let reports = rlnoc_bench::run_variants(vec![0.0, 0.05, 0.1, 0.2, 0.4], |epsilon| {
         let mut builder = Experiment::builder()
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
@@ -41,7 +41,12 @@ fn main() {
         } else {
             builder = builder.measure_cycles(20_000);
         }
-        let report = builder.build().expect("valid ablation config").run();
+        (
+            epsilon,
+            builder.build().expect("valid ablation config").run(),
+        )
+    });
+    for (epsilon, report) in reports {
         println!(
             "{:>6.2}{:>12.2}{:>14.1}{:>14}{:>16.3e}",
             epsilon,

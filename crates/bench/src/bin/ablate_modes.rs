@@ -26,7 +26,7 @@ fn main() {
         "{:<12}{:>12}{:>14}{:>16}{:>24}",
         "action set", "latency", "retx (pkts)", "eff (flits/J)", "mode histogram"
     );
-    for (name, allowed) in variants {
+    let reports = rlnoc_bench::run_variants(variants.to_vec(), |(name, allowed)| {
         let mut builder = Experiment::builder()
             .scheme(ErrorControlScheme::ProposedRl)
             .workload(WorkloadProfile::canneal())
@@ -41,7 +41,9 @@ fn main() {
         } else {
             builder = builder.measure_cycles(20_000);
         }
-        let report = builder.build().expect("valid ablation config").run();
+        (name, builder.build().expect("valid ablation config").run())
+    });
+    for (name, report) in reports {
         println!(
             "{:<12}{:>12.2}{:>14.1}{:>16.3e}{:>24}",
             name,

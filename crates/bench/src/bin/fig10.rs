@@ -1,15 +1,14 @@
 //! Regenerates Fig. 10: dynamic power consumption, normalized to the CRC
 //! baseline.
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     banner("Fig. 10 — dynamic power", "RL −46% vs CRC; RL 17% below DT");
     let campaign = campaign_from_env();
-    let result = campaign.run();
-    print!(
-        "{}",
-        result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
-    );
+    let result = run_campaign(&campaign);
+    let table = result.figure_table("mean dynamic power", |r| r.dynamic_power_w());
+    print!("{table}");
+    write_output("fig10.txt", &table);
     export_telemetry(&campaign.telemetry);
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 6: retransmitted packets per scheme, normalized to
 //! the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     banner(
@@ -9,12 +9,11 @@ fn main() {
         "RL −48% vs CRC on average; ARQ+ECC −33%; RL 15% below ARQ+ECC",
     );
     let campaign = campaign_from_env();
-    let result = campaign.run();
-    print!(
-        "{}",
-        result.figure_table("retransmission traffic (packet equivalents)", |r| {
-            r.retransmitted_packets_equiv.max(0.5)
-        })
-    );
+    let result = run_campaign(&campaign);
+    let table = result.figure_table("retransmission traffic (packet equivalents)", |r| {
+        r.retransmitted_packets_equiv.max(0.5)
+    });
+    print!("{table}");
+    write_output("fig6.txt", &table);
     export_telemetry(&campaign.telemetry);
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7: execution-time speed-up over the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     banner(
@@ -8,12 +8,11 @@ fn main() {
         "RL 1.25× over CRC on average",
     );
     let campaign = campaign_from_env();
-    let result = campaign.run();
-    print!(
-        "{}",
-        result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
-            1.0 / r.execution_cycles.max(1) as f64
-        })
-    );
+    let result = run_campaign(&campaign);
+    let table = result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
+        1.0 / r.execution_cycles.max(1) as f64
+    });
+    print!("{table}");
+    write_output("fig7.txt", &table);
     export_telemetry(&campaign.telemetry);
 }

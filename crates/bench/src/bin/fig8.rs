@@ -1,7 +1,7 @@
 //! Regenerates Fig. 8: average end-to-end packet latency, normalized to
 //! the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     banner(
@@ -9,10 +9,9 @@ fn main() {
         "RL −55% vs CRC; ARQ+ECC −30%; RL 10% below DT",
     );
     let campaign = campaign_from_env();
-    let result = campaign.run();
-    print!(
-        "{}",
-        result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles)
-    );
+    let result = run_campaign(&campaign);
+    let table = result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles);
+    print!("{table}");
+    write_output("fig8.txt", &table);
     export_telemetry(&campaign.telemetry);
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 9: energy efficiency (delivered flits per unit
 //! energy), normalized to the CRC baseline.
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     banner(
@@ -9,10 +9,9 @@ fn main() {
         "RL +64% vs CRC; RL 15% above DT",
     );
     let campaign = campaign_from_env();
-    let result = campaign.run();
-    print!(
-        "{}",
-        result.figure_table("energy efficiency", |r| r.energy_efficiency())
-    );
+    let result = run_campaign(&campaign);
+    let table = result.figure_table("energy efficiency", |r| r.energy_efficiency());
+    print!("{table}");
+    write_output("fig9.txt", &table);
     export_telemetry(&campaign.telemetry);
 }

@@ -4,64 +4,60 @@
 //! ```text
 //! cargo run --release -p rlnoc-bench --bin figures            # full grid
 //! cargo run --release -p rlnoc-bench --bin figures -- --quick # smoke run
+//! RLNOC_JOBS=8 SNAPSHOT_DIR=out/snap cargo run --release -p rlnoc-bench --bin figures
 //! ```
 
-use rlnoc_bench::{banner, campaign_from_env, export_telemetry};
+use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 
 fn main() {
     let campaign = campaign_from_env();
     let t0 = std::time::Instant::now();
-    let result = campaign.run();
+    let result = run_campaign(&campaign);
     eprintln!("campaign completed in {:?}", t0.elapsed());
+
+    let mut artifact = String::new();
+    let mut emit = |table: String| {
+        print!("{table}");
+        println!();
+        artifact.push_str(&table);
+        artifact.push('\n');
+    };
 
     banner(
         "Fig. 6 — retransmitted packets",
         "RL −48% vs CRC on average; ARQ+ECC −33%; RL 15% below ARQ+ECC",
     );
-    print!(
-        "{}",
+    emit(
         result.figure_table("retransmission traffic (packet equivalents)", |r| {
             r.retransmitted_packets_equiv.max(0.5)
-        })
+        }),
     );
-    println!();
 
     banner(
         "Fig. 7 — execution-time speed-up",
         "RL 1.25× over CRC on average",
     );
-    print!(
-        "{}",
+    emit(
         result.figure_table("speed-up = CRC makespan / scheme makespan", |r| {
             1.0 / r.execution_cycles.max(1) as f64
-        })
+        }),
     );
-    println!();
 
     banner(
         "Fig. 8 — average end-to-end latency",
         "RL −55% vs CRC; ARQ+ECC −30%; RL 10% below DT",
     );
-    print!(
-        "{}",
-        result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles)
-    );
-    println!();
+    emit(result.figure_table("mean end-to-end packet latency", |r| r.avg_latency_cycles));
 
     banner(
         "Fig. 9 — energy efficiency (flits/energy)",
         "RL +64% vs CRC; RL 15% above DT",
     );
-    print!(
-        "{}",
-        result.figure_table("energy efficiency", |r| r.energy_efficiency())
-    );
-    println!();
+    emit(result.figure_table("energy efficiency", |r| r.energy_efficiency()));
 
     banner("Fig. 10 — dynamic power", "RL −46% vs CRC; RL 17% below DT");
-    print!(
-        "{}",
-        result.figure_table("mean dynamic power", |r| r.dynamic_power_w())
-    );
+    emit(result.figure_table("mean dynamic power", |r| r.dynamic_power_w()));
+
+    write_output("figures.txt", &artifact);
     export_telemetry(&campaign.telemetry);
 }

@@ -1,5 +1,5 @@
 //! Full-grid campaign dump used to populate EXPERIMENTS.md.
-use rlnoc_bench::{export_telemetry, telemetry_from_env};
+use rlnoc_bench::{export_telemetry, run_campaign, telemetry_from_env, write_output};
 
 fn main() {
     use rlnoc_core::campaign::Campaign;
@@ -7,33 +7,38 @@ fn main() {
     c.measure_cycles = Some(20_000);
     c.telemetry = telemetry_from_env();
     let t0 = std::time::Instant::now();
-    let result = c.run();
+    let result = run_campaign(&c);
     eprintln!("campaign elapsed: {:?}", t0.elapsed());
-    print!(
-        "{}",
-        result.figure_table("Fig6 retransmissions (normalized to CRC)", |r| r
-            .retransmitted_packets_equiv
-            .max(0.5))
+    let mut artifact = String::new();
+    let mut emit = |table: String| {
+        print!("{table}");
+        artifact.push_str(&table);
+    };
+    emit(
+        result.figure_table("Fig6 retransmissions (normalized to CRC)", |r| {
+            r.retransmitted_packets_equiv.max(0.5)
+        }),
     );
-    print!(
-        "{}",
-        result.figure_table("Fig7 speed-up (CRC makespan / scheme makespan)", |r| 1.0
-            / r.execution_cycles.max(1) as f64)
+    emit(
+        result.figure_table("Fig7 speed-up (CRC makespan / scheme makespan)", |r| {
+            1.0 / r.execution_cycles.max(1) as f64
+        }),
     );
-    print!(
-        "{}",
-        result.figure_table("Fig8 avg E2E latency (normalized to CRC)", |r| r
-            .avg_latency_cycles)
+    emit(
+        result.figure_table("Fig8 avg E2E latency (normalized to CRC)", |r| {
+            r.avg_latency_cycles
+        }),
     );
-    print!(
-        "{}",
-        result.figure_table("Fig9 energy efficiency (normalized to CRC)", |r| r
-            .energy_efficiency())
+    emit(
+        result.figure_table("Fig9 energy efficiency (normalized to CRC)", |r| {
+            r.energy_efficiency()
+        }),
     );
-    print!(
-        "{}",
-        result.figure_table("Fig10 dynamic power (normalized to CRC)", |r| r
-            .dynamic_power_w())
+    emit(
+        result.figure_table("Fig10 dynamic power (normalized to CRC)", |r| {
+            r.dynamic_power_w()
+        }),
     );
+    write_output("shape_check.txt", &artifact);
     export_telemetry(&c.telemetry);
 }

@@ -18,40 +18,49 @@ fn main() {
         "{:>8}{:>10}{:>12}{:>14}{:>16}",
         "p_ref", "scheme", "latency", "retx (pkts)", "eff (flits/J)"
     );
+    let mut variants = Vec::new();
     for &scale in &[0.1, 0.3, 1.0, 3.0] {
-        let p_ref = 1e-3 * scale;
         for scheme in [
             ErrorControlScheme::StaticCrc,
             ErrorControlScheme::StaticArqEcc,
             ErrorControlScheme::ProposedRl,
         ] {
-            let mut builder = Experiment::builder()
-                .scheme(scheme)
-                .workload(WorkloadProfile::bodytrack())
-                .seed(2019)
-                .telemetry(telemetry.clone())
-                .timing(TimingErrorParams {
-                    p_ref,
-                    ..TimingErrorParams::default()
-                });
-            if quick {
-                builder = builder
-                    .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
-                    .pretrain_cycles(20_000)
-                    .measure_cycles(8_000);
-            } else {
-                builder = builder.measure_cycles(20_000);
-            }
-            let report = builder.build().expect("valid sweep config").run();
-            println!(
-                "{:>8.0e}{:>10}{:>12.2}{:>14.1}{:>16.3e}",
-                p_ref,
-                scheme.to_string(),
-                report.avg_latency_cycles,
-                report.retransmitted_packets_equiv,
-                report.energy_efficiency()
-            );
+            variants.push((1e-3 * scale, scheme));
         }
+    }
+    let reports = rlnoc_bench::run_variants(variants, |(p_ref, scheme)| {
+        let mut builder = Experiment::builder()
+            .scheme(scheme)
+            .workload(WorkloadProfile::bodytrack())
+            .seed(2019)
+            .telemetry(telemetry.clone())
+            .timing(TimingErrorParams {
+                p_ref,
+                ..TimingErrorParams::default()
+            });
+        if quick {
+            builder = builder
+                .noc(noc_sim::config::NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(20_000)
+                .measure_cycles(8_000);
+        } else {
+            builder = builder.measure_cycles(20_000);
+        }
+        (
+            p_ref,
+            scheme,
+            builder.build().expect("valid sweep config").run(),
+        )
+    });
+    for (p_ref, scheme, report) in reports {
+        println!(
+            "{:>8.0e}{:>10}{:>12.2}{:>14.1}{:>16.3e}",
+            p_ref,
+            scheme.to_string(),
+            report.avg_latency_cycles,
+            report.retransmitted_packets_equiv,
+            report.energy_efficiency()
+        );
     }
     export_telemetry(&telemetry);
 }

@@ -1,29 +1,50 @@
 //! Regenerates Table II: the simulation parameters.
 
 use noc_sim::config::NocConfig;
+use rlnoc_bench::write_output;
+use std::fmt::Write as _;
 
 fn main() {
     let c = NocConfig::default();
-    println!("=== Table II: simulation parameters ===");
-    println!("{:<28}{}", "# of cores", c.mesh.num_nodes());
-    println!(
+    let mut table = String::new();
+    writeln!(table, "=== Table II: simulation parameters ===").expect("write to string");
+    writeln!(table, "{:<28}{}", "# of cores", c.mesh.num_nodes()).expect("write to string");
+    writeln!(
+        table,
         "{:<28}{} V, {:.1} GHz",
         "Voltage and Frequency",
         c.voltage,
         c.frequency / 1e9
-    );
-    println!(
+    )
+    .expect("write to string");
+    writeln!(
+        table,
         "{:<28}{}x{} 2D Mesh, X-Y Routing",
         "NoC Parameters",
         c.mesh.width(),
         c.mesh.height()
-    );
-    println!("{:<28}4-stage routers, {} VCs per port", "", c.vcs_per_port);
-    println!(
+    )
+    .expect("write to string");
+    writeln!(
+        table,
+        "{:<28}4-stage routers, {} VCs per port",
+        "", c.vcs_per_port
+    )
+    .expect("write to string");
+    writeln!(
+        table,
         "{:<28}128 bits/flit, {} flits",
         "Packet Size", c.flits_per_packet
-    );
-    println!("{:<28}{} flits/VC", "Buffer depth", c.vc_depth);
-    println!("{:<28}{} cycle(s)", "Link latency", c.link_latency);
-    println!("{:<28}{} cycle(s)", "ACK/NACK latency", c.ack_latency);
+    )
+    .expect("write to string");
+    writeln!(table, "{:<28}{} flits/VC", "Buffer depth", c.vc_depth).expect("write to string");
+    writeln!(table, "{:<28}{} cycle(s)", "Link latency", c.link_latency).expect("write to string");
+    writeln!(
+        table,
+        "{:<28}{} cycle(s)",
+        "ACK/NACK latency", c.ack_latency
+    )
+    .expect("write to string");
+    print!("{table}");
+    write_output("table2.txt", &table);
 }

@@ -14,11 +14,22 @@
 //!   exit (`.csv` extension → CSV epoch table, otherwise JSONL).
 //! * `TELEMETRY_CAP=<records>` — bound the epoch ring buffer (default
 //!   262 144 records; oldest evicted first).
+//! * `RLNOC_JOBS=<n|max>` — run campaign tasks / sweep variants on `n`
+//!   worker threads (default 1 = serial; results are byte-identical
+//!   either way).
+//! * `SNAPSHOT_DIR=<dir>` — checkpoint every finished campaign task
+//!   (and each RL task's learned policy) under `dir`.
+//! * `RESUME=1` — reload valid checkpoints from `SNAPSHOT_DIR` instead
+//!   of re-running their tasks.
 //!
 //! Passing `--quick` as the first CLI argument is equivalent to
 //! `RLNOC_QUICK=1`.
+//!
+//! Figure binaries print to stdout **and** drop the same table under
+//! `out/` (git-ignored) via [`write_output`].
 
-use rlnoc_core::campaign::Campaign;
+use rlnoc_core::campaign::{Campaign, CampaignResult};
+use rlnoc_runner::RunnerConfig;
 use rlnoc_telemetry::Telemetry;
 
 /// Builds the campaign configuration for a figure binary, honoring the
@@ -44,6 +55,50 @@ pub fn campaign_from_env() -> Campaign {
     }
     campaign.telemetry = telemetry_from_env();
     campaign
+}
+
+/// Runs a campaign through the parallel runner, honoring `RLNOC_JOBS`,
+/// `SNAPSHOT_DIR`, and `RESUME`. With none of them set this is exactly
+/// [`Campaign::run`]; with any worker count the merged result is
+/// byte-identical to the serial run. The runner shares the campaign's
+/// telemetry handle, so queue-depth / per-worker instruments land in the
+/// same `TELEMETRY_OUT` export as the simulation series.
+pub fn run_campaign(campaign: &Campaign) -> CampaignResult {
+    RunnerConfig::from_env()
+        .with_telemetry(campaign.telemetry.clone())
+        .run_campaign(campaign)
+}
+
+/// The `RLNOC_JOBS` worker count (1 when unset).
+pub fn jobs_from_env() -> usize {
+    RunnerConfig::from_env().jobs
+}
+
+/// Runs independent sweep/ablation variants on the `RLNOC_JOBS` worker
+/// pool, returning results in variant order — so sweep binaries print
+/// the same table whatever the worker count.
+pub fn run_variants<T, R>(variants: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    rlnoc_runner::pool::run_indexed(variants, jobs_from_env(), &Telemetry::disabled(), |_, v| {
+        f(v)
+    })
+}
+
+/// Writes a result artifact to `out/<name>` (creating `out/`, which is
+/// git-ignored) and notes the path on stderr. Failures are reported, not
+/// fatal — the artifact is a convenience copy of what stdout already
+/// shows.
+pub fn write_output(name: &str, contents: &str) {
+    let dir = std::path::Path::new("out");
+    let path = dir.join(name);
+    let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, contents));
+    match result {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// An enabled [`Telemetry`] handle when `TELEMETRY_OUT` is set (with an

@@ -5,13 +5,20 @@
 //! [`Campaign`] executes that grid reproducibly and [`CampaignResult`]
 //! provides the normalization and formatting used by the figure
 //! regeneration binaries in `rlnoc-bench`.
+//!
+//! A campaign is defined as an ordered list of independent
+//! [`CampaignTask`]s — `replicate × workload × scheme` cells, each
+//! carrying its own SplitMix-derived seed. [`Campaign::run`] executes
+//! them serially in task order; the `rlnoc-runner` crate executes the
+//! same list across worker threads and merges by task index, so a
+//! parallel run is byte-identical to the serial one.
 
 use crate::benchmarks::WorkloadProfile;
 use crate::experiment::{ErrorControlScheme, Experiment, ExperimentBuilder, ExperimentReport};
 use noc_sim::config::NocConfig;
 use rlnoc_telemetry::Telemetry;
 
-/// A grid of experiments: schemes × workloads.
+/// A grid of experiments: schemes × workloads (× seed replicates).
 #[derive(Debug, Clone)]
 pub struct Campaign {
     /// Schemes to compare (default: all four).
@@ -20,8 +27,13 @@ pub struct Campaign {
     pub workloads: Vec<WorkloadProfile>,
     /// NoC configuration shared by every run.
     pub noc: NocConfig,
-    /// Master seed; each run derives its own.
+    /// Master seed; each task derives its own via
+    /// [`rand::seed_stream`].
     pub seed: u64,
+    /// Seed replicates per (scheme, workload) cell (default 1). Every
+    /// replicate re-runs the whole grid under a fresh derived seed;
+    /// [`CampaignResult::report`] resolves to replicate 0.
+    pub replicates: usize,
     /// Pre-training cycles for learning schemes.
     pub pretrain_cycles: u64,
     /// Warm-up cycles for all schemes.
@@ -38,6 +50,34 @@ pub struct Campaign {
     pub telemetry: Telemetry,
 }
 
+/// One independent cell of a campaign grid.
+///
+/// Tasks are self-contained: `(scheme, workload, seed)` plus the shared
+/// campaign configuration fully determine the run, so tasks can execute
+/// in any order — or concurrently — and still reproduce the serial
+/// campaign exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignTask {
+    /// Position in the serial run order (and in
+    /// [`CampaignResult::reports`]).
+    pub index: usize,
+    /// Seed replicate this task belongs to.
+    pub replicate: usize,
+    /// Index into [`Campaign::workloads`].
+    pub workload: usize,
+    /// Scheme under test.
+    pub scheme: ErrorControlScheme,
+    /// The derived master seed for this task's experiment.
+    ///
+    /// Seeds are drawn with [`rand::seed_stream`] from the campaign seed
+    /// and the `(replicate, workload)` pair — deliberately *not* the raw
+    /// task index: all schemes of one (replicate, workload) cell share a
+    /// seed so they face the same traffic realization, variation map,
+    /// and fault history, keeping the CRC-normalized comparisons paired
+    /// the way the paper's figures assume.
+    pub seed: u64,
+}
+
 impl Campaign {
     /// The paper's full evaluation grid with default simulation lengths.
     pub fn paper_default() -> Self {
@@ -46,6 +86,7 @@ impl Campaign {
             workloads: WorkloadProfile::all(),
             noc: NocConfig::default(),
             seed: 2019,
+            replicates: 1,
             pretrain_cycles: 600_000,
             warmup_cycles: 2_000,
             measure_cycles: None,
@@ -62,6 +103,7 @@ impl Campaign {
             workloads: vec![WorkloadProfile::blackscholes(), WorkloadProfile::canneal()],
             noc: NocConfig::builder().mesh(4, 4).build(),
             seed: 7,
+            replicates: 1,
             pretrain_cycles: 8_000,
             warmup_cycles: 1_000,
             measure_cycles: Some(6_000),
@@ -71,35 +113,108 @@ impl Campaign {
         }
     }
 
-    /// Runs every (scheme, workload) pair.
-    pub fn run(&self) -> CampaignResult {
-        let mut reports = Vec::with_capacity(self.schemes.len() * self.workloads.len());
-        for workload in &self.workloads {
-            for &scheme in &self.schemes {
-                let mut builder = Experiment::builder()
-                    .scheme(scheme)
-                    .workload(workload.clone())
-                    .noc(self.noc)
-                    .seed(self.seed)
-                    .pretrain_cycles(self.pretrain_cycles)
-                    .warmup_cycles(self.warmup_cycles)
-                    .drain_limit(self.drain_limit)
-                    .telemetry(self.telemetry.clone());
-                if let Some(cap) = self.measure_cycles {
-                    builder = builder.measure_cycles(cap);
+    /// Decomposes the grid into its independent tasks, in serial run
+    /// order: replicate-major, then workload, then scheme.
+    pub fn tasks(&self) -> Vec<CampaignTask> {
+        let replicates = self.replicates.max(1);
+        let mut tasks = Vec::with_capacity(replicates * self.workloads.len() * self.schemes.len());
+        for replicate in 0..replicates {
+            for workload in 0..self.workloads.len() {
+                let stream = (replicate * self.workloads.len() + workload) as u64;
+                let seed = rand::seed_stream(self.seed, stream);
+                for &scheme in &self.schemes {
+                    tasks.push(CampaignTask {
+                        index: tasks.len(),
+                        replicate,
+                        workload,
+                        scheme,
+                        seed,
+                    });
                 }
-                if let Some(f) = self.customize {
-                    builder = f(builder);
-                }
-                reports.push(
-                    builder
-                        .build()
-                        .expect("campaign configuration is validated")
-                        .run(),
-                );
             }
         }
-        CampaignResult { reports }
+        tasks
+    }
+
+    /// Builds the fully configured experiment for one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task.workload` is out of range or the campaign
+    /// configuration is invalid.
+    pub fn experiment(&self, task: &CampaignTask) -> Experiment {
+        let mut builder = Experiment::builder()
+            .scheme(task.scheme)
+            .workload(self.workloads[task.workload].clone())
+            .noc(self.noc)
+            .seed(task.seed)
+            .pretrain_cycles(self.pretrain_cycles)
+            .warmup_cycles(self.warmup_cycles)
+            .drain_limit(self.drain_limit)
+            .telemetry(self.telemetry.clone());
+        if let Some(cap) = self.measure_cycles {
+            builder = builder.measure_cycles(cap);
+        }
+        if let Some(f) = self.customize {
+            builder = f(builder);
+        }
+        builder
+            .build()
+            .expect("campaign configuration is validated")
+    }
+
+    /// Runs one task to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`experiment`](Self::experiment) does.
+    pub fn run_task(&self, task: &CampaignTask) -> ExperimentReport {
+        self.experiment(task).run()
+    }
+
+    /// Runs every task serially, in task order.
+    pub fn run(&self) -> CampaignResult {
+        CampaignResult {
+            reports: self.tasks().iter().map(|t| self.run_task(t)).collect(),
+        }
+    }
+
+    /// A stable fingerprint of everything that shapes the task list and
+    /// its results — used by checkpoint manifests to refuse resuming a
+    /// checkpoint directory against a different campaign.
+    ///
+    /// The `customize` hook cannot be fingerprinted (it is an arbitrary
+    /// function); only its presence is folded in, so swapping one hook
+    /// for another between checkpoint and resume is the caller's
+    /// responsibility.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical rendering of the run-relevant fields.
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut canon = String::new();
+        use std::fmt::Write;
+        write!(
+            canon,
+            "seed={};replicates={};pretrain={};warmup={};measure={:?};drain={};noc={:?};custom={};",
+            self.seed,
+            self.replicates.max(1),
+            self.pretrain_cycles,
+            self.warmup_cycles,
+            self.measure_cycles,
+            self.drain_limit,
+            self.noc,
+            self.customize.is_some(),
+        )
+        .expect("write to string");
+        for s in &self.schemes {
+            write!(canon, "scheme={s};").expect("write to string");
+        }
+        for w in &self.workloads {
+            write!(canon, "workload={}/{};", w.name, w.duration_cycles).expect("write to string");
+        }
+        canon.bytes().fold(FNV_OFFSET, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+        })
     }
 }
 
@@ -267,5 +382,78 @@ mod tests {
                 r.avg_latency_cycles
             })
             .is_none());
+    }
+
+    #[test]
+    fn tasks_enumerate_the_grid_in_run_order() {
+        let mut c = Campaign::quick();
+        c.workloads = vec![
+            WorkloadProfile::blackscholes(),
+            WorkloadProfile::swaptions(),
+        ];
+        c.replicates = 2;
+        let tasks = c.tasks();
+        assert_eq!(tasks.len(), 2 * 2 * c.schemes.len());
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i, "task index matches position");
+        }
+        // Replicate-major, workload-major, scheme-minor.
+        assert_eq!(
+            (tasks[0].replicate, tasks[0].workload),
+            (0, 0),
+            "first cell"
+        );
+        let per_rep = tasks.len() / 2;
+        assert_eq!(tasks[per_rep].replicate, 1, "second replicate follows");
+        assert_eq!(tasks[per_rep].workload, 0);
+    }
+
+    #[test]
+    fn schemes_within_a_cell_share_a_seed_but_cells_differ() {
+        let mut c = Campaign::quick();
+        c.workloads = vec![
+            WorkloadProfile::blackscholes(),
+            WorkloadProfile::swaptions(),
+        ];
+        c.replicates = 2;
+        let tasks = c.tasks();
+        let n = c.schemes.len();
+        // All schemes of one (replicate, workload) cell are paired on the
+        // same seed so CRC-normalized comparisons see the same traffic,
+        // variation map, and fault realization.
+        for cell in tasks.chunks(n) {
+            assert!(cell.iter().all(|t| t.seed == cell[0].seed));
+        }
+        // ... while distinct cells draw decorrelated seeds.
+        let mut cell_seeds: Vec<u64> = tasks.chunks(n).map(|cell| cell[0].seed).collect();
+        cell_seeds.sort_unstable();
+        cell_seeds.dedup();
+        assert_eq!(cell_seeds.len(), 4, "4 cells, 4 distinct seeds");
+    }
+
+    #[test]
+    fn serial_run_equals_per_task_runs() {
+        let mut c = Campaign::quick();
+        c.workloads = vec![WorkloadProfile::blackscholes()];
+        c.pretrain_cycles = 4_000;
+        c.measure_cycles = Some(4_000);
+        let serial = c.run();
+        let per_task: Vec<ExperimentReport> = c.tasks().iter().map(|t| c.run_task(t)).collect();
+        assert_eq!(serial.reports, per_task);
+    }
+
+    #[test]
+    fn fingerprint_tracks_run_relevant_fields() {
+        let a = Campaign::quick();
+        let mut b = Campaign::quick();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same config, same print");
+        b.seed += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint(), "seed changes it");
+        let mut c = Campaign::quick();
+        c.workloads.pop();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "workload set changes it");
+        let mut d = Campaign::quick();
+        d.replicates = 3;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "replicates change it");
     }
 }

@@ -17,7 +17,50 @@
 use crate::modes::OperationMode;
 use noc_rl::agent::{AgentConfig, QLearningAgent};
 use noc_rl::decision_tree::{DecisionTree, TreeParams};
+use noc_rl::snapshot::PolicySnapshot;
 use noc_rl::state::{RouterFeatures, StateSpace};
+
+/// Why a [`PolicySnapshot`] could not be loaded into a bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyLoadError {
+    /// The bank is not the RL bank — there is nothing to load a Q-table
+    /// policy into.
+    NotRlBank,
+    /// The snapshot holds a different number of per-router agents than
+    /// the bank.
+    AgentCountMismatch {
+        /// Agents in the bank.
+        expected: usize,
+        /// Agents in the snapshot.
+        actual: usize,
+    },
+    /// The snapshot's tables discretize a different state space.
+    StateSpaceMismatch {
+        /// States per table in the bank.
+        expected: usize,
+        /// States per table in the snapshot.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for PolicyLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotRlBank => write!(f, "policy snapshots only apply to the RL controller bank"),
+            Self::AgentCountMismatch { expected, actual } => {
+                write!(f, "snapshot has {actual} agents, bank has {expected}")
+            }
+            Self::StateSpaceMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot tables have {actual} states, bank expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyLoadError {}
 
 /// Error-rate thresholds mapping a DT prediction to an operation mode.
 ///
@@ -126,7 +169,11 @@ impl ControllerBank {
     pub fn rl_with(num_routers: usize, seed: u64, config: AgentConfig, space: StateSpace) -> Self {
         let agents = (0..num_routers)
             .map(|i| {
-                QLearningAgent::new(space.num_states(), config.clone(), seed ^ (i as u64) << 17)
+                QLearningAgent::new(
+                    space.num_states(),
+                    config.clone(),
+                    rand::seed_stream(seed, i as u64),
+                )
             })
             .collect();
         Self {
@@ -286,6 +333,60 @@ impl ControllerBank {
         if let Bank::Rl { agents, .. } = &mut self.bank {
             for a in agents {
                 a.set_telemetry(telemetry);
+            }
+        }
+    }
+
+    /// Captures the current RL policy (every router's Q-table) as a
+    /// [`PolicySnapshot`]; `None` for non-RL banks.
+    pub fn policy_snapshot(&self) -> Option<PolicySnapshot> {
+        match &self.bank {
+            Bank::Rl { agents, .. } => Some(PolicySnapshot::new(
+                agents.iter().map(|a| a.q_table().clone()).collect(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Installs a previously captured policy into this RL bank, replacing
+    /// every agent's Q-table and clearing pending TD credit. Learning and
+    /// exploration schedules are left as-is; call [`freeze`](Self::freeze)
+    /// afterwards for pure inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyLoadError`] when this is not the RL bank or the
+    /// snapshot's shape does not match.
+    pub fn load_policy(&mut self, snapshot: PolicySnapshot) -> Result<(), PolicyLoadError> {
+        let Bank::Rl { agents, space, .. } = &mut self.bank else {
+            return Err(PolicyLoadError::NotRlBank);
+        };
+        if snapshot.num_agents() != agents.len() {
+            return Err(PolicyLoadError::AgentCountMismatch {
+                expected: agents.len(),
+                actual: snapshot.num_agents(),
+            });
+        }
+        if snapshot.num_states() != space.num_states() {
+            return Err(PolicyLoadError::StateSpaceMismatch {
+                expected: space.num_states(),
+                actual: snapshot.num_states(),
+            });
+        }
+        for (agent, table) in agents.iter_mut().zip(snapshot.into_tables()) {
+            agent
+                .import_table(table)
+                .expect("shape verified against the bank above");
+        }
+        Ok(())
+    }
+
+    /// Freezes every RL agent for pure inference: learning off, ε = 0
+    /// (greedy). No-op for non-RL banks.
+    pub fn freeze(&mut self) {
+        if let Bank::Rl { agents, .. } = &mut self.bank {
+            for a in agents {
+                a.freeze();
             }
         }
     }
@@ -480,5 +581,72 @@ mod tests {
         let bank = ControllerBank::rl(3, 0);
         let s = format!("{bank:?}");
         assert!(s.contains("rl(3 agents)"));
+    }
+
+    #[test]
+    fn policy_snapshot_round_trips_through_a_fresh_bank() {
+        // Train a 2-router bank a little, snapshot it, load into a fresh
+        // bank, freeze, and check the policies coincide.
+        let mut trained = ControllerBank::rl(2, 41);
+        let hot = features(95.0, 0.25);
+        for step in 0..400 {
+            for r in 0..2 {
+                let reward = if step % 4 == 3 { 1.0 } else { -0.1 };
+                let _ = trained.decide(r, &hot, reward);
+            }
+        }
+        let snap = trained.policy_snapshot().expect("rl bank snapshots");
+        assert_eq!(snap.num_agents(), 2);
+
+        let mut fresh = ControllerBank::rl(2, 999);
+        fresh.load_policy(snap).expect("shapes match");
+        fresh.freeze();
+        trained.freeze();
+
+        // After one priming decision each (pending credit was cleared),
+        // both banks make identical greedy decisions.
+        let probe = [features(95.0, 0.25), features(55.0, 0.05)];
+        for f in &probe {
+            for r in 0..2 {
+                let _ = trained.decide(r, f, 0.0);
+                let _ = fresh.decide(r, f, 0.0);
+            }
+        }
+        for f in &probe {
+            for r in 0..2 {
+                assert_eq!(trained.decide(r, f, 0.0), fresh.decide(r, f, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn load_policy_rejects_shape_mismatches() {
+        let donor = ControllerBank::rl(3, 7);
+        let snap = donor.policy_snapshot().unwrap();
+        let mut two = ControllerBank::rl(2, 7);
+        assert_eq!(
+            two.load_policy(snap.clone()),
+            Err(PolicyLoadError::AgentCountMismatch {
+                expected: 2,
+                actual: 3
+            })
+        );
+        let mut stat = ControllerBank::statically(OperationMode::Mode0);
+        assert_eq!(stat.load_policy(snap), Err(PolicyLoadError::NotRlBank));
+    }
+
+    #[test]
+    fn frozen_bank_is_deterministic() {
+        let mut bank = ControllerBank::rl(1, 5);
+        let hot = features(92.0, 0.2);
+        for _ in 0..50 {
+            let _ = bank.decide(0, &hot, 0.3);
+        }
+        bank.freeze();
+        let _ = bank.decide(0, &hot, 0.0); // settle pending credit
+        let first = bank.decide(0, &hot, 0.0);
+        for _ in 0..20 {
+            assert_eq!(bank.decide(0, &hot, 0.0), first);
+        }
     }
 }

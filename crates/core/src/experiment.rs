@@ -127,6 +127,7 @@ pub struct ExperimentBuilder {
     dt_thresholds: DtThresholds,
     allowed_modes: [bool; 4],
     telemetry: Telemetry,
+    rl_policy: Option<std::sync::Arc<noc_rl::snapshot::PolicySnapshot>>,
 }
 
 impl ExperimentBuilder {
@@ -240,6 +241,19 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Preloads a trained RL policy for inference-only runs
+    /// (train-once/eval-many). Pre-training is skipped entirely and every
+    /// agent is frozen greedy (learning off, ε = 0) before the first
+    /// cycle. Only valid with [`ErrorControlScheme::ProposedRl`]; the
+    /// snapshot's shape is checked against the mesh and state space at
+    /// [`build`](Self::build) time. The `Arc` lets many parallel
+    /// evaluation tasks share one snapshot without copying Q-tables per
+    /// task.
+    pub fn rl_policy(mut self, policy: std::sync::Arc<noc_rl::snapshot::PolicySnapshot>) -> Self {
+        self.rl_policy = Some(policy);
+        self
+    }
+
     /// DT threshold override.
     pub fn dt_thresholds(mut self, thresholds: DtThresholds) -> Self {
         self.dt_thresholds = thresholds;
@@ -290,6 +304,28 @@ impl ExperimentBuilder {
         if self.drain_limit == 0 {
             return Err(BuildExperimentError("drain_limit must be positive"));
         }
+        if let Some(policy) = &self.rl_policy {
+            if self.scheme != ErrorControlScheme::ProposedRl {
+                return Err(BuildExperimentError(
+                    "rl_policy requires the ProposedRl scheme",
+                ));
+            }
+            if policy.num_agents() != self.noc.mesh.num_nodes() {
+                return Err(BuildExperimentError(
+                    "rl_policy agent count does not match the mesh",
+                ));
+            }
+            let num_states = self
+                .rl_state_space
+                .clone()
+                .unwrap_or_else(noc_rl::state::StateSpace::paper_default)
+                .num_states();
+            if policy.num_states() != num_states {
+                return Err(BuildExperimentError(
+                    "rl_policy state space does not match the configuration",
+                ));
+            }
+        }
         Ok(Experiment { cfg: self })
     }
 }
@@ -326,6 +362,7 @@ impl Experiment {
             dt_thresholds: DtThresholds::default(),
             allowed_modes: [true; 4],
             telemetry: Telemetry::disabled(),
+            rl_policy: None,
         }
     }
 
@@ -516,7 +553,13 @@ impl Runner {
                     .rl_state_space
                     .clone()
                     .unwrap_or_else(noc_rl::state::StateSpace::paper_default);
-                ControllerBank::rl_with(n, cfg.seed ^ 0x5EED_0004, config, space)
+                let mut bank = ControllerBank::rl_with(n, cfg.seed ^ 0x5EED_0004, config, space);
+                if let Some(policy) = &cfg.rl_policy {
+                    bank.load_policy((**policy).clone())
+                        .expect("policy shape validated at build time");
+                    bank.freeze();
+                }
+                bank
             }
         };
         let initial_mode = match cfg.scheme {
@@ -565,7 +608,12 @@ impl Runner {
             .cfg
             .pretrain_rate
             .unwrap_or_else(|| self.cfg.workload.mean_injection_rate().clamp(0.002, 0.03));
-        if self.cfg.scheme.is_learning() && self.cfg.pretrain_cycles > 0 {
+        // A preloaded (frozen) RL policy skips pre-training entirely:
+        // the run is inference-only.
+        if self.cfg.scheme.is_learning()
+            && self.cfg.pretrain_cycles > 0
+            && self.cfg.rl_policy.is_none()
+        {
             let mut source = SyntheticSource::new(
                 self.cfg.noc.mesh,
                 TrafficPattern::UniformRandom,
@@ -1085,6 +1133,101 @@ mod tests {
             .expect("valid test configuration")
             .run();
         assert_eq!(report, bare, "telemetry must be observation-only");
+    }
+
+    #[test]
+    fn rl_policy_preload_skips_pretraining_and_is_deterministic() {
+        use std::sync::Arc;
+        // Train once, snapshot the learned policy.
+        let (_, artifacts) = Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .workload(WorkloadProfile::blackscholes())
+            .noc(NocConfig::builder().mesh(4, 4).build())
+            .pretrain_cycles(6_000)
+            .warmup_cycles(1_000)
+            .measure_cycles(4_000)
+            .drain_limit(40_000)
+            .seed(11)
+            .build()
+            .expect("valid")
+            .run_inspect();
+        let policy = Arc::new(
+            artifacts
+                .controllers
+                .policy_snapshot()
+                .expect("RL bank snapshots"),
+        );
+
+        // Evaluate twice with the frozen policy: identical reports, and
+        // no TD updates during the run (inference only).
+        let eval = |seed: u64| {
+            Experiment::builder()
+                .scheme(ErrorControlScheme::ProposedRl)
+                .workload(WorkloadProfile::blackscholes())
+                .noc(NocConfig::builder().mesh(4, 4).build())
+                .pretrain_cycles(6_000) // ignored: policy preloaded
+                .warmup_cycles(1_000)
+                .measure_cycles(4_000)
+                .drain_limit(40_000)
+                .seed(seed)
+                .rl_policy(Arc::clone(&policy))
+                .build()
+                .expect("valid")
+                .run_inspect()
+        };
+        let (a, art_a) = eval(23);
+        let (b, _) = eval(23);
+        assert_eq!(a, b, "inference runs are reproducible");
+        assert!(a.drained);
+        assert_eq!(a.packets_delivered, a.packets_injected);
+        let (loaded, _) = art_a.controllers.rl_agents().expect("rl bank");
+        assert!(
+            loaded.iter().all(|ag| !ag.learning_enabled()),
+            "preloaded agents stay frozen"
+        );
+        let trained_updates: u64 = artifacts
+            .controllers
+            .rl_agents()
+            .unwrap()
+            .0
+            .iter()
+            .map(|ag| ag.q_table().updates())
+            .sum();
+        let eval_updates: u64 = loaded.iter().map(|ag| ag.q_table().updates()).sum();
+        assert_eq!(
+            eval_updates, trained_updates,
+            "no TD updates during inference"
+        );
+    }
+
+    #[test]
+    fn rl_policy_preload_is_validated_at_build_time() {
+        use std::sync::Arc;
+        let small = Arc::new(noc_rl::snapshot::PolicySnapshot::new(vec![
+            noc_rl::qtable::QTable::new(
+                10
+            );
+            4
+        ]));
+        // Wrong scheme.
+        assert!(Experiment::builder()
+            .scheme(ErrorControlScheme::StaticCrc)
+            .rl_policy(Arc::clone(&small))
+            .build()
+            .is_err());
+        // Wrong agent count for the 8x8 default mesh.
+        assert!(Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .rl_policy(Arc::clone(&small))
+            .build()
+            .is_err());
+        // Wrong state-space size for a 2x2 mesh.
+        assert!(Experiment::builder()
+            .scheme(ErrorControlScheme::ProposedRl)
+            .noc(NocConfig::builder().mesh(2, 2).build())
+            .rl_policy(small)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod modes;
 pub mod protocol;
 
 pub use benchmarks::WorkloadProfile;
-pub use campaign::{Campaign, CampaignResult};
-pub use controller::{ControllerBank, DtSample, DtThresholds};
+pub use campaign::{Campaign, CampaignResult, CampaignTask};
+pub use controller::{ControllerBank, DtSample, DtThresholds, PolicyLoadError};
 pub use experiment::{ErrorControlScheme, Experiment, ExperimentReport};
 pub use modes::OperationMode;
 pub use protocol::FaultTolerantProtocol;

@@ -228,6 +228,33 @@ impl QLearningAgent {
         self.learning = enabled;
     }
 
+    /// Replaces the agent's Q-table with `table` — the load half of
+    /// policy snapshotting. The pending `(state, action)` credit is
+    /// cleared so the imported table is never updated with a reward
+    /// earned under the old policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the table unchanged when its state count differs from the
+    /// agent's.
+    pub fn import_table(&mut self, table: QTable) -> Result<(), QTable> {
+        if table.num_states() != self.q.num_states() {
+            return Err(table);
+        }
+        self.q = table;
+        self.last = None;
+        self.last_td_delta = 0.0;
+        Ok(())
+    }
+
+    /// Switches the agent to deployed-policy (inference-only) operation:
+    /// TD updates stop and exploration is disabled, so every decision is
+    /// the frozen table's greedy action.
+    pub fn freeze(&mut self) {
+        self.set_learning(false);
+        self.set_epsilon(Schedule::Constant(0.0));
+    }
+
     /// Replaces the exploration schedule (e.g. ε → 0 after pre-training).
     pub fn set_epsilon(&mut self, epsilon: Schedule) {
         self.config.epsilon = epsilon;
@@ -365,6 +392,55 @@ mod tests {
             a.observe_and_act(i, 0.0);
         }
         assert_eq!(a.steps(), 7);
+    }
+
+    #[test]
+    fn import_table_replaces_policy_and_clears_pending_credit() {
+        let mut a = QLearningAgent::new(
+            16,
+            AgentConfig {
+                epsilon: Schedule::Constant(0.0),
+                ..AgentConfig::paper_default()
+            },
+            1,
+        );
+        a.observe_and_act(0, 0.0); // pending credit on (0, initial)
+        let mut trained = QTable::new(16);
+        for _ in 0..50 {
+            trained.update(0, 2, 1.0, 0, 0.5, 0.0);
+        }
+        a.import_table(trained.clone()).expect("state counts match");
+        a.freeze();
+        // The pending credit was cleared: the first post-import step is a
+        // fresh start (initial action, no update), after which decisions
+        // are the imported table's greedy policy.
+        assert_eq!(a.observe_and_act(0, 999.0), 0, "fresh start");
+        let action = a.observe_and_act(0, 999.0);
+        assert_eq!(action, 2, "greedy action comes from the imported table");
+        assert_eq!(a.q_table(), &trained, "no stray update applied");
+    }
+
+    #[test]
+    fn import_table_rejects_mismatched_state_space() {
+        let mut a = agent(1);
+        let wrong = QTable::new(9);
+        assert!(a.import_table(wrong).is_err());
+    }
+
+    #[test]
+    fn frozen_agent_is_greedy_and_static() {
+        let mut a = agent(4);
+        a.observe_and_act(0, 0.0);
+        a.observe_and_act(1, 2.0);
+        a.freeze();
+        let snapshot = a.q_table().clone();
+        let explorations = a.exploration_moves();
+        for _ in 0..200 {
+            a.observe_and_act(1, 5.0);
+        }
+        assert_eq!(a.q_table(), &snapshot, "frozen agent must not learn");
+        assert_eq!(a.exploration_moves(), explorations, "nor explore");
+        assert_eq!(a.current_epsilon(), 0.0);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`schedule`] — learning-rate / exploration schedules.
 //! * [`decision_tree`] — a CART regression tree, the supervised baseline
 //!   (DiTomaso et al., MICRO 2016) the paper compares against.
+//! * [`snapshot`] — versioned, CRC-32-checksummed persistence of trained
+//!   policy banks (train-once/eval-many and checkpoint/resume).
 //!
 //! # Example
 //!
@@ -38,12 +40,14 @@ pub mod agent;
 pub mod decision_tree;
 pub mod qtable;
 pub mod schedule;
+pub mod snapshot;
 pub mod state;
 
 pub use agent::{AgentConfig, QLearningAgent};
 pub use decision_tree::{DecisionTree, TreeParams};
 pub use qtable::QTable;
 pub use schedule::Schedule;
+pub use snapshot::{PolicySnapshot, SnapshotError};
 pub use state::{RouterFeatures, StateSpace};
 
 /// Number of actions: the four fault-tolerant operation modes.

@@ -1,0 +1,412 @@
+//! Versioned, checksummed persistence for trained policies.
+//!
+//! A [`PolicySnapshot`] captures the Q-tables of a whole controller bank
+//! (one table per router) in **snapshot format v1**: a line-oriented
+//! text body — a bank header, then each agent's table in the sparse
+//! [`QTable::save`] layout — terminated by a CRC-32 trailer over every
+//! preceding byte. The checksum turns the two failure modes of
+//! checkpoint/resume (truncated file from a killed run, bit rot on disk)
+//! into clean [`SnapshotError::ChecksumMismatch`] errors instead of
+//! silently resuming from a corrupt policy.
+//!
+//! ```text
+//! rlnoc-policy v1 agents=<n> states=<s>
+//! agent 0
+//! qtable <s> <updates>
+//! <state> <q0> <q1> <q2> <q3> <v0> <v1> <v2> <v3>
+//! ...
+//! agent 1
+//! ...
+//! end
+//! crc32 <8 hex digits>
+//! ```
+//!
+//! The format is the train-once/eval-many split the paper implies: an
+//! expensive pre-training phase persists its policy once, and any number
+//! of deployed (inference-only, learning-frozen) runs load it back.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_rl::qtable::QTable;
+//! use noc_rl::snapshot::PolicySnapshot;
+//!
+//! let mut q = QTable::new(16);
+//! q.update(3, 1, 1.0, 4, 0.1, 0.5);
+//! let snap = PolicySnapshot::new(vec![q]);
+//! let mut buf = Vec::new();
+//! snap.write(&mut buf).unwrap();
+//! let restored = PolicySnapshot::read(buf.as_slice()).unwrap();
+//! assert_eq!(restored, snap);
+//! ```
+
+use crate::qtable::QTable;
+use noc_coding::crc::Crc32;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// The snapshot format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A persisted bank of per-router Q-tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySnapshot {
+    tables: Vec<QTable>,
+}
+
+/// Why a snapshot could not be read.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The body parsed but the CRC-32 trailer does not match it.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: u32,
+        /// Checksum recomputed over the body.
+        actual: u32,
+    },
+    /// The header names a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// Structurally malformed input.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: trailer {expected:08x}, body {actual:08x}"
+            ),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            SnapshotError::Corrupt { line, message } => {
+                write!(f, "corrupt snapshot at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl PolicySnapshot {
+    /// Wraps the per-router tables of one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the tables disagree on state count
+    /// (a bank shares one state space).
+    pub fn new(tables: Vec<QTable>) -> Self {
+        assert!(!tables.is_empty(), "snapshot needs at least one table");
+        let states = tables[0].num_states();
+        assert!(
+            tables.iter().all(|t| t.num_states() == states),
+            "all tables in a snapshot must share one state space"
+        );
+        Self { tables }
+    }
+
+    /// Number of per-router tables.
+    pub fn num_agents(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// States per table.
+    pub fn num_states(&self) -> usize {
+        self.tables[0].num_states()
+    }
+
+    /// The tables, in router order.
+    pub fn tables(&self) -> &[QTable] {
+        &self.tables
+    }
+
+    /// Consumes the snapshot, yielding the tables in router order.
+    pub fn into_tables(self) -> Vec<QTable> {
+        self.tables
+    }
+
+    /// Serializes the snapshot (body + CRC-32 trailer) into `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let mut body = Vec::new();
+        writeln!(
+            body,
+            "rlnoc-policy v{FORMAT_VERSION} agents={} states={}",
+            self.num_agents(),
+            self.num_states()
+        )?;
+        for (i, table) in self.tables.iter().enumerate() {
+            writeln!(body, "agent {i}")?;
+            table.save(&mut body)?;
+        }
+        writeln!(body, "end")?;
+        let checksum = Crc32::new().checksum(&body);
+        writer.write_all(&body)?;
+        writeln!(writer, "crc32 {checksum:08x}")
+    }
+
+    /// Parses a snapshot previously produced by [`write`](Self::write),
+    /// verifying the trailer checksum before trusting any content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on I/O failure, checksum mismatch,
+    /// unsupported version, or malformed structure.
+    pub fn read<R: BufRead>(mut reader: R) -> Result<Self, SnapshotError> {
+        let mut raw = String::new();
+        reader.read_to_string(&mut raw)?;
+        let corrupt = |line: usize, message: String| SnapshotError::Corrupt { line, message };
+
+        // Split off the trailer: the final non-empty line.
+        let trimmed = raw.trim_end_matches('\n');
+        let trailer_start = trimmed.rfind('\n').map_or(0, |p| p + 1);
+        let trailer = &trimmed[trailer_start..];
+        let expected = trailer
+            .strip_prefix("crc32 ")
+            .and_then(|hex| u32::from_str_radix(hex.trim(), 16).ok())
+            .ok_or_else(|| corrupt(0, "missing crc32 trailer".into()))?;
+        let body = &raw.as_bytes()[..trailer_start];
+        let actual = Crc32::new().checksum(body);
+        if actual != expected {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut lines = trimmed[..trailer_start.saturating_sub(1)]
+            .lines()
+            .enumerate()
+            .peekable();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| corrupt(1, "empty snapshot".into()))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("rlnoc-policy") {
+            return Err(corrupt(1, "missing rlnoc-policy header".into()));
+        }
+        let version: u32 = parts
+            .next()
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt(1, "bad version field".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let field = |parts: &mut std::str::SplitWhitespace<'_>, name: &str| {
+            parts
+                .next()
+                .and_then(|v| v.strip_prefix(name))
+                .and_then(|v| v.strip_prefix('='))
+                .and_then(|v| v.parse::<usize>().ok())
+        };
+        let num_agents =
+            field(&mut parts, "agents").ok_or_else(|| corrupt(1, "bad agents field".into()))?;
+        let num_states =
+            field(&mut parts, "states").ok_or_else(|| corrupt(1, "bad states field".into()))?;
+        if num_agents == 0 || num_states == 0 {
+            return Err(corrupt(1, "empty bank".into()));
+        }
+
+        // Each agent section is buffered and handed to QTable::load.
+        let mut tables = Vec::with_capacity(num_agents);
+        for expect in 0..num_agents {
+            let (n, line) = lines
+                .next()
+                .ok_or_else(|| corrupt(0, format!("missing section for agent {expect}")))?;
+            if line.trim() != format!("agent {expect}") {
+                return Err(corrupt(n + 1, format!("expected `agent {expect}`")));
+            }
+            let mut section = String::new();
+            while let Some((_, peeked)) = lines.peek() {
+                let p = peeked.trim();
+                if p.starts_with("agent ") || p == "end" {
+                    break;
+                }
+                let (_, line) = lines.next().expect("peeked");
+                section.push_str(line);
+                section.push('\n');
+            }
+            let table = QTable::load(section.as_bytes())
+                .map_err(|e| corrupt(n + 1, format!("agent {expect}: {e}")))?;
+            if table.num_states() != num_states {
+                return Err(corrupt(
+                    n + 1,
+                    format!(
+                        "agent {expect} has {} states, bank header says {num_states}",
+                        table.num_states()
+                    ),
+                ));
+            }
+            tables.push(table);
+        }
+        match lines.next() {
+            Some((_, line)) if line.trim() == "end" => {}
+            Some((n, line)) => {
+                return Err(corrupt(n + 1, format!("expected `end`, got `{line}`")));
+            }
+            None => return Err(corrupt(0, "missing `end` marker".into())),
+        }
+        Ok(Self::new(tables))
+    }
+
+    /// Writes the snapshot to `path` atomically: the bytes land in a
+    /// sibling temporary file which is renamed into place, so a killed
+    /// process never leaves a half-written snapshot under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            self.write(&mut file)?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] as [`read`](Self::read) does.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        Self::read(io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_bank(agents: usize) -> PolicySnapshot {
+        let tables = (0..agents)
+            .map(|i| {
+                let mut q = QTable::new(40);
+                q.update(i % 40, i % 4, 1.0 + i as f64, (i + 1) % 40, 0.5, 0.5);
+                q.update(7, 2, -0.125, 3, 0.25, 0.5);
+                q
+            })
+            .collect();
+        PolicySnapshot::new(tables)
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let snap = trained_bank(5);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write to vec");
+        let restored = PolicySnapshot::read(buf.as_slice()).expect("read own output");
+        assert_eq!(restored, snap);
+        assert_eq!(restored.num_agents(), 5);
+        assert_eq!(restored.num_states(), 40);
+    }
+
+    #[test]
+    fn single_agent_round_trips() {
+        let snap = trained_bank(1);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write");
+        assert_eq!(PolicySnapshot::read(buf.as_slice()).expect("read"), snap);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let snap = trained_bank(3);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write");
+        // Flip one bit somewhere in the middle of the body.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x04;
+        match PolicySnapshot::read(buf.as_slice()) {
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Corrupt { .. }) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let snap = trained_bank(3);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write");
+        buf.truncate(buf.len() * 2 / 3);
+        assert!(
+            PolicySnapshot::read(buf.as_slice()).is_err(),
+            "truncated snapshot must not parse"
+        );
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = "rlnoc-policy v99 agents=1 states=4\nagent 0\nqtable 4 0\nend\n";
+        let mut buf = text.as_bytes().to_vec();
+        let crc = Crc32::new().checksum(&buf);
+        buf.extend_from_slice(format!("crc32 {crc:08x}\n").as_bytes());
+        match PolicySnapshot::read(buf.as_slice()) {
+            Err(SnapshotError::UnsupportedVersion(99)) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(PolicySnapshot::read(&b""[..]).is_err());
+        assert!(PolicySnapshot::read(&b"not a snapshot\n"[..]).is_err());
+    }
+
+    #[test]
+    fn path_round_trip_is_atomic_and_identical() {
+        let snap = trained_bank(4);
+        let dir = std::env::temp_dir().join(format!("rlnoc-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bank.policy");
+        snap.save_to_path(&path).expect("save");
+        assert!(
+            !path.with_extension("policy.tmp").exists(),
+            "temporary file must be renamed away"
+        );
+        let restored = PolicySnapshot::load_from_path(&path).expect("load");
+        assert_eq!(restored, snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_snapshot_panics() {
+        let _ = PolicySnapshot::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one state space")]
+    fn mismatched_state_counts_panic() {
+        let _ = PolicySnapshot::new(vec![QTable::new(4), QTable::new(8)]);
+    }
+}

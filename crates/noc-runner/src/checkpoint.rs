@@ -1,0 +1,515 @@
+//! Mid-flight campaign checkpointing.
+//!
+//! Each completed [`CampaignTask`](rlnoc_core::campaign::CampaignTask)
+//! is persisted as one `task-NNNN.ckpt` file in the snapshot directory,
+//! next to a `campaign.manifest` binding the directory to a specific
+//! campaign configuration (via [`Campaign::fingerprint`]). A killed run
+//! restarted with `RESUME=1` reloads every valid checkpoint and executes
+//! only the missing tasks; because task results are pure functions of
+//! the task, the resumed campaign report is identical to an
+//! uninterrupted one.
+//!
+//! The workspace's `serde` is an offline API shim (marker traits only),
+//! so the format is hand-rolled, line-oriented text in the same family
+//! as `QTable::save` and the policy snapshot format:
+//!
+//! ```text
+//! rlnoc-checkpoint v1
+//! task 3
+//! scheme RL
+//! workload blackscholes
+//! seed 1234
+//! ... one `key value` line per report field ...
+//! end
+//! crc32 1a2b3c4d
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so a
+//! reloaded report is bit-identical to the stored one. The CRC-32
+//! trailer (computed with the in-tree `noc-coding` implementation)
+//! covers everything above it; a checkpoint that fails the checksum, or
+//! any structural check, is treated as absent and its task simply
+//! re-runs — a truncated file from a kill mid-write never poisons a
+//! resume. Writes go through a temp file and an atomic rename for the
+//! same reason.
+//!
+//! [`Campaign::fingerprint`]: rlnoc_core::campaign::Campaign::fingerprint
+
+use noc_coding::crc::Crc32;
+use rlnoc_core::experiment::{ErrorControlScheme, ExperimentReport};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const CKPT_MAGIC: &str = "rlnoc-checkpoint v1";
+const MANIFEST_MAGIC: &str = "rlnoc-campaign v1";
+
+/// Why a checkpoint file or manifest was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The manifest belongs to a different campaign configuration.
+    ManifestMismatch {
+        /// Fingerprint recorded in the directory.
+        found: u64,
+        /// Fingerprint of the campaign being run.
+        expected: u64,
+    },
+    /// A checkpoint file failed its checksum or structure checks.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::ManifestMismatch { found, expected } => write!(
+                f,
+                "snapshot directory belongs to a different campaign \
+                 (manifest fingerprint {found:016x}, campaign {expected:016x})"
+            ),
+            Self::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn scheme_name(scheme: ErrorControlScheme) -> &'static str {
+    match scheme {
+        ErrorControlScheme::StaticCrc => "CRC",
+        ErrorControlScheme::StaticArqEcc => "ARQ+ECC",
+        ErrorControlScheme::DecisionTree => "DT",
+        ErrorControlScheme::ProposedRl => "RL",
+    }
+}
+
+fn scheme_from_name(name: &str) -> Option<ErrorControlScheme> {
+    match name {
+        "CRC" => Some(ErrorControlScheme::StaticCrc),
+        "ARQ+ECC" => Some(ErrorControlScheme::StaticArqEcc),
+        "DT" => Some(ErrorControlScheme::DecisionTree),
+        "RL" => Some(ErrorControlScheme::ProposedRl),
+        _ => None,
+    }
+}
+
+/// Renders a report as the checkpoint body (no magic, no checksum).
+fn render_report(report: &ExperimentReport) -> String {
+    let mut s = String::new();
+    let r = report;
+    writeln!(s, "scheme {}", scheme_name(r.scheme)).expect("write to string");
+    writeln!(s, "workload {}", r.workload).expect("write to string");
+    writeln!(s, "seed {}", r.seed).expect("write to string");
+    writeln!(s, "frequency_hz {}", r.frequency_hz).expect("write to string");
+    writeln!(s, "packets_injected {}", r.packets_injected).expect("write to string");
+    writeln!(s, "packets_delivered {}", r.packets_delivered).expect("write to string");
+    writeln!(s, "flits_delivered {}", r.flits_delivered).expect("write to string");
+    writeln!(s, "avg_latency_cycles {}", r.avg_latency_cycles).expect("write to string");
+    writeln!(s, "p99_latency_cycles {}", r.p99_latency_cycles).expect("write to string");
+    writeln!(s, "execution_cycles {}", r.execution_cycles).expect("write to string");
+    writeln!(s, "drained {}", r.drained).expect("write to string");
+    writeln!(s, "packet_retransmissions {}", r.packet_retransmissions).expect("write to string");
+    writeln!(s, "flit_retransmissions {}", r.flit_retransmissions).expect("write to string");
+    writeln!(
+        s,
+        "retransmitted_packets_equiv {}",
+        r.retransmitted_packets_equiv
+    )
+    .expect("write to string");
+    writeln!(s, "hop_nacks {}", r.hop_nacks).expect("write to string");
+    writeln!(s, "ecc_corrections {}", r.ecc_corrections).expect("write to string");
+    writeln!(s, "crc_failures {}", r.crc_failures).expect("write to string");
+    writeln!(s, "control_packets {}", r.control_packets).expect("write to string");
+    writeln!(s, "pre_retransmit_hits {}", r.pre_retransmit_hits).expect("write to string");
+    writeln!(s, "silent_corruptions {}", r.silent_corruptions).expect("write to string");
+    writeln!(s, "dynamic_energy_j {}", r.dynamic_energy_j).expect("write to string");
+    writeln!(s, "static_energy_j {}", r.static_energy_j).expect("write to string");
+    writeln!(s, "control_energy_j {}", r.control_energy_j).expect("write to string");
+    writeln!(
+        s,
+        "mode_histogram {} {} {} {}",
+        r.mode_histogram[0], r.mode_histogram[1], r.mode_histogram[2], r.mode_histogram[3]
+    )
+    .expect("write to string");
+    writeln!(s, "mean_temperature_c {}", r.mean_temperature_c).expect("write to string");
+    writeln!(s, "max_temperature_c {}", r.max_temperature_c).expect("write to string");
+    s
+}
+
+struct FieldParser<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> FieldParser<'a> {
+    fn next_field(&mut self, key: &str) -> Result<&'a str, CheckpointError> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| CheckpointError::Corrupt(format!("missing field `{key}`")))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .ok_or_else(|| CheckpointError::Corrupt(format!("expected `{key} ...`, got `{line}`")))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, CheckpointError> {
+        self.next_field(key)?
+            .parse()
+            .map_err(|_| CheckpointError::Corrupt(format!("unparsable value for `{key}`")))
+    }
+}
+
+/// Parses a checkpoint body back into a report.
+fn parse_report(body: &str) -> Result<ExperimentReport, CheckpointError> {
+    let mut p = FieldParser {
+        lines: body.lines(),
+    };
+    let scheme_raw = p.next_field("scheme")?;
+    let scheme = scheme_from_name(scheme_raw)
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown scheme `{scheme_raw}`")))?;
+    let workload = p.next_field("workload")?.to_string();
+    let report = ExperimentReport {
+        scheme,
+        workload,
+        seed: p.parse("seed")?,
+        frequency_hz: p.parse("frequency_hz")?,
+        packets_injected: p.parse("packets_injected")?,
+        packets_delivered: p.parse("packets_delivered")?,
+        flits_delivered: p.parse("flits_delivered")?,
+        avg_latency_cycles: p.parse("avg_latency_cycles")?,
+        p99_latency_cycles: p.parse("p99_latency_cycles")?,
+        execution_cycles: p.parse("execution_cycles")?,
+        drained: p.parse("drained")?,
+        packet_retransmissions: p.parse("packet_retransmissions")?,
+        flit_retransmissions: p.parse("flit_retransmissions")?,
+        retransmitted_packets_equiv: p.parse("retransmitted_packets_equiv")?,
+        hop_nacks: p.parse("hop_nacks")?,
+        ecc_corrections: p.parse("ecc_corrections")?,
+        crc_failures: p.parse("crc_failures")?,
+        control_packets: p.parse("control_packets")?,
+        pre_retransmit_hits: p.parse("pre_retransmit_hits")?,
+        silent_corruptions: p.parse("silent_corruptions")?,
+        dynamic_energy_j: p.parse("dynamic_energy_j")?,
+        static_energy_j: p.parse("static_energy_j")?,
+        control_energy_j: p.parse("control_energy_j")?,
+        mode_histogram: {
+            let raw = p.next_field("mode_histogram")?;
+            let mut hist = [0u64; 4];
+            let mut parts = raw.split_whitespace();
+            for slot in &mut hist {
+                *slot = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CheckpointError::Corrupt("bad mode_histogram".into()))?;
+            }
+            if parts.next().is_some() {
+                return Err(CheckpointError::Corrupt("bad mode_histogram".into()));
+            }
+            hist
+        },
+        mean_temperature_c: p.parse("mean_temperature_c")?,
+        max_temperature_c: p.parse("max_temperature_c")?,
+    };
+    match p.lines.next() {
+        Some("end") => Ok(report),
+        other => Err(CheckpointError::Corrupt(format!(
+            "expected `end`, got {other:?}"
+        ))),
+    }
+}
+
+fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// A snapshot directory bound to one campaign configuration.
+#[derive(Debug)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) `dir` for a campaign with the given
+    /// fingerprint and task count. A pre-existing manifest must match;
+    /// an empty or fresh directory is claimed by writing one.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ManifestMismatch`] when the directory belongs
+    /// to a different campaign, or an I/O error.
+    pub fn open(dir: &Path, fingerprint: u64, total_tasks: usize) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        let manifest = dir.join("campaign.manifest");
+        match fs::read_to_string(&manifest) {
+            Ok(existing) => {
+                let found = parse_manifest(&existing)?;
+                if found != fingerprint {
+                    return Err(CheckpointError::ManifestMismatch {
+                        found,
+                        expected: fingerprint,
+                    });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut body = String::new();
+                writeln!(body, "{MANIFEST_MAGIC}").expect("write to string");
+                writeln!(body, "fingerprint {fingerprint:016x}").expect("write to string");
+                writeln!(body, "tasks {total_tasks}").expect("write to string");
+                atomic_write(&manifest, &body)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fingerprint,
+        })
+    }
+
+    /// The directory this checkpoint set lives in.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The campaign fingerprint the directory is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn task_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("task-{index:04}.ckpt"))
+    }
+
+    /// Persists the finished report for task `index` (atomic write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, index: usize, report: &ExperimentReport) -> Result<(), CheckpointError> {
+        let mut body = String::new();
+        writeln!(body, "{CKPT_MAGIC}").expect("write to string");
+        writeln!(body, "task {index}").expect("write to string");
+        writeln!(body, "fingerprint {:016x}", self.fingerprint).expect("write to string");
+        body.push_str(&render_report(report));
+        body.push_str("end\n");
+        let checksum = Crc32::new().checksum(body.as_bytes());
+        writeln!(body, "crc32 {checksum:08x}").expect("write to string");
+        atomic_write(&self.task_path(index), &body)?;
+        Ok(())
+    }
+
+    /// Loads the checkpoint for task `index`, if present and valid.
+    ///
+    /// Missing, truncated, checksum-failing, or foreign checkpoints all
+    /// return `None` — the caller just re-runs the task.
+    pub fn load(&self, index: usize) -> Option<ExperimentReport> {
+        let text = fs::read_to_string(self.task_path(index)).ok()?;
+        self.parse_checkpoint(&text, index).ok()
+    }
+
+    fn parse_checkpoint(
+        &self,
+        text: &str,
+        index: usize,
+    ) -> Result<ExperimentReport, CheckpointError> {
+        // Split off the `crc32 ...` trailer (the final non-empty line).
+        let trimmed = text.trim_end_matches('\n');
+        let (body, trailer) = trimmed
+            .rsplit_once('\n')
+            .ok_or_else(|| CheckpointError::Corrupt("no checksum trailer".into()))?;
+        let body = format!("{body}\n");
+        let stated: u32 = trailer
+            .strip_prefix("crc32 ")
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| CheckpointError::Corrupt("bad checksum trailer".into()))?;
+        let actual = Crc32::new().checksum(body.as_bytes());
+        if stated != actual {
+            return Err(CheckpointError::Corrupt(format!(
+                "checksum mismatch: stated {stated:08x}, computed {actual:08x}"
+            )));
+        }
+        let mut p = FieldParser {
+            lines: body.lines(),
+        };
+        let magic = p
+            .lines
+            .next()
+            .ok_or_else(|| CheckpointError::Corrupt("empty file".into()))?;
+        if magic != CKPT_MAGIC {
+            return Err(CheckpointError::Corrupt(format!("bad magic `{magic}`")));
+        }
+        let stated_index: usize = p.parse("task")?;
+        if stated_index != index {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint is for task {stated_index}, expected {index}"
+            )));
+        }
+        let stated_fp = u64::from_str_radix(p.next_field("fingerprint")?, 16)
+            .map_err(|_| CheckpointError::Corrupt("bad fingerprint".into()))?;
+        if stated_fp != self.fingerprint {
+            return Err(CheckpointError::Corrupt(
+                "checkpoint from a different campaign".into(),
+            ));
+        }
+        let rest: Vec<&str> = p.lines.collect();
+        parse_report(&rest.join("\n"))
+    }
+}
+
+fn parse_manifest(text: &str) -> Result<u64, CheckpointError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_MAGIC) => {}
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "bad manifest header {other:?}"
+            )))
+        }
+    }
+    let fp_line = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Corrupt("manifest missing fingerprint".into()))?;
+    fp_line
+        .strip_prefix("fingerprint ")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Corrupt("bad manifest fingerprint".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(seed: u64) -> ExperimentReport {
+        ExperimentReport {
+            scheme: ErrorControlScheme::ProposedRl,
+            workload: "blackscholes".to_string(),
+            seed,
+            frequency_hz: 1.6e9,
+            packets_injected: 1000,
+            packets_delivered: 998,
+            flits_delivered: 7984,
+            avg_latency_cycles: 37.25,
+            p99_latency_cycles: 143,
+            execution_cycles: 60_000,
+            drained: true,
+            packet_retransmissions: 3,
+            flit_retransmissions: 41,
+            retransmitted_packets_equiv: 8.125,
+            hop_nacks: 44,
+            ecc_corrections: 12,
+            crc_failures: 2,
+            control_packets: 3,
+            pre_retransmit_hits: 1,
+            silent_corruptions: 0,
+            dynamic_energy_j: 1.2345678901234e-3,
+            static_energy_j: 4.4e-4,
+            control_energy_j: 1.0000000000000002e-7,
+            mode_histogram: [10, 20, 30, 40],
+            mean_temperature_c: 67.33333333333333,
+            max_temperature_c: 81.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rlnoc-ckpt-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let report = sample_report(7);
+        let parsed = parse_report(&format!("{}end\n", render_report(&report))).expect("parses");
+        assert_eq!(parsed, report, "floats survive shortest round-trip text");
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let ckpt = CheckpointDir::open(&dir, 0xABCD, 4).expect("open");
+        let report = sample_report(11);
+        ckpt.store(2, &report).expect("store");
+        assert_eq!(ckpt.load(2), Some(report));
+        assert_eq!(ckpt.load(1), None, "unstored index is absent");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_treated_as_absent() {
+        let dir = temp_dir("corrupt");
+        let ckpt = CheckpointDir::open(&dir, 1, 4).expect("open");
+        ckpt.store(0, &sample_report(1)).expect("store");
+        let path = dir.join("task-0000.ckpt");
+
+        // Bit flip in the body.
+        let mut text = fs::read_to_string(&path).expect("read");
+        text = text.replacen("packets_injected 1000", "packets_injected 1001", 1);
+        fs::write(&path, &text).expect("write");
+        assert_eq!(ckpt.load(0), None, "checksum catches the flip");
+
+        // Truncation (kill mid-write without the atomic rename).
+        let full = fs::read_to_string(&path).expect("read");
+        fs::write(&path, &full[..full.len() / 2]).expect("write");
+        assert_eq!(ckpt.load(0), None, "truncated file rejected");
+
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn checkpoint_for_wrong_task_or_campaign_is_rejected() {
+        let dir = temp_dir("foreign");
+        let ckpt = CheckpointDir::open(&dir, 5, 4).expect("open");
+        ckpt.store(0, &sample_report(1)).expect("store");
+        // Same bytes presented as a different index: rejected.
+        fs::copy(dir.join("task-0000.ckpt"), dir.join("task-0001.ckpt")).expect("copy");
+        assert_eq!(ckpt.load(1), None);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn manifest_guards_against_campaign_mixups() {
+        let dir = temp_dir("manifest");
+        let _first = CheckpointDir::open(&dir, 42, 8).expect("claims fresh dir");
+        assert!(
+            CheckpointDir::open(&dir, 42, 8).is_ok(),
+            "same campaign reopens"
+        );
+        match CheckpointDir::open(&dir, 43, 8) {
+            Err(CheckpointError::ManifestMismatch { found, expected }) => {
+                assert_eq!((found, expected), (42, 43));
+            }
+            other => panic!("expected manifest mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn all_schemes_round_trip() {
+        for scheme in ErrorControlScheme::ALL {
+            let mut r = sample_report(3);
+            r.scheme = scheme;
+            let parsed = parse_report(&format!("{}end\n", render_report(&r))).expect("parses");
+            assert_eq!(parsed.scheme, scheme);
+        }
+    }
+
+    #[test]
+    fn extreme_floats_round_trip() {
+        let mut r = sample_report(1);
+        r.avg_latency_cycles = f64::MIN_POSITIVE;
+        r.dynamic_energy_j = 1.0 / 3.0;
+        r.mean_temperature_c = 1e300;
+        let parsed = parse_report(&format!("{}end\n", render_report(&r))).expect("parses");
+        assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,155 @@
+//! Tier-1 guarantees of the parallel runner: worker count and
+//! checkpoint/resume must never change campaign results.
+
+use rlnoc_core::campaign::Campaign;
+use rlnoc_core::WorkloadProfile;
+use rlnoc_runner::{CheckpointDir, RunnerConfig};
+use rlnoc_telemetry::Telemetry;
+use std::path::PathBuf;
+
+fn tiny_campaign() -> Campaign {
+    let mut campaign = Campaign::quick();
+    campaign.workloads = vec![WorkloadProfile::blackscholes()];
+    campaign.pretrain_cycles = 4_000;
+    campaign.measure_cycles = Some(4_000);
+    campaign
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlnoc-runner-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn one_worker_and_four_workers_agree_exactly() {
+    let campaign = tiny_campaign();
+    let one = RunnerConfig {
+        jobs: 1,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    let four = RunnerConfig {
+        jobs: 4,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        one, four,
+        "parallel campaign must be byte-identical to serial"
+    );
+    // And both must match the campaign's own serial entry point.
+    assert_eq!(one, campaign.run());
+}
+
+#[test]
+fn resume_from_partial_checkpoints_matches_uninterrupted_run() {
+    let campaign = tiny_campaign();
+    let uninterrupted = campaign.run();
+    let total = uninterrupted.reports.len();
+
+    // Simulate a campaign killed after finishing half its tasks: only
+    // those checkpoints exist on disk.
+    let dir = temp_dir("resume");
+    let ckpt = CheckpointDir::open(&dir, campaign.fingerprint(), total).expect("open");
+    for (index, report) in uninterrupted.reports.iter().enumerate().take(total / 2) {
+        ckpt.store(index, report).expect("store");
+    }
+
+    let telemetry = Telemetry::enabled();
+    let resumed = RunnerConfig {
+        jobs: 2,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: telemetry.clone(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(resumed, uninterrupted, "resume changes nothing");
+    assert_eq!(
+        telemetry.counter("runner.tasks_resumed").get(),
+        (total / 2) as u64,
+        "exactly the stored half was restored"
+    );
+    assert_eq!(
+        telemetry.counter("runner.tasks_completed").get(),
+        (total - total / 2) as u64,
+        "only the missing half executed"
+    );
+
+    // A second resume restores everything and runs nothing.
+    let telemetry2 = Telemetry::enabled();
+    let again = RunnerConfig {
+        jobs: 2,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: telemetry2.clone(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(again, uninterrupted);
+    assert_eq!(
+        telemetry2.counter("runner.tasks_resumed").get(),
+        total as u64
+    );
+    assert_eq!(telemetry2.counter("runner.tasks_completed").get(), 0);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn rl_policy_snapshots_are_saved_and_reloadable() {
+    let mut campaign = tiny_campaign();
+    // Keep only the RL scheme: one task, one policy file.
+    campaign
+        .schemes
+        .retain(|s| matches!(s, rlnoc_core::ErrorControlScheme::ProposedRl));
+    let dir = temp_dir("policy");
+    let result = RunnerConfig {
+        jobs: 1,
+        snapshot_dir: Some(dir.clone()),
+        resume: false,
+        telemetry: Telemetry::disabled(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(result.reports.len(), 1);
+
+    let policy =
+        noc_rl::PolicySnapshot::load_from_path(dir.join("task-0000.policy")).expect("valid");
+    assert_eq!(policy.num_agents(), 16, "one agent per 4x4 mesh router");
+
+    // The saved policy drives an inference-only re-run of the same cell.
+    let task = &campaign.tasks()[0];
+    let report = rlnoc_core::Experiment::builder()
+        .scheme(rlnoc_core::ErrorControlScheme::ProposedRl)
+        .workload(campaign.workloads[0].clone())
+        .noc(campaign.noc)
+        .seed(task.seed)
+        .pretrain_cycles(campaign.pretrain_cycles)
+        .warmup_cycles(campaign.warmup_cycles)
+        .measure_cycles(campaign.measure_cycles.expect("quick campaign caps"))
+        .drain_limit(campaign.drain_limit)
+        .rl_policy(std::sync::Arc::new(policy))
+        .build()
+        .expect("valid inference configuration")
+        .run();
+    assert!(report.packets_delivered > 0);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn resume_refuses_a_different_campaigns_directory() {
+    let campaign = tiny_campaign();
+    let dir = temp_dir("mismatch");
+    let _ = CheckpointDir::open(&dir, campaign.fingerprint() ^ 1, 4).expect("claim with other fp");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        RunnerConfig {
+            jobs: 1,
+            snapshot_dir: Some(dir.clone()),
+            resume: true,
+            telemetry: Telemetry::disabled(),
+        }
+        .run_campaign(&campaign)
+    }));
+    assert!(result.is_err(), "foreign snapshot dir must be rejected");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -59,6 +59,22 @@ impl Gauge {
             .as_ref()
             .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
     }
+
+    /// Adds `delta` (may be negative) to the gauge's current value with a
+    /// compare-and-swap loop, so concurrent adders never lose updates —
+    /// the contract level/occupancy gauges (e.g. the runner's queue
+    /// depth) need. No-op when disabled.
+    pub fn add(&self, delta: f64) {
+        let Some(cell) = &self.0 else { return };
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
 }
 
 /// Number of log2 buckets: values are classified by bit length, so a
@@ -295,6 +311,31 @@ mod tests {
         assert_eq!(g.get(), -3.5);
         let snap = reg.gauge_snapshot();
         assert_eq!(snap, vec![("thermal.max_c".into(), -3.5)]);
+    }
+
+    #[test]
+    fn gauge_add_accumulates_and_survives_contention() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("runner.queue_depth");
+        g.add(5.0);
+        g.add(-2.0);
+        assert_eq!(g.get(), 3.0);
+        // Disabled gauges stay inert.
+        let d = Gauge::default();
+        d.add(4.0);
+        assert_eq!(d.get(), 0.0);
+        // Concurrent adders must not lose increments.
+        let g2 = g.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        g2.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 4_003.0);
     }
 
     #[test]
