@@ -1,0 +1,98 @@
+//! CI performance gate over the macro (whole-network) benchmarks.
+//!
+//! Compares a freshly measured `BENCH_ci.json` (produced by running the
+//! Criterion harness with `CRITERION_JSON=BENCH_ci.json`, typically in
+//! `CRITERION_QUICK=1` mode) against the committed `BENCH_after.json`
+//! reference and exits non-zero when any `network_cycle*` bench median
+//! regressed by more than the tolerance (default 20%, override with
+//! `BENCH_GATE_TOLERANCE=0.30` etc.).
+//!
+//! Only the macro benches are gated: sub-microsecond micro-bench medians
+//! are too noisy across runner hardware to gate on, but they are still
+//! printed for the log.
+//!
+//! Usage: `bench_gate [<baseline.json> [<current.json>]]`
+//! (defaults: `BENCH_after.json`, `BENCH_ci.json`).
+
+use std::process::ExitCode;
+
+/// Prefix selecting the gated whole-network cycle benchmarks.
+const MACRO_PREFIX: &str = "network_cycle";
+
+/// Parses the flat `{"name": median_ns, ...}` object the in-tree
+/// Criterion shim writes for `CRITERION_JSON`. Line-oriented on purpose
+/// — the workspace's serde is an API shim without a JSON backend.
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.rsplit_once("\":") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_after.json".into());
+    let current_path = args.next().unwrap_or_else(|| "BENCH_ci.json".into());
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => parse_flat_json(&text),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    let lookup =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+
+    println!(
+        "bench gate: {current_path} vs {baseline_path} (macro tolerance {:+.0}%)",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for (name, base) in &baseline {
+        let gated = name.starts_with(MACRO_PREFIX);
+        match lookup(&current, name) {
+            Some(now) => {
+                let ratio = now / base;
+                let verdict = if !gated {
+                    "info"
+                } else if ratio > 1.0 + tolerance {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!("  [{verdict:4}] {name}: {base:.1} ns -> {now:.1} ns ({ratio:.2}x)");
+            }
+            None if gated => {
+                failed = true;
+                println!("  [FAIL] {name}: missing from {current_path}");
+            }
+            None => println!("  [info] {name}: not measured in {current_path}"),
+        }
+    }
+
+    if failed {
+        eprintln!("bench_gate: network macro benchmark regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all gated benchmarks within tolerance");
+        ExitCode::SUCCESS
+    }
+}

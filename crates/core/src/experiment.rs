@@ -504,6 +504,13 @@ struct Runner {
     mode_histogram: [u64; 4],
     max_temp: f64,
     epoch_count: u64,
+    /// Reusable per-epoch scratch buffers (features, rewards, tile
+    /// powers, utilizations): cleared and refilled at every control
+    /// epoch so the steady-state control loop allocates nothing.
+    epoch_features: Vec<RouterFeatures>,
+    epoch_rewards: Vec<f64>,
+    epoch_tile_powers: Vec<f64>,
+    epoch_utilizations: Vec<f64>,
     telemetry: Telemetry,
     run_id: RunId,
     phase: Phase,
@@ -584,6 +591,10 @@ impl Runner {
             mode_histogram: [0; 4],
             max_temp: 0.0,
             epoch_count: 0,
+            epoch_features: Vec::with_capacity(n),
+            epoch_rewards: Vec::with_capacity(n),
+            epoch_tile_powers: Vec::with_capacity(n),
+            epoch_utilizations: Vec::with_capacity(n),
             telemetry,
             run_id: RunId::DISABLED,
             phase: Phase::Measure,
@@ -810,10 +821,16 @@ impl Runner {
         }
         let epoch_time = elapsed as f64 / self.cfg.noc.frequency;
 
-        let mut features = Vec::with_capacity(n);
-        let mut rewards = Vec::with_capacity(n);
-        let mut tile_powers = Vec::with_capacity(n);
-        let mut utilizations = Vec::with_capacity(n);
+        // Take the reusable scratch buffers (returned before the epoch
+        // counter advances) so repeated epochs reuse their capacity.
+        let mut features = std::mem::take(&mut self.epoch_features);
+        let mut rewards = std::mem::take(&mut self.epoch_rewards);
+        let mut tile_powers = std::mem::take(&mut self.epoch_tile_powers);
+        let mut utilizations = std::mem::take(&mut self.epoch_utilizations);
+        features.clear();
+        rewards.clear();
+        tile_powers.clear();
+        utilizations.clear();
         {
             let counters = self.net.counters();
             for i in 0..n {
@@ -884,8 +901,9 @@ impl Runner {
         for &t in self.thermal.temperatures() {
             self.max_temp = self.max_temp.max(t);
         }
-        let temps = self.thermal.temperatures().to_vec();
-        self.net.protocol_mut().set_temperatures(&temps);
+        self.net
+            .protocol_mut()
+            .set_temperatures(self.thermal.temperatures());
         self.net.protocol_mut().set_utilizations(&utilizations);
 
         // Export one record per router into the telemetry epoch series.
@@ -909,6 +927,10 @@ impl Runner {
         }
 
         self.net.reset_epoch_stats();
+        self.epoch_features = features;
+        self.epoch_rewards = rewards;
+        self.epoch_tile_powers = tile_powers;
+        self.epoch_utilizations = utilizations;
         self.epoch_count += 1;
     }
 

@@ -1,0 +1,221 @@
+//! Property tests pinning down the observable semantics of the four
+//! operation modes.
+//!
+//! * Mode 3 (relaxed timing) runs produce **zero** hop-level
+//!   retransmissions and **zero** escaped errors, however hot the chip.
+//! * Mode-0 style runs (raw links, destination CRC only) with forced
+//!   double-bit corruption trigger **exactly one** end-to-end
+//!   retransmission per corrupted packet.
+//! * Mode 2's proactive pre-retransmission never increases the
+//!   delivered-packet count vs mode 1 under identical seeds — duplicate
+//!   copies must never surface as extra deliveries.
+
+use noc_coding::crc::Crc32;
+use noc_fault::timing::TimingErrorModel;
+use noc_fault::variation::VariationMap;
+use noc_sim::config::NocConfig;
+use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
+use noc_sim::flit::{Flit, PacketId};
+use noc_sim::network::Network;
+use noc_sim::stats::EventCounters;
+use noc_sim::topology::{LinkId, Mesh, NodeId};
+use proptest::prelude::*;
+use rlnoc_core::modes::OperationMode;
+use rlnoc_core::protocol::FaultTolerantProtocol;
+use std::collections::HashSet;
+
+const MESH_W: u16 = 4;
+const MESH_H: u16 = 4;
+
+/// A very hot 4×4 network: link error probabilities high enough that a
+/// run of any length exercises the fault machinery of the given mode.
+fn hot_network(mode: OperationMode, seed: u64) -> Network<FaultTolerantProtocol> {
+    let mesh = Mesh::new(MESH_W, MESH_H);
+    let mut protocol = FaultTolerantProtocol::new(
+        mesh,
+        TimingErrorModel::default(),
+        VariationMap::uniform(MESH_W, MESH_H),
+        seed,
+    );
+    protocol.set_all_modes(mode);
+    protocol.set_temperatures(&vec![100.0; mesh.num_nodes()]);
+    protocol.set_utilizations(&vec![0.3; mesh.num_nodes()]);
+    let config = NocConfig::builder().mesh(MESH_W, MESH_H).build();
+    Network::new(config, protocol, seed)
+}
+
+/// Deterministic (src, dst) pairs derived from a seed, src != dst.
+fn traffic_pairs(mesh: Mesh, seed: u64, n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let nodes = mesh.num_nodes() as u64;
+    (0..n)
+        .map(|_| {
+            let src = NodeId((next() % nodes) as u16);
+            let mut dst = NodeId((next() % nodes) as u16);
+            if src == dst {
+                dst = NodeId(((dst.index() + 1) % mesh.num_nodes()) as u16);
+            }
+            (src, dst)
+        })
+        .collect()
+}
+
+/// Mode-0 semantics (raw links, destination CRC, no hop ARQ) with a
+/// deterministic saboteur: the head flit of every targeted packet takes
+/// a double-bit hit on its first link traversal of attempt 0. Every
+/// later attempt rides clean, so each targeted packet fails its CRC
+/// exactly once.
+struct DoubleBitSaboteur {
+    crc: Crc32,
+    targets: HashSet<PacketId>,
+    corrupted: HashSet<PacketId>,
+}
+
+impl DoubleBitSaboteur {
+    fn new() -> Self {
+        Self {
+            crc: Crc32::new(),
+            targets: HashSet::new(),
+            corrupted: HashSet::new(),
+        }
+    }
+}
+
+impl ErrorControl for DoubleBitSaboteur {
+    fn hop_transfer(
+        &mut self,
+        _link: LinkId,
+        flit: &mut Flit,
+        _cycle: u64,
+        _kind: TransferKind,
+        _protected: bool,
+        _counters: &mut EventCounters,
+    ) -> HopOutcome {
+        if !flit.class.is_control()
+            && flit.attempt == 0
+            && flit.index == 0
+            && self.targets.contains(&flit.packet)
+            && self.corrupted.insert(flit.packet)
+        {
+            // Two flips in different payload words: undetectable by any
+            // single-error logic, guaranteed caught by CRC-32.
+            flit.flip_payload_bit(11);
+            flit.flip_payload_bit(97);
+        }
+        HopOutcome::Delivered
+    }
+
+    fn eject_check(
+        &mut self,
+        flits: &[Flit],
+        _cycle: u64,
+        counters: &mut EventCounters,
+    ) -> EjectOutcome {
+        counters.crc_checks += flits.len() as u64;
+        if flits.iter().all(|f| f.crc_ok(&self.crc)) {
+            EjectOutcome::Accept
+        } else {
+            EjectOutcome::RequestRetransmit
+        }
+    }
+}
+
+proptest! {
+    /// Mode 3 relaxes link timing until the fault model's error
+    /// probability is zero: no faults are drawn, so no hop NACK, no
+    /// flit retransmission, no CRC failure, and no silent corruption
+    /// can occur — even at 100 °C.
+    #[test]
+    fn mode3_runs_are_fault_free(seed: u64, n_packets in 1usize..24) {
+        let mut net = hot_network(OperationMode::Mode3, seed);
+        for (src, dst) in traffic_pairs(net.mesh(), seed, n_packets) {
+            net.offer(src, dst);
+            net.step();
+        }
+        prop_assert!(net.run_until_quiescent(1_000_000), "mode 3 drains");
+
+        let stats = net.stats();
+        prop_assert_eq!(stats.packets_delivered, n_packets as u64);
+        prop_assert_eq!(stats.flit_retransmissions, 0);
+        prop_assert_eq!(stats.hop_nacks, 0);
+        prop_assert_eq!(stats.packet_retransmissions, 0);
+        prop_assert_eq!(stats.packets_failed_crc, 0);
+        prop_assert_eq!(stats.silent_corruptions, 0);
+        prop_assert_eq!(net.protocol().faults_injected(), 0, "relaxed timing suppresses every fault draw");
+    }
+
+    /// Raw mode-0 links leave corruption to the destination CRC: each
+    /// packet whose head flit takes a forced double-bit error fails its
+    /// end-to-end check exactly once, triggering exactly one source
+    /// retransmission, and still gets delivered intact on attempt 1.
+    #[test]
+    fn mode0_double_bit_errors_cost_exactly_one_retransmission(
+        seed: u64,
+        modulus in 1u64..4,
+        n_packets in 1usize..24,
+    ) {
+        let config = NocConfig::builder().mesh(MESH_W, MESH_H).build();
+        let mut net = Network::new(config, DoubleBitSaboteur::new(), seed);
+        let mut targeted = 0u64;
+        for (src, dst) in traffic_pairs(net.mesh(), seed, n_packets) {
+            let id = net.offer(src, dst);
+            if id.0 % modulus == 0 {
+                net.protocol_mut().targets.insert(id);
+                targeted += 1;
+            }
+            net.step();
+        }
+        prop_assert!(net.run_until_quiescent(1_000_000), "retransmissions drain");
+
+        let stats = net.stats();
+        prop_assert_eq!(stats.packets_injected, n_packets as u64);
+        prop_assert_eq!(stats.packets_delivered, n_packets as u64, "every packet delivered despite corruption");
+        prop_assert_eq!(stats.packets_failed_crc, targeted, "each corrupted packet fails CRC once");
+        prop_assert_eq!(stats.packet_retransmissions, targeted, "exactly one e2e retransmission per corrupted packet");
+        prop_assert_eq!(stats.control_packets, targeted, "one retransmit request per corrupted packet");
+        prop_assert_eq!(stats.flit_retransmissions, 0, "mode 0 has no hop-level ARQ");
+        prop_assert_eq!(stats.silent_corruptions, 0, "CRC catches the forced flips");
+    }
+
+    /// Mode 2's proactive duplicate copies mask latency; they must
+    /// never manufacture deliveries. Under identical seeds and traffic,
+    /// the mode-2 delivered count never exceeds the mode-1 count, and
+    /// neither ever exceeds the injected count.
+    #[test]
+    fn mode2_pre_retransmit_never_inflates_delivery_count(seed: u64, n_packets in 1usize..20) {
+        let mut net1 = hot_network(OperationMode::Mode1, seed);
+        let mut net2 = hot_network(OperationMode::Mode2, seed);
+        let pairs = traffic_pairs(net1.mesh(), seed, n_packets);
+        for &(src, dst) in &pairs {
+            net1.offer(src, dst);
+            net1.step();
+            net2.offer(src, dst);
+            net2.step();
+        }
+        prop_assert!(net1.run_until_quiescent(2_000_000), "mode 1 drains");
+        prop_assert!(net2.run_until_quiescent(2_000_000), "mode 2 drains");
+
+        let (s1, s2) = (net1.stats(), net2.stats());
+        prop_assert!(
+            s2.packets_delivered <= s1.packets_delivered,
+            "pre-retransmission must not increase deliveries: mode2 {} > mode1 {}",
+            s2.packets_delivered,
+            s1.packets_delivered
+        );
+        prop_assert!(s1.packets_delivered <= s1.packets_injected);
+        prop_assert!(s2.packets_delivered <= s2.packets_injected);
+        // Both drain completely, so the counts are in fact equal — a
+        // duplicate surfacing as a delivery would break the first bound.
+        prop_assert_eq!(s1.packets_delivered, n_packets as u64);
+        prop_assert_eq!(s2.packets_delivered, n_packets as u64);
+        let fpp = net2.config().flits_per_packet as u64;
+        prop_assert_eq!(s2.flits_delivered, n_packets as u64 * fpp, "no duplicate flits ejected");
+    }
+}

@@ -8,7 +8,21 @@
 //! warmup-then-measure loop. Reported numbers are mean wall-clock time
 //! per iteration (with min/max across samples); there is no statistical
 //! outlier analysis or HTML report.
+//!
+//! Two environment variables extend the real criterion's behaviour for
+//! CI use:
+//!
+//! - `CRITERION_JSON=<path>` — after all groups run, write a JSON object
+//!   mapping each benchmark name to its median sample time in
+//!   nanoseconds (`{"net/step": 1234.5, ...}`). The file is written by
+//!   the `criterion_main!`-generated `main`, so every bench binary gets
+//!   it for free.
+//! - `CRITERION_QUICK=1` — clamp every benchmark to a small sample
+//!   count and short warmup/measurement budget, regardless of what the
+//!   bench binary configured. Intended for CI smoke jobs where relative
+//!   regressions matter more than tight confidence intervals.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting the
@@ -28,6 +42,21 @@ pub enum BatchSize {
     LargeInput,
     /// Setup re-run for every single iteration.
     PerIteration,
+}
+
+/// Sample count used when `CRITERION_QUICK=1` caps a run.
+const QUICK_SAMPLE_FLOOR: usize = 10;
+const QUICK_MEASUREMENT: Duration = Duration::from_millis(400);
+const QUICK_WARM_UP: Duration = Duration::from_millis(100);
+
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+fn results() -> &'static Mutex<Vec<(String, Report)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, Report)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// Measurement configuration and entry point.
@@ -68,13 +97,27 @@ impl Criterion {
         self
     }
 
+    /// The configuration actually used for measurement: the bench
+    /// binary's settings, clamped when `CRITERION_QUICK=1`.
+    fn effective(&self) -> Criterion {
+        if quick_mode() {
+            Criterion {
+                sample_size: self.sample_size.min(QUICK_SAMPLE_FLOOR),
+                measurement_time: self.measurement_time.min(QUICK_MEASUREMENT),
+                warm_up_time: self.warm_up_time.min(QUICK_WARM_UP),
+            }
+        } else {
+            self.clone()
+        }
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            config: self.clone(),
+            config: self.effective(),
             report: None,
         };
         f(&mut bencher);
@@ -85,6 +128,10 @@ impl Criterion {
                 format_ns(r.mean_ns),
                 format_ns(r.max_ns)
             );
+            results()
+                .lock()
+                .expect("bench results lock")
+                .push((name.to_string(), r));
         }
         self
     }
@@ -124,6 +171,82 @@ struct Report {
     mean_ns: f64,
     min_ns: f64,
     max_ns: f64,
+    median_ns: f64,
+}
+
+/// Median of per-sample times; `samples` need not be sorted.
+fn median_of(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of zero samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample times"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn report_from_samples(mut samples: Vec<f64>, total_ns: f64, total_iters: u64) -> Report {
+    let mut mins = f64::MAX;
+    let mut maxs: f64 = 0.0;
+    for &s in &samples {
+        mins = mins.min(s);
+        maxs = maxs.max(s);
+    }
+    Report {
+        mean_ns: total_ns / total_iters as f64,
+        min_ns: mins,
+        max_ns: maxs,
+        median_ns: median_of(&mut samples),
+    }
+}
+
+/// Writes the `CRITERION_JSON` report if the variable is set. Called by
+/// the `criterion_main!`-generated `main` after all groups finish;
+/// harmless to call when no benchmarks ran or the variable is unset.
+pub fn write_json_report_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let collected = results().lock().expect("bench results lock");
+    let mut out = String::from("{\n");
+    for (i, (name, report)) in collected.iter().enumerate() {
+        let comma = if i + 1 == collected.len() { "" } else { "," };
+        out.push_str(&format!("  {:?}: {:.1}{comma}\n", name, report.median_ns));
+    }
+    out.push_str("}\n");
+    // Merge with an existing file so micro + network binaries can append
+    // into one report: read, strip trailing brace, splice. Keeping the
+    // format line-oriented makes that a trivial text operation.
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) if existing.trim_end().ends_with('}') && !collected.is_empty() => {
+            let body_old = existing
+                .trim_end()
+                .trim_end_matches('}')
+                .trim_end()
+                .trim_start_matches('{')
+                .trim()
+                .to_string();
+            let body_new = out
+                .trim_end()
+                .trim_end_matches('}')
+                .trim_end()
+                .trim_start_matches('{')
+                .trim()
+                .to_string();
+            if body_old.is_empty() {
+                out
+            } else {
+                let joint = body_old.trim_end_matches(',').to_string();
+                format!("{{\n  {joint},\n  {body_new}\n}}\n")
+            }
+        }
+        _ => out,
+    };
+    std::fs::write(&path, merged).expect("write CRITERION_JSON report");
 }
 
 /// Times closures handed to it by a benchmark function.
@@ -154,8 +277,7 @@ impl Bencher {
         let budget_ns = self.config.measurement_time.as_nanos() as f64;
         let per_sample = (budget_ns / samples as f64 / per_call_ns.max(1.0)).clamp(1.0, 1e9) as u64;
 
-        let mut mins = f64::MAX;
-        let mut maxs: f64 = 0.0;
+        let mut sample_ns = Vec::with_capacity(samples);
         let mut total_ns = 0.0;
         let mut total_iters = 0u64;
         for _ in 0..samples {
@@ -164,16 +286,11 @@ impl Bencher {
                 black_box(routine());
             }
             let ns = t0.elapsed().as_nanos() as f64 / per_sample as f64;
-            mins = mins.min(ns);
-            maxs = maxs.max(ns);
+            sample_ns.push(ns);
             total_ns += ns * per_sample as f64;
             total_iters += per_sample;
         }
-        self.report = Some(Report {
-            mean_ns: total_ns / total_iters as f64,
-            min_ns: mins,
-            max_ns: maxs,
-        });
+        self.report = Some(report_from_samples(sample_ns, total_ns, total_iters));
     }
 
     /// Times `routine` over fresh inputs produced by `setup`; setup time
@@ -192,23 +309,17 @@ impl Bencher {
             }
         }
         let samples = self.config.sample_size;
-        let mut mins = f64::MAX;
-        let mut maxs: f64 = 0.0;
+        let mut sample_ns = Vec::with_capacity(samples);
         let mut total = 0.0;
         for _ in 0..samples {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
             let ns = t0.elapsed().as_nanos() as f64;
-            mins = mins.min(ns);
-            maxs = maxs.max(ns);
+            sample_ns.push(ns);
             total += ns;
         }
-        self.report = Some(Report {
-            mean_ns: total / samples as f64,
-            min_ns: mins,
-            max_ns: maxs,
-        });
+        self.report = Some(report_from_samples(sample_ns, total, samples as u64));
     }
 }
 
@@ -248,6 +359,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report_if_requested();
         }
     };
 }
@@ -288,5 +400,22 @@ mod tests {
         assert!(format_ns(12_300.0).contains("µs"));
         assert!(format_ns(12_300_000.0).contains("ms"));
         assert!(format_ns(2_000_000_000.0).ends_with("s"));
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let mut odd = vec![5.0, 1.0, 3.0];
+        assert_eq!(median_of(&mut odd), 3.0);
+        let mut even = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_of(&mut even), 2.5);
+    }
+
+    #[test]
+    fn report_tracks_min_max_median() {
+        let r = report_from_samples(vec![10.0, 30.0, 20.0], 60.0, 3);
+        assert_eq!(r.min_ns, 10.0);
+        assert_eq!(r.max_ns, 30.0);
+        assert_eq!(r.median_ns, 20.0);
+        assert_eq!(r.mean_ns, 20.0);
     }
 }

@@ -102,8 +102,15 @@ fn scheme_from_name(name: &str) -> Option<ErrorControlScheme> {
     }
 }
 
-/// Renders a report as the checkpoint body (no magic, no checksum).
-fn render_report(report: &ExperimentReport) -> String {
+/// Renders a report as the canonical `key value` line format used by
+/// checkpoint bodies (no magic, no checksum).
+///
+/// This is the stable serialization of an [`ExperimentReport`]: floats
+/// use Rust's shortest round-trip formatting, so equal reports render
+/// to equal bytes and rendered reports parse back bit-identically via
+/// [`parse_report`]. The golden-report regression tests compare this
+/// rendering byte-for-byte against committed fixtures.
+pub fn render_report(report: &ExperimentReport) -> String {
     let mut s = String::new();
     let r = report;
     writeln!(s, "scheme {}", scheme_name(r.scheme)).expect("write to string");
@@ -167,8 +174,14 @@ impl<'a> FieldParser<'a> {
     }
 }
 
-/// Parses a checkpoint body back into a report.
-fn parse_report(body: &str) -> Result<ExperimentReport, CheckpointError> {
+/// Parses a [`render_report`] body (terminated by an `end` line) back
+/// into a report.
+///
+/// # Errors
+///
+/// [`CheckpointError::Corrupt`] on any missing, reordered, or
+/// unparsable field.
+pub fn parse_report(body: &str) -> Result<ExperimentReport, CheckpointError> {
     let mut p = FieldParser {
         lines: body.lines(),
     };

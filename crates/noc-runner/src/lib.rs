@@ -41,5 +41,5 @@ pub mod checkpoint;
 pub mod pool;
 pub mod runner;
 
-pub use checkpoint::{CheckpointDir, CheckpointError};
+pub use checkpoint::{parse_report, render_report, CheckpointDir, CheckpointError};
 pub use runner::RunnerConfig;

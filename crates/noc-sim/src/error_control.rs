@@ -63,7 +63,12 @@ pub trait ErrorControl {
     /// Processes one flit transfer across `link` at `cycle`.
     ///
     /// The implementation may mutate `flit.payload` in place (fault
-    /// injection, SECDED correction). `kind` distinguishes first
+    /// injection, SECDED correction) — and **only** `flit.payload`.
+    /// The simulator stores in-flight flit bodies in an arena and, for
+    /// an operation-mode-2 duplicate, rewinds the slot by restoring the
+    /// saved payload words before re-drawing; mutating any other field
+    /// would leak the first draw into the duplicate's transfer.
+    /// `kind` distinguishes first
     /// transmissions from proactive copies and NACK-triggered resends so
     /// that every attempt gets an independent error draw. `protected`
     /// records whether the link's ECC/ARQ hardware was enabled *when the
@@ -137,6 +142,7 @@ impl PerfectLink {
 }
 
 impl ErrorControl for PerfectLink {
+    #[inline]
     fn hop_transfer(
         &mut self,
         _link: LinkId,

@@ -8,6 +8,7 @@
 use crate::topology::NodeId;
 use noc_coding::crc::Crc32;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Globally unique packet identifier.
@@ -178,6 +179,207 @@ impl Packet {
     }
 }
 
+/// A handle into a [`FlitArena`] slot.
+///
+/// Four bytes instead of a ~64-byte [`Flit`] body: events, input-VC
+/// FIFOs, and reassembly buffers move handles, and the flit body is
+/// written once at injection and mutated in place by the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlitRef(u32);
+
+/// Slab allocator for in-flight flit bodies.
+///
+/// Slots are recycled through a free list, so a steady-state simulation
+/// performs no per-flit heap allocation: the slab grows to the peak
+/// number of simultaneously in-flight flits and then stays flat.
+///
+/// # Example
+///
+/// ```
+/// use noc_sim::flit::{FlitArena, Packet, PacketClass, PacketId};
+/// use noc_sim::topology::NodeId;
+/// use noc_coding::crc::Crc32;
+///
+/// let mut arena = FlitArena::new();
+/// let packet = Packet {
+///     id: PacketId(1), src: NodeId(0), dst: NodeId(1), num_flits: 1,
+///     class: PacketClass::Data, injected_at: 0, payload_seed: 7,
+/// };
+/// let r = arena.alloc(packet.make_flit(0, 0, &Crc32::new()));
+/// assert_eq!(arena[r].packet, PacketId(1));
+/// arena.free(r);
+/// assert_eq!(arena.live(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlitArena {
+    slots: Vec<Flit>,
+    /// Debug-only double-free/use-after-free tripwire (checked via
+    /// `debug_assert`; one byte per slot, untouched in release reads).
+    occupied: Vec<bool>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl FlitArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `flit` in a recycled (or new) slot and returns its handle.
+    #[inline]
+    pub fn alloc(&mut self, flit: Flit) -> FlitRef {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(!self.occupied[idx as usize], "free list holds a live slot");
+            self.slots[idx as usize] = flit;
+            self.occupied[idx as usize] = true;
+            FlitRef(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+            self.slots.push(flit);
+            self.occupied.push(true);
+            FlitRef(idx)
+        }
+    }
+
+    /// Releases a slot back to the free list.
+    #[inline]
+    pub fn free(&mut self, r: FlitRef) {
+        debug_assert!(self.occupied[r.0 as usize], "double free of flit slot");
+        self.occupied[r.0 as usize] = false;
+        self.live -= 1;
+        self.free.push(r.0);
+    }
+
+    /// Number of live (allocated, unfreed) flits.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (the high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl std::ops::Index<FlitRef> for FlitArena {
+    type Output = Flit;
+
+    #[inline]
+    fn index(&self, r: FlitRef) -> &Flit {
+        debug_assert!(self.occupied[r.0 as usize], "read of freed flit slot");
+        &self.slots[r.0 as usize]
+    }
+}
+
+impl std::ops::IndexMut<FlitRef> for FlitArena {
+    #[inline]
+    fn index_mut(&mut self, r: FlitRef) -> &mut Flit {
+        debug_assert!(self.occupied[r.0 as usize], "write to freed flit slot");
+        &mut self.slots[r.0 as usize]
+    }
+}
+
+/// A dense, sliding-window map keyed by monotonically increasing
+/// [`PacketId`]s.
+///
+/// The network hands out packet ids from a counter, so at any instant
+/// the live keys occupy a contiguous-ish band `[base, base + len)`.
+/// This replaces a `HashMap<PacketId, T>` with a `VecDeque<Option<T>>`
+/// indexed by `id - base`: O(1) access with no hashing, and the window
+/// front advances as the oldest packets complete.
+#[derive(Debug, Clone)]
+pub struct PacketWindow<T> {
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for PacketWindow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PacketWindow<T> {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        Self {
+            base: 0,
+            slots: VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts `value` under `id`, returning the previous entry if one
+    /// existed.
+    ///
+    /// Ids are usually at or above the window base, but an id the base
+    /// has already slid past may legitimately return (destination
+    /// reassembly of an end-to-end retransmission); the window then
+    /// grows downward to cover it again.
+    pub fn insert(&mut self, id: PacketId, value: T) -> Option<T> {
+        if self.live == 0 {
+            // Empty window: rebase instead of bridging the gap with
+            // vacant slots.
+            self.base = id.0;
+            self.slots.clear();
+        } else if id.0 < self.base {
+            for _ in id.0..self.base {
+                self.slots.push_front(None);
+            }
+            self.base = id.0;
+        }
+        let idx = (id.0 - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        let prev = self.slots[idx].replace(value);
+        if prev.is_none() {
+            self.live += 1;
+        }
+        prev
+    }
+
+    /// Mutable access to the entry under `id`.
+    pub fn get_mut(&mut self, id: PacketId) -> Option<&mut T> {
+        if id.0 < self.base {
+            return None;
+        }
+        let idx = (id.0 - self.base) as usize;
+        self.slots.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    /// Removes and returns the entry under `id`, sliding the window
+    /// base past any leading vacancies.
+    pub fn remove(&mut self, id: PacketId) -> Option<T> {
+        if id.0 < self.base {
+            return None;
+        }
+        let idx = (id.0 - self.base) as usize;
+        let removed = self.slots.get_mut(idx).and_then(Option::take);
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        removed
+    }
+}
+
 /// The splitmix64 mixing function — used for deterministic payload
 /// derivation so retransmitted packets carry identical bits.
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -294,6 +496,105 @@ mod tests {
     #[test]
     fn display_impls() {
         assert_eq!(PacketId(9).to_string(), "p9");
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        let mut arena = FlitArena::new();
+        let a = arena.alloc(p.make_flit(0, 0, &crc));
+        let b = arena.alloc(p.make_flit(1, 0, &crc));
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena[a].index, 0);
+        assert_eq!(arena[b].index, 1);
+        arena.free(a);
+        assert_eq!(arena.live(), 1);
+        // The freed slot is reused: capacity stays flat.
+        let c = arena.alloc(p.make_flit(2, 0, &crc));
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena[c].index, 2);
+        // In-place mutation is visible through the handle.
+        arena[c].flip_payload_bit(5);
+        assert!(!arena[c].crc_ok(&crc));
+    }
+
+    #[test]
+    fn arena_steady_state_allocates_nothing_new() {
+        let crc = Crc32::new();
+        let p = sample_packet(4);
+        let mut arena = FlitArena::new();
+        let refs: Vec<_> = (0..4)
+            .map(|i| arena.alloc(p.make_flit(i, 0, &crc)))
+            .collect();
+        for r in refs {
+            arena.free(r);
+        }
+        let peak = arena.capacity();
+        for _ in 0..10 {
+            let refs: Vec<_> = (0..4)
+                .map(|i| arena.alloc(p.make_flit(i, 0, &crc)))
+                .collect();
+            for r in refs {
+                arena.free(r);
+            }
+        }
+        assert_eq!(arena.capacity(), peak, "freelist must recycle all slots");
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn packet_window_basic_map_semantics() {
+        let mut w: PacketWindow<&str> = PacketWindow::new();
+        assert!(w.is_empty());
+        assert_eq!(w.insert(PacketId(0), "a"), None);
+        assert_eq!(w.insert(PacketId(2), "c"), None);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get_mut(PacketId(1)), None);
+        assert_eq!(w.get_mut(PacketId(2)), Some(&mut "c"));
+        assert_eq!(w.insert(PacketId(2), "C"), Some("c"));
+        assert_eq!(w.remove(PacketId(0)), Some("a"));
+        assert_eq!(w.remove(PacketId(0)), None, "double remove is None");
+        assert_eq!(w.remove(PacketId(2)), Some("C"));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn packet_window_slides_past_vacancies() {
+        let mut w: PacketWindow<u32> = PacketWindow::new();
+        // Ids 1 and 3 are never inserted (e.g. control packets).
+        w.insert(PacketId(0), 10);
+        w.insert(PacketId(2), 20);
+        w.insert(PacketId(4), 40);
+        w.remove(PacketId(0));
+        // Base slides over the id-1 vacancy straight to 2.
+        assert_eq!(w.base, 2);
+        w.remove(PacketId(2));
+        assert_eq!(w.base, 4);
+        assert_eq!(w.remove(PacketId(4)), Some(40));
+        assert_eq!(w.slots.len(), 0, "fully drained window holds no slots");
+        // Stale keys behind the base answer None, like a HashMap would.
+        assert_eq!(w.get_mut(PacketId(1)), None);
+        assert_eq!(w.remove(PacketId(3)), None);
+    }
+
+    #[test]
+    fn packet_window_grows_downward_behind_base() {
+        let mut w: PacketWindow<u32> = PacketWindow::new();
+        // An empty window rebases to the inserted id, even a lower one.
+        w.insert(PacketId(9), 90);
+        w.remove(PacketId(9));
+        w.insert(PacketId(3), 30);
+        assert_eq!(w.base, 3);
+        // A live window grows downward over the gap instead.
+        w.insert(PacketId(1), 10);
+        assert_eq!(w.base, 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.get_mut(PacketId(2)), None, "gap slot stays vacant");
+        assert_eq!(w.remove(PacketId(1)), Some(10));
+        assert_eq!(w.base, 3, "base slides back up past the gap");
+        assert_eq!(w.remove(PacketId(3)), Some(30));
+        assert!(w.is_empty());
     }
 }
 

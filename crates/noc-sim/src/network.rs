@@ -30,29 +30,30 @@
 
 use crate::config::NocConfig;
 use crate::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
-use crate::flit::{Flit, Packet, PacketClass, PacketId};
-use crate::router::{BufferedFlit, PendingRetransmit, Router, VcState};
-use crate::routing::xy_path;
+use crate::flit::{Flit, FlitArena, FlitRef, Packet, PacketClass, PacketId, PacketWindow};
+use crate::router::{PendingRetransmit, Router, VcState};
+use crate::routing::RouteTable;
 use crate::stats::{EventCounters, NetworkStats, RouterEpochStats};
-use crate::topology::{Direction, LinkId, Mesh, NodeId, NUM_PORTS};
+use crate::topology::{Direction, LinkId, Mesh, NeighborTable, NodeId, NUM_PORTS};
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
 use rlnoc_telemetry::{Counter, Histogram, Telemetry, TimerHandle};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Event-wheel horizon in cycles; all scheduled events must land within
 /// this many cycles of the present.
 const WHEEL: u64 = 64;
 
-/// A scheduled simulation event.
-#[derive(Debug, Clone)]
+/// A scheduled simulation event. Flit-carrying events hold arena
+/// handles, so an event is a few machine words rather than a full flit
+/// body.
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// A flit reaches the downstream end of `link`.
     Arrival {
         link: LinkId,
         vc: u8,
-        flit: Flit,
+        flit: FlitRef,
         seq: Option<SequenceNumber>,
         kind: TransferKind,
         /// Whether a proactive duplicate was sent one cycle behind
@@ -65,10 +66,10 @@ enum Event {
         node: NodeId,
         in_port: Direction,
         vc: u8,
-        flit: Flit,
+        flit: FlitRef,
     },
     /// A flit leaves through the local port into the destination core.
-    Eject { node: NodeId, flit: Flit },
+    Eject { node: NodeId, flit: FlitRef },
     /// A buffer credit returns to the upstream router's output port.
     Credit {
         node: NodeId,
@@ -84,16 +85,22 @@ enum Event {
     },
 }
 
-/// Cyclic event wheel.
+/// Cyclic event wheel with slot-buffer reuse: draining a slot swaps in
+/// a recycled buffer instead of leaving a fresh zero-capacity `Vec`
+/// behind, so steady-state event scheduling performs no allocation.
 #[derive(Debug)]
 struct Wheel {
     slots: Vec<Vec<Event>>,
+    /// The buffer drained by the previous cycle, cleared and waiting to
+    /// back the next drained slot.
+    spare: Vec<Event>,
 }
 
 impl Wheel {
     fn new() -> Self {
         Self {
             slots: (0..WHEEL).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
         }
     }
 
@@ -103,8 +110,19 @@ impl Wheel {
         self.slots[(at % WHEEL) as usize].push(event);
     }
 
+    /// Drains the slot for `cycle`, leaving the spare buffer (with its
+    /// grown capacity) in its place. Return the drained buffer via
+    /// [`Wheel::recycle`] once processed.
     fn take(&mut self, cycle: u64) -> Vec<Event> {
-        std::mem::take(&mut self.slots[(cycle % WHEEL) as usize])
+        std::mem::replace(
+            &mut self.slots[(cycle % WHEEL) as usize],
+            std::mem::take(&mut self.spare),
+        )
+    }
+
+    fn recycle(&mut self, mut buffer: Vec<Event>) {
+        buffer.clear();
+        self.spare = buffer;
     }
 
     fn is_empty(&self) -> bool {
@@ -149,20 +167,40 @@ pub struct Network<E: ErrorControl> {
     crc: Crc32,
     cycle: u64,
     wheel: Wheel,
+    /// Precomputed X-Y next-hop lookup (RC stage, latency attribution).
+    routes: RouteTable,
+    /// Precomputed node × direction neighbor lookup (link endpoints).
+    neighbors: NeighborTable,
+    /// Slab of in-flight flit bodies; everything else moves handles.
+    arena: FlitArena,
     source_queues: Vec<VecDeque<(Packet, u8)>>,
     inject_progress: Vec<Option<InjectProgress>>,
     next_inject_vc: Vec<u8>,
     /// Source store: packets awaiting confirmed delivery, with their
-    /// retransmission attempt count.
-    pending_packets: HashMap<PacketId, (Packet, u8)>,
-    /// Destination reassembly, keyed by (packet, attempt).
-    reassembly: HashMap<(PacketId, u8), Vec<Flit>>,
+    /// retransmission attempt count. Dense over the in-flight id band.
+    pending_packets: PacketWindow<(Packet, u8)>,
+    /// Destination reassembly. The window is keyed by packet id; the
+    /// inner list disambiguates end-to-end attempts (almost always one).
+    reassembly: PacketWindow<Vec<ReassemblyEntry>>,
+    /// Recycled flit-handle buffers for reassembly entries.
+    reassembly_pool: Vec<Vec<FlitRef>>,
+    /// Reused staging buffer: flit bodies of a completed packet, handed
+    /// to `eject_check` and the payload-verification pass.
+    eject_scratch: Vec<Flit>,
     next_packet_id: u64,
     payload_seed: u64,
     stats: NetworkStats,
     epoch: Vec<RouterEpochStats>,
     counters: Vec<EventCounters>,
     tel: NetTelemetry,
+}
+
+/// Flits of one end-to-end transmission attempt collecting at the
+/// destination.
+#[derive(Debug)]
+struct ReassemblyEntry {
+    attempt: u8,
+    flits: Vec<FlitRef>,
 }
 
 /// Pre-resolved telemetry handles for the simulation hot path. All
@@ -221,11 +259,16 @@ impl<E: ErrorControl> Network<E> {
             crc: Crc32::new(),
             cycle: 0,
             wheel: Wheel::new(),
+            routes: RouteTable::new(mesh),
+            neighbors: NeighborTable::new(mesh),
+            arena: FlitArena::new(),
             source_queues: vec![VecDeque::new(); n],
             inject_progress: vec![None; n],
             next_inject_vc: vec![0; n],
-            pending_packets: HashMap::new(),
-            reassembly: HashMap::new(),
+            pending_packets: PacketWindow::new(),
+            reassembly: PacketWindow::new(),
+            reassembly_pool: Vec::new(),
+            eject_scratch: Vec::new(),
             next_packet_id: 0,
             payload_seed: seed,
             stats: NetworkStats::default(),
@@ -411,7 +454,7 @@ impl<E: ErrorControl> Network<E> {
 
     /// `true` when no packet or flit remains anywhere in the system.
     pub fn is_quiescent(&self) -> bool {
-        self.wheel.is_empty()
+        let quiet = self.wheel.is_empty()
             && self.source_queues.iter().all(VecDeque::is_empty)
             && self.inject_progress.iter().all(Option::is_none)
             && self.reassembly.is_empty()
@@ -420,13 +463,23 @@ impl<E: ErrorControl> Network<E> {
                     .iter()
                     .all(|port| port.iter().all(|vc| vc.fifo.is_empty()))
                     && r.outputs.iter().all(|p| p.retx_pending.is_empty())
-            })
+            });
+        // Every live arena slot is owned by exactly one FIFO entry,
+        // scheduled event, resend queue, or reassembly entry — all empty
+        // here, so a non-zero live count would be a handle leak.
+        debug_assert!(
+            !quiet || self.arena.live() == 0,
+            "flit arena leaks {} slots at quiescence",
+            self.arena.live()
+        );
+        quiet
     }
 
     // ----- phases ---------------------------------------------------------
 
     fn process_events(&mut self, cycle: u64) {
-        for event in self.wheel.take(cycle) {
+        let mut events = self.wheel.take(cycle);
+        for event in events.drain(..) {
             match event {
                 Event::Arrival {
                     link,
@@ -463,12 +516,20 @@ impl<E: ErrorControl> Network<E> {
                     let out = &mut self.routers[node.index()].outputs[port.index()];
                     let (_, copy) = out.retx_buffer.acknowledge(seq, kind);
                     if let Some((flit, out_vc)) = copy {
-                        out.retx_pending
+                        // Re-materialize the buffered copy into a fresh
+                        // arena slot: the slot of the rejected transfer was
+                        // freed (its payload may carry an escaped fault
+                        // draw), and the buffer keeps its own pristine copy
+                        // for further NACKs.
+                        let flit = self.arena.alloc(flit);
+                        self.routers[node.index()].outputs[port.index()]
+                            .retx_pending
                             .push_back(PendingRetransmit { flit, out_vc, seq });
                     }
                 }
             }
         }
+        self.wheel.recycle(events);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -477,14 +538,14 @@ impl<E: ErrorControl> Network<E> {
         cycle: u64,
         link: LinkId,
         vc: u8,
-        flit: Flit,
+        flit: FlitRef,
         seq: Option<SequenceNumber>,
         kind: TransferKind,
         pre_sent: bool,
     ) {
         let dst = self
-            .mesh
-            .neighbor(link.src, link.dir)
+            .neighbors
+            .get(link.src, link.dir)
             .expect("arrival beyond mesh edge");
         let di = dst.index();
         let si = link.src.index();
@@ -526,6 +587,9 @@ impl<E: ErrorControl> Network<E> {
                     // Keep the sender quiet until it processes the NACK.
                     let out = &mut self.routers[si].outputs[link.dir.index()];
                     out.next_free = out.next_free.max(ack_at);
+                    // The gated flit is discarded; its resend will be
+                    // re-materialized from the sender's buffered copy.
+                    self.arena.free(flit);
                     return;
                 }
                 // A sequence-less arrival under a gate can only happen
@@ -551,11 +615,15 @@ impl<E: ErrorControl> Network<E> {
             }
         }
 
-        let mut working = flit;
         let protected = seq.is_some();
+        // The fault draw mutates the arena slot in place. An operation-
+        // mode-2 duplicate must see the payload *as sent*, so save the
+        // two payload words for a potential rewind before the first draw.
+        let saved_payload =
+            (pre_sent && kind == TransferKind::Original).then(|| self.arena[flit].payload);
         let outcome = self.protocol.hop_transfer(
             link,
-            &mut working,
+            &mut self.arena[flit],
             cycle,
             kind,
             protected,
@@ -569,7 +637,7 @@ impl<E: ErrorControl> Network<E> {
                 if kind == TransferKind::HopRetransmit {
                     self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx = None;
                 }
-                self.accept_flit(dst, in_port, vc, working, cycle);
+                self.accept_flit(dst, in_port, vc, flit, cycle);
                 if let Some(seq) = seq {
                     self.counters[di].ack_signals += 1;
                     self.wheel.push(
@@ -587,12 +655,15 @@ impl<E: ErrorControl> Network<E> {
             HopOutcome::Reject => {
                 debug_assert!(seq.is_some(), "reject on a link without ARQ");
                 // Operation mode 2: consult the proactive duplicate before
-                // falling back to a NACK round trip.
+                // falling back to a NACK round trip. Rewind the slot to
+                // the as-sent payload so the duplicate's draw is
+                // independent of the original's.
                 if kind == TransferKind::Original && pre_sent {
-                    let mut copy = flit;
+                    self.arena[flit].payload =
+                        saved_payload.expect("payload saved before the first draw");
                     let o2 = self.protocol.hop_transfer(
                         link,
-                        &mut copy,
+                        &mut self.arena[flit],
                         cycle,
                         TransferKind::PreRetransmitCopy,
                         protected,
@@ -610,7 +681,7 @@ impl<E: ErrorControl> Network<E> {
                                 node: dst,
                                 in_port,
                                 vc,
-                                flit: copy,
+                                flit,
                             },
                         );
                         if let Some(seq) = seq {
@@ -630,6 +701,9 @@ impl<E: ErrorControl> Network<E> {
                     }
                 }
                 let seq = seq.expect("reject requires hop ARQ");
+                // The rejected body is dropped; the retransmission will be
+                // re-materialized from the sender's buffered copy.
+                self.arena.free(flit);
                 self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx = Some(seq);
                 self.stats.hop_nacks += 1;
                 self.tel.arq_nacks.inc();
@@ -663,45 +737,73 @@ impl<E: ErrorControl> Network<E> {
         }
     }
 
-    fn accept_flit(&mut self, node: NodeId, in_port: Direction, vc: u8, flit: Flit, cycle: u64) {
+    fn accept_flit(&mut self, node: NodeId, in_port: Direction, vc: u8, flit: FlitRef, cycle: u64) {
         let ni = node.index();
         self.counters[ni].buffer_writes += 1;
         self.epoch[ni].flits_in[in_port.index()] += 1;
-        let fifo = &mut self.routers[ni].inputs[in_port.index()][vc as usize].fifo;
         debug_assert!(
-            fifo.len() < self.config.vc_depth as usize,
+            self.routers[ni].inputs[in_port.index()][vc as usize]
+                .fifo
+                .len()
+                < self.config.vc_depth as usize,
             "input VC overflow at {node}:{in_port}:{vc}"
         );
-        fifo.push_back(BufferedFlit {
-            flit,
-            arrived_at: cycle,
-        });
+        self.routers[ni].enqueue(in_port.index(), vc as usize, flit, cycle);
     }
 
-    fn handle_eject(&mut self, cycle: u64, node: NodeId, flit: Flit) {
+    fn handle_eject(&mut self, cycle: u64, node: NodeId, flit: FlitRef) {
         self.counters[node.index()].crc_checks += 1;
-        let expected = if flit.class.is_control() {
+        let (packet_id, attempt, is_control) = {
+            let f = &self.arena[flit];
+            (f.packet, f.attempt, f.class.is_control())
+        };
+        let expected = if is_control {
             1
         } else {
             self.config.flits_per_packet
         } as usize;
-        let key = (flit.packet, flit.attempt);
-        let entry = self.reassembly.entry(key).or_default();
-        entry.push(flit);
-        if entry.len() == expected {
-            let flits = self.reassembly.remove(&key).expect("entry just filled");
-            self.finish_packet(cycle, node, flits);
+        if self.reassembly.get_mut(packet_id).is_none() {
+            self.reassembly.insert(packet_id, Vec::new());
+        }
+        let entries = self
+            .reassembly
+            .get_mut(packet_id)
+            .expect("entry just ensured");
+        let idx = match entries.iter().position(|e| e.attempt == attempt) {
+            Some(i) => i,
+            None => {
+                let flits = self.reassembly_pool.pop().unwrap_or_default();
+                entries.push(ReassemblyEntry { attempt, flits });
+                entries.len() - 1
+            }
+        };
+        entries[idx].flits.push(flit);
+        if entries[idx].flits.len() == expected {
+            let entry = entries.swap_remove(idx);
+            if entries.is_empty() {
+                self.reassembly.remove(packet_id);
+            }
+            self.finish_packet(cycle, node, entry);
         }
     }
 
-    fn finish_packet(&mut self, cycle: u64, node: NodeId, flits: Vec<Flit>) {
+    fn finish_packet(&mut self, cycle: u64, node: NodeId, mut entry: ReassemblyEntry) {
+        // Materialize the flit bodies into the reusable staging buffer and
+        // release their arena slots — the packet is leaving the network.
+        self.eject_scratch.clear();
+        for fr in entry.flits.drain(..) {
+            self.eject_scratch.push(self.arena[fr]);
+            self.arena.free(fr);
+        }
+        self.reassembly_pool.push(entry.flits);
+        let flits = std::mem::take(&mut self.eject_scratch);
         let head = flits[0];
         match head.class {
             PacketClass::RetransmitRequest { of } => {
                 // The request reached the original source: re-queue the
                 // packet. Stale requests (packet already delivered) are
                 // ignored, as real hardware would.
-                if let Some((packet, attempts)) = self.pending_packets.get_mut(&of) {
+                if let Some((packet, attempts)) = self.pending_packets.get_mut(of) {
                     *attempts = attempts.saturating_add(1);
                     let resend = (*packet, *attempts);
                     self.source_queues[node.index()].push_front(resend);
@@ -720,7 +822,7 @@ impl<E: ErrorControl> Network<E> {
                         let latency = cycle.saturating_sub(head.injected_at);
                         self.stats.latency.record(latency);
                         self.stats.last_delivery_cycle = cycle;
-                        if let Some((packet, _)) = self.pending_packets.remove(&head.packet) {
+                        if let Some((packet, _)) = self.pending_packets.remove(head.packet) {
                             if flits
                                 .iter()
                                 .any(|f| f.payload != packet.payload_for(f.index))
@@ -728,10 +830,18 @@ impl<E: ErrorControl> Network<E> {
                                 self.stats.silent_corruptions += 1;
                             }
                         }
-                        for r in xy_path(self.mesh, head.src, head.dst) {
+                        // Attribute the latency to every router on the
+                        // packet's X-Y path (src and dst inclusive).
+                        let mut r = head.src;
+                        loop {
                             let e = &mut self.epoch[r.index()];
                             e.latency_sum += latency;
                             e.latency_count += 1;
+                            if r == head.dst {
+                                break;
+                            }
+                            let dir = self.routes.next_hop(r, head.dst);
+                            r = self.neighbors.get(r, dir).expect("route stays in mesh");
                         }
                     }
                     EjectOutcome::RequestRetransmit => {
@@ -741,6 +851,7 @@ impl<E: ErrorControl> Network<E> {
                 }
             }
         }
+        self.eject_scratch = flits;
     }
 
     fn inject_phase(&mut self, cycle: u64) {
@@ -772,17 +883,14 @@ impl<E: ErrorControl> Network<E> {
             let Some(prog) = &mut self.inject_progress[ni] else {
                 continue;
             };
-            let fifo = &mut self.routers[ni].inputs[local][prog.vc as usize].fifo;
-            if fifo.len() >= vdepth {
+            if self.routers[ni].inputs[local][prog.vc as usize].fifo.len() >= vdepth {
                 continue; // local port back-pressured this cycle
             }
             let flit = prog
                 .packet
                 .make_flit(prog.next_flit, prog.attempt, &self.crc);
-            fifo.push_back(BufferedFlit {
-                flit,
-                arrived_at: cycle,
-            });
+            let flit = self.arena.alloc(flit);
+            self.routers[ni].enqueue(local, prog.vc as usize, flit, cycle);
             self.counters[ni].crc_encodes += 1;
             self.counters[ni].buffer_writes += 1;
             self.epoch[ni].flits_in[local] += 1;
@@ -805,14 +913,22 @@ impl<E: ErrorControl> Network<E> {
             stats,
             wheel,
             config,
-            mesh,
+            arena,
+            neighbors,
             tel,
             ..
         } = self;
         let link_latency = config.link_latency as u64;
-        let v = config.vcs_per_port as usize;
 
         for router in routers.iter_mut() {
+            // A router with no buffered flit, no active packet, and no
+            // pending resend has no SA/ST work. Skipping it is exact:
+            // arbiters are untouched since grants on empty request sets
+            // are no-ops.
+            if router.occupied_vcs == 0 && router.outputs.iter().all(|o| o.retx_pending.is_empty())
+            {
+                continue;
+            }
             let rid = router.id;
             let ri = rid.index();
             let mut port_used = [false; NUM_PORTS];
@@ -874,7 +990,8 @@ impl<E: ErrorControl> Network<E> {
             // Phase B: input-first selection.
             let mut selected: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
             for (in_p, sel) in selected.iter_mut().enumerate() {
-                let mut requests = vec![false; v];
+                router.sa_scratch.fill(false);
+                let mut any = false;
                 for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
                     let VcState::Active { out_port, out_vc } = ivc.state else {
                         continue;
@@ -901,9 +1018,13 @@ impl<E: ErrorControl> Network<E> {
                             continue;
                         }
                     }
-                    requests[in_v] = true;
+                    router.sa_scratch[in_v] = true;
+                    any = true;
                 }
-                if let Some(win) = router.sa_input_arbiters[in_p].grant(&requests) {
+                if !any {
+                    continue;
+                }
+                if let Some(win) = router.sa_input_arbiters[in_p].grant(&router.sa_scratch) {
                     let VcState::Active { out_port, out_vc } = router.inputs[in_p][win].state
                     else {
                         unreachable!("selected VC must be active");
@@ -943,16 +1064,19 @@ impl<E: ErrorControl> Network<E> {
                 counters[ri].buffer_reads += 1;
                 counters[ri].crossbar_traversals += 1;
                 epoch[ri].flits_out[out_p] += 1;
-                let is_tail = bf.flit.kind.is_tail();
+                let is_tail = arena[bf.flit].kind.is_tail();
                 if is_tail {
                     router.inputs[in_p][in_v].state = VcState::Idle;
+                }
+                if !router.inputs[in_p][in_v].occupied() {
+                    router.occupied_vcs -= 1;
                 }
 
                 // Return the freed buffer slot to the upstream router.
                 let in_dir = Direction::from_index(in_p);
                 if in_dir != Direction::Local {
-                    let upstream = mesh
-                        .neighbor(rid, in_dir)
+                    let upstream = neighbors
+                        .get(rid, in_dir)
                         .expect("flit arrived from a neighbor");
                     wheel.push(
                         cycle,
@@ -991,10 +1115,13 @@ impl<E: ErrorControl> Network<E> {
                     counters[ri].link_traversals[out_p] += 1 + u64::from(pre);
                     let seq = if protocol.hop_arq(link) {
                         counters[ri].retransmit_buffer_writes += 1;
+                        // The buffer keeps the body *by value*: the wire-side
+                        // arena slot is mutated in place by fault draws and
+                        // must never alias the canonical retransmit copy.
                         Some(
                             router.outputs[out_p]
                                 .retx_buffer
-                                .push((bf.flit, out_vc), cycle)
+                                .push((arena[bf.flit], out_vc), cycle)
                                 .expect("fullness checked during selection"),
                         )
                     } else {
@@ -1020,22 +1147,32 @@ impl<E: ErrorControl> Network<E> {
 
     fn va_phase(&mut self) {
         for (ri, router) in self.routers.iter_mut().enumerate() {
+            if router.occupied_vcs == 0 {
+                continue; // no VC holds a packet: VA has nothing to do
+            }
             let grants = router.va_stage();
             self.counters[ri].va_allocations += grants;
         }
     }
 
     fn rc_phase(&mut self, cycle: u64) {
-        for router in &mut self.routers {
-            router.rc_stage(cycle, self.mesh);
+        let Self {
+            routers,
+            routes,
+            arena,
+            ..
+        } = self;
+        for router in routers.iter_mut() {
+            if router.occupied_vcs == 0 {
+                continue; // no buffered head flit: RC has nothing to do
+            }
+            router.rc_stage(cycle, routes, arena);
         }
     }
 
     fn sample_phase(&mut self) {
         for (ri, router) in self.routers.iter().enumerate() {
-            let e = &mut self.epoch[ri];
-            e.cycles += 1;
-            e.occupied_vc_cycles += router.occupied_input_vcs() as u64;
+            self.epoch[ri].sample_cycle(router.occupied_input_vcs() as u64);
         }
     }
 }

@@ -19,17 +19,18 @@
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::NocConfig;
-use crate::flit::Flit;
-use crate::routing::xy_route;
-use crate::topology::{Direction, Mesh, NodeId, NUM_PORTS};
+use crate::flit::{Flit, FlitArena, FlitRef};
+use crate::routing::RouteTable;
+use crate::topology::{Direction, NodeId, NUM_PORTS};
 use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
 use std::collections::VecDeque;
 
 /// A flit resident in an input VC buffer, stamped with its arrival cycle
-/// so the pipeline can enforce the buffer-write stage.
-#[derive(Debug, Clone)]
+/// so the pipeline can enforce the buffer-write stage. The flit body
+/// lives in the network's [`FlitArena`]; the FIFO moves 16-byte entries.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct BufferedFlit {
-    pub flit: Flit,
+    pub flit: FlitRef,
     pub arrived_at: u64,
 }
 
@@ -78,10 +79,15 @@ pub(crate) struct OutputVc {
     pub credits: u8,
 }
 
-/// A NACKed flit waiting for priority resend on its output port.
-#[derive(Debug, Clone)]
+/// A NACKed flit waiting for priority resend on its output port. Holds
+/// an arena handle: the resend copy is re-materialized into a fresh
+/// slot when the NACK is processed, while the pristine canonical copy
+/// stays in the [`RetransmitBuffer`] by value (the wire-side slot is
+/// mutated in place by fault draws, so it can never be shared with the
+/// buffered original).
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingRetransmit {
-    pub flit: Flit,
+    pub flit: FlitRef,
     pub out_vc: u8,
     pub seq: SequenceNumber,
 }
@@ -114,6 +120,14 @@ pub struct Router {
     pub(crate) sa_input_arbiters: Vec<RoundRobinArbiter>,
     /// Per output port, over the five input ports.
     pub(crate) sa_output_arbiters: Vec<RoundRobinArbiter>,
+    /// Incrementally maintained count of occupied input VCs, updated at
+    /// every FIFO push/pop and VC release. Lets the per-cycle phases
+    /// skip idle routers entirely instead of rescanning `5 × V` VCs.
+    pub(crate) occupied_vcs: u32,
+    /// Reusable request vector for SA input arbitration (`V` slots).
+    pub(crate) sa_scratch: Vec<bool>,
+    /// Reusable request vector for VA arbitration (`NUM_PORTS × V`).
+    pub(crate) va_scratch: Vec<bool>,
 }
 
 impl Router {
@@ -153,7 +167,20 @@ impl Router {
             sa_output_arbiters: (0..NUM_PORTS)
                 .map(|_| RoundRobinArbiter::new(NUM_PORTS))
                 .collect(),
+            occupied_vcs: 0,
+            sa_scratch: vec![false; v],
+            va_scratch: vec![false; NUM_PORTS * v],
         }
+    }
+
+    /// Appends a flit handle to an input VC FIFO, maintaining the
+    /// incremental occupied-VC count. All buffer writes go through here.
+    pub(crate) fn enqueue(&mut self, in_port: usize, vc: usize, flit: FlitRef, arrived_at: u64) {
+        let ivc = &mut self.inputs[in_port][vc];
+        if !ivc.occupied() {
+            self.occupied_vcs += 1;
+        }
+        ivc.fifo.push_back(BufferedFlit { flit, arrived_at });
     }
 
     /// This router's node id.
@@ -162,13 +189,20 @@ impl Router {
     }
 
     /// Number of currently occupied input VCs (the RL buffer-utilization
-    /// feature).
+    /// feature). O(1): the count is maintained incrementally at every
+    /// FIFO push/pop; debug builds cross-check it against a full rescan.
     pub fn occupied_input_vcs(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|port| port.iter())
-            .filter(|vc| vc.occupied())
-            .count()
+        debug_assert_eq!(
+            self.occupied_vcs as usize,
+            self.inputs
+                .iter()
+                .flat_map(|port| port.iter())
+                .filter(|vc| vc.occupied())
+                .count(),
+            "incremental occupied-VC count diverged at {}",
+            self.id
+        );
+        self.occupied_vcs as usize
     }
 
     /// Total flits currently buffered across all input VC FIFOs — a
@@ -183,8 +217,9 @@ impl Router {
     }
 
     /// Route computation: idle input VCs whose head flit has completed its
-    /// buffer-write stage compute their output port.
-    pub(crate) fn rc_stage(&mut self, cycle: u64, mesh: Mesh) {
+    /// buffer-write stage compute their output port via the precomputed
+    /// route table.
+    pub(crate) fn rc_stage(&mut self, cycle: u64, routes: &RouteTable, arena: &FlitArena) {
         for port in &mut self.inputs {
             for vc in port.iter_mut() {
                 if vc.state != VcState::Idle {
@@ -196,12 +231,13 @@ impl Router {
                 if front.arrived_at >= cycle {
                     continue; // still in the BW stage
                 }
+                let flit = &arena[front.flit];
                 debug_assert!(
-                    front.flit.kind.is_head(),
+                    flit.kind.is_head(),
                     "non-head flit {:?} at front of idle VC",
-                    front.flit.kind
+                    flit.kind
                 );
-                let out_port = xy_route(mesh, self.id, front.flit.dst);
+                let out_port = routes.next_hop(self.id, flit.dst);
                 vc.state = VcState::NeedsVa { out_port };
             }
         }
@@ -218,8 +254,9 @@ impl Router {
             let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
                 continue;
             };
-            // Gather requesting input VCs (flattened index).
-            let mut requests = vec![false; NUM_PORTS * v];
+            // Gather requesting input VCs (flattened index) into the
+            // reusable scratch vector.
+            self.va_scratch.fill(false);
             let mut any = false;
             for (in_p, port) in self.inputs.iter().enumerate() {
                 for (in_v, vc) in port.iter().enumerate() {
@@ -228,7 +265,7 @@ impl Router {
                             out_port: Direction::from_index(out_p),
                         })
                     {
-                        requests[in_p * v + in_v] = true;
+                        self.va_scratch[in_p * v + in_v] = true;
                         any = true;
                     }
                 }
@@ -237,7 +274,7 @@ impl Router {
                 continue;
             }
             let winner = self.va_arbiters[out_p]
-                .grant(&requests)
+                .grant(&self.va_scratch)
                 .expect("a request was asserted");
             let (in_p, in_v) = (winner / v, winner % v);
             self.inputs[in_p][in_v].state = VcState::Active {
@@ -293,19 +330,16 @@ mod tests {
     fn rc_waits_for_buffer_write_stage() {
         let config = test_config();
         let mesh = config.mesh;
+        let routes = RouteTable::new(mesh);
+        let mut arena = FlitArena::new();
         let mut r = Router::new(mesh.node_at(0, 0), &config);
-        let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-        r.inputs[Direction::Local.index()][0]
-            .fifo
-            .push_back(BufferedFlit {
-                flit: f,
-                arrived_at: 10,
-            });
+        let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0)));
+        r.enqueue(Direction::Local.index(), 0, f, 10);
         // Same cycle: still in BW.
-        r.rc_stage(10, mesh);
+        r.rc_stage(10, &routes, &arena);
         assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
         // Next cycle: RC fires, X-first routing goes east.
-        r.rc_stage(11, mesh);
+        r.rc_stage(11, &routes, &arena);
         assert_eq!(
             r.inputs[Direction::Local.index()][0].state,
             VcState::NeedsVa {
@@ -318,18 +352,15 @@ mod tests {
     fn va_allocates_one_vc_per_output_per_cycle() {
         let config = test_config();
         let mesh = config.mesh;
+        let routes = RouteTable::new(mesh);
+        let mut arena = FlitArena::new();
         let mut r = Router::new(mesh.node_at(0, 0), &config);
         // Two input VCs both want East.
         for vc in 0..2 {
-            let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-            r.inputs[Direction::Local.index()][vc]
-                .fifo
-                .push_back(BufferedFlit {
-                    flit: f,
-                    arrived_at: 0,
-                });
+            let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0)));
+            r.enqueue(Direction::Local.index(), vc, f, 0);
         }
-        r.rc_stage(1, mesh);
+        r.rc_stage(1, &routes, &arena);
         let granted = r.va_stage();
         assert_eq!(granted, 1, "one VA grant per output port per cycle");
         let active = r.inputs[Direction::Local.index()]
@@ -355,25 +386,17 @@ mod tests {
     fn va_exhausts_output_vcs() {
         let config = test_config();
         let mesh = config.mesh;
+        let routes = RouteTable::new(mesh);
+        let mut arena = FlitArena::new();
         let mut r = Router::new(mesh.node_at(0, 0), &config);
         // 5 requesters for East across two input ports, only 4 output VCs.
         for vc in 0..4 {
-            let f = head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0));
-            r.inputs[Direction::Local.index()][vc]
-                .fifo
-                .push_back(BufferedFlit {
-                    flit: f,
-                    arrived_at: 0,
-                });
+            let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0)));
+            r.enqueue(Direction::Local.index(), vc, f, 0);
         }
-        let f = head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0));
-        r.inputs[Direction::West.index()][0]
-            .fifo
-            .push_back(BufferedFlit {
-                flit: f,
-                arrived_at: 0,
-            });
-        r.rc_stage(1, mesh);
+        let f = arena.alloc(head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0)));
+        r.enqueue(Direction::West.index(), 0, f, 0);
+        r.rc_stage(1, &routes, &arena);
         let mut total = 0;
         for _ in 0..8 {
             total += r.va_stage();
@@ -385,13 +408,15 @@ mod tests {
     fn occupied_vcs_counts_active_and_buffered() {
         let config = test_config();
         let mesh = config.mesh;
+        let mut arena = FlitArena::new();
         let mut r = Router::new(mesh.node_at(0, 0), &config);
         assert_eq!(r.occupied_input_vcs(), 0);
-        let f = head_flit(mesh.node_at(0, 0), mesh.node_at(1, 0));
-        r.inputs[0][0].fifo.push_back(BufferedFlit {
-            flit: f,
-            arrived_at: 0,
-        });
+        let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(1, 0)));
+        r.enqueue(0, 0, f, 0);
+        assert_eq!(r.occupied_input_vcs(), 1);
+        // A second flit on the same VC does not double-count.
+        let g = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(1, 0)));
+        r.enqueue(0, 0, g, 1);
         assert_eq!(r.occupied_input_vcs(), 1);
     }
 }

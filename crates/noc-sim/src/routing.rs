@@ -5,7 +5,7 @@
 //! restrictions: a packet first travels along the X dimension to the
 //! destination column, then along Y to the destination row.
 
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{Coord, Direction, Mesh, NodeId};
 
 /// Computes the X-Y output port at router `current` for a packet headed to
 /// `dst`.
@@ -63,6 +63,72 @@ pub fn xy_path(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<NodeId> {
     path
 }
 
+/// Node count up to which [`RouteTable`] materializes the full
+/// `current × dst` direction matrix (one byte per pair, so ≤ 1 MiB).
+/// Larger meshes fall back to coordinate comparison, which is still
+/// division-free thanks to the per-node coordinate cache.
+const DENSE_ROUTE_LIMIT: usize = 1024;
+
+/// Precomputed X-Y next-hop lookup.
+///
+/// [`xy_route`] derives both endpoint coordinates (two divisions each)
+/// on every call; route computation runs once per packet per hop and
+/// the latency-attribution walk once per node on every delivered
+/// packet's path. The table answers the same query with one index
+/// (small meshes) or two cached-coordinate compares (large meshes),
+/// and is verified against `xy_route` exhaustively in tests.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    coords: Vec<Coord>,
+    /// `dense[current * n + dst]` is the direction's port index.
+    dense: Option<Vec<u8>>,
+    n: usize,
+}
+
+impl RouteTable {
+    /// Builds the lookup structures for `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        let n = mesh.num_nodes();
+        let coords: Vec<Coord> = mesh.nodes().map(|id| mesh.coord(id)).collect();
+        let dense = (n <= DENSE_ROUTE_LIMIT).then(|| {
+            let mut table = vec![0u8; n * n];
+            for cur in mesh.nodes() {
+                for dst in mesh.nodes() {
+                    table[cur.index() * n + dst.index()] = xy_route(mesh, cur, dst).index() as u8;
+                }
+            }
+            table
+        });
+        Self { coords, dense, n }
+    }
+
+    /// The X-Y output port at `current` for a packet headed to `dst`.
+    /// Identical to [`xy_route`] on the table's mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the mesh the table was built for.
+    #[inline]
+    pub fn next_hop(&self, current: NodeId, dst: NodeId) -> Direction {
+        if let Some(dense) = &self.dense {
+            return Direction::from_index(dense[current.index() * self.n + dst.index()] as usize);
+        }
+        let c = self.coords[current.index()];
+        let d = self.coords[dst.index()];
+        if c.x < d.x {
+            Direction::East
+        } else if c.x > d.x {
+            Direction::West
+        } else if c.y < d.y {
+            Direction::South
+        } else if c.y > d.y {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +180,32 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let n = mesh.node_at(2, 2);
         assert_eq!(xy_path(mesh, n, n), vec![n]);
+    }
+
+    #[test]
+    fn route_table_matches_xy_route_exhaustively() {
+        // 4×4 exercises the dense table; a synthetic over-limit mesh
+        // exercises the coordinate-compare fallback.
+        let mesh = Mesh::new(4, 4);
+        let table = RouteTable::new(mesh);
+        for cur in mesh.nodes() {
+            for dst in mesh.nodes() {
+                assert_eq!(table.next_hop(cur, dst), xy_route(mesh, cur, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_fallback_matches_on_large_mesh() {
+        let mesh = Mesh::new(64, 33); // 2112 nodes: past the dense limit
+        let table = RouteTable::new(mesh);
+        assert!(table.dense.is_none(), "large mesh must use the fallback");
+        for cur in [0u16, 1, 63, 64, 1000, 2111] {
+            for dst in [0u16, 31, 64, 100, 2047, 2111] {
+                let (cur, dst) = (NodeId(cur), NodeId(dst));
+                assert_eq!(table.next_hop(cur, dst), xy_route(mesh, cur, dst));
+            }
+        }
     }
 
     #[test]

@@ -225,6 +225,17 @@ pub struct RouterEpochStats {
 }
 
 impl RouterEpochStats {
+    /// Accumulates one cycle of occupancy accounting.
+    ///
+    /// `occupied_vcs` is the router's incrementally maintained live
+    /// input-VC count — the sampler adds it straight in rather than
+    /// rescanning every VC of every router each cycle.
+    #[inline]
+    pub fn sample_cycle(&mut self, occupied_vcs: u64) {
+        self.cycles += 1;
+        self.occupied_vc_cycles += occupied_vcs;
+    }
+
     /// Mean input-port utilization in flits/cycle (averaged over the four
     /// compass ports plus local).
     pub fn mean_input_utilization(&self) -> f64 {

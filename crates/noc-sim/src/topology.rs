@@ -256,6 +256,46 @@ impl Mesh {
     }
 }
 
+/// Precomputed `node × direction → neighbor` lookup.
+///
+/// [`Mesh::neighbor`] re-derives coordinates (two divisions) on every
+/// call; the simulator resolves a link endpoint several times per flit
+/// per hop, so the network builds this dense table once and indexes it
+/// on the hot path. `table[node][port]` equals
+/// `mesh.neighbor(node, Direction::from_index(port))` for every pair.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    table: Vec<[Option<NodeId>; NUM_PORTS]>,
+}
+
+impl NeighborTable {
+    /// Builds the table for `mesh` (`num_nodes × NUM_PORTS` entries).
+    pub fn new(mesh: Mesh) -> Self {
+        let table = mesh
+            .nodes()
+            .map(|n| {
+                let mut row = [None; NUM_PORTS];
+                for dir in Direction::ALL {
+                    row[dir.index()] = mesh.neighbor(n, dir);
+                }
+                row
+            })
+            .collect();
+        Self { table }
+    }
+
+    /// The neighbor of `node` in direction `dir`; `None` at a mesh edge
+    /// or for `Local`. Identical to [`Mesh::neighbor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh the table was built for.
+    #[inline]
+    pub fn get(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        self.table[node.index()][dir.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +391,23 @@ mod tests {
     fn neighbor_local_is_none() {
         let mesh = Mesh::new(2, 2);
         assert_eq!(mesh.neighbor(NodeId(0), Direction::Local), None);
+    }
+
+    #[test]
+    fn neighbor_table_matches_mesh() {
+        for (w, h) in [(1, 1), (1, 5), (4, 4), (8, 3)] {
+            let mesh = Mesh::new(w, h);
+            let table = NeighborTable::new(mesh);
+            for node in mesh.nodes() {
+                for dir in Direction::ALL {
+                    assert_eq!(
+                        table.get(node, dir),
+                        mesh.neighbor(node, dir),
+                        "{w}x{h} mesh, {node} {dir}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
