@@ -7,7 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use noc_coding::crc::Crc32;
-use noc_coding::hamming::Secded64;
+use noc_coding::hamming::{Secded32, Secded64};
 use noc_rl::agent::{AgentConfig, QLearningAgent};
 use noc_rl::decision_tree::{DecisionTree, TreeParams};
 use noc_rl::state::{RouterFeatures, StateSpace};
@@ -18,6 +18,13 @@ fn bench_crc(c: &mut Criterion) {
     let payload = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210u64];
     c.bench_function("crc32_flit_checksum", |b| {
         b.iter(|| crc.checksum_words(black_box(&payload)))
+    });
+    // Longer payload exercising the slicing-by-8 loop plus remainder.
+    let buf: Vec<u8> = (0..67u32)
+        .map(|i| (i.wrapping_mul(97) >> 3) as u8)
+        .collect();
+    c.bench_function("crc32_checksum_67B", |b| {
+        b.iter(|| crc.checksum(black_box(&buf)))
     });
 }
 
@@ -32,6 +39,13 @@ fn bench_secded(c: &mut Criterion) {
     let flipped = clean.with_bit_flipped(17);
     c.bench_function("secded64_decode_corrects", |b| {
         b.iter(|| black_box(flipped).decode())
+    });
+    c.bench_function("secded32_encode", |b| {
+        b.iter(|| Secded32::encode(black_box(0xC0DE_F00D)))
+    });
+    let clean32 = Secded32::encode(0xC0DE_F00D);
+    c.bench_function("secded32_decode_clean", |b| {
+        b.iter(|| black_box(clean32).decode())
     });
 }
 

@@ -867,12 +867,14 @@ impl Runner {
         }
 
         // DT pre-training collects (features, oracle error rate) samples.
+        // The oracle rates come straight from the protocol's per-epoch
+        // cache — one slice borrow, no per-router VARIUS evaluation.
         if pretrain && self.controllers.is_dt() {
+            let rates = self.net.protocol().raw_error_probabilities();
             for (i, f) in features.iter().enumerate() {
-                let rate = self.net.protocol().raw_error_probability(i);
                 self.controllers.record_dt_sample(DtSample {
                     features: *f,
-                    error_rate: rate,
+                    error_rate: rates[i],
                 });
             }
         }

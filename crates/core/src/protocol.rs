@@ -20,7 +20,7 @@
 use crate::modes::OperationMode;
 use noc_coding::crc::Crc32;
 use noc_coding::hamming::{DecodeOutcome, Secded64};
-use noc_fault::injector::FaultInjector;
+use noc_fault::injector::{ErrorThreshold, FaultInjector};
 use noc_fault::timing::TimingErrorModel;
 use noc_fault::variation::VariationMap;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
@@ -60,6 +60,17 @@ pub struct FaultTolerantProtocol {
     utilizations: Vec<f64>,
     crc: Crc32,
     hop_transfers: u64,
+    // Per-epoch caches: temperature, utilization, variation, and mode
+    // change at most once per control epoch, so the VARIUS `exp()` is
+    // evaluated on the epoch boundary and every per-flit hop does a
+    // table load. Invalidated only by `set_temperatures`,
+    // `set_utilizations`, `set_mode`, and `set_all_modes`.
+    /// Cached [`link_error_probability`](Self::link_error_probability).
+    link_p: Vec<f64>,
+    /// Cached [`raw_error_probability`](Self::raw_error_probability).
+    raw_p: Vec<f64>,
+    /// `link_p` precompiled into integer Bernoulli thresholds.
+    thresholds: Vec<ErrorThreshold>,
 }
 
 impl FaultTolerantProtocol {
@@ -72,7 +83,7 @@ impl FaultTolerantProtocol {
             n,
             "variation map does not match mesh"
         );
-        Self {
+        let mut protocol = Self {
             mesh,
             modes: vec![OperationMode::Mode0; n],
             timing,
@@ -82,7 +93,12 @@ impl FaultTolerantProtocol {
             utilizations: vec![0.0; n],
             crc: Crc32::new(),
             hop_transfers: 0,
-        }
+            link_p: vec![0.0; n],
+            raw_p: vec![0.0; n],
+            thresholds: vec![ErrorThreshold::default(); n],
+        };
+        protocol.refresh_all();
+        protocol
     }
 
     /// A protocol whose fault model never errs — for calibration and
@@ -106,6 +122,34 @@ impl FaultTolerantProtocol {
         &self.modes
     }
 
+    /// Recomputes the cached probabilities/threshold for one router.
+    ///
+    /// This is the *only* place the VARIUS model is evaluated, so the
+    /// cached values are bitwise-identical to a fresh
+    /// `flit_error_probability` call with the current inputs.
+    fn refresh_node(&mut self, node: usize) {
+        let link = self.timing.flit_error_probability(
+            self.temperatures[node],
+            self.utilizations[node],
+            self.variation.factor(node),
+            self.modes[node].relaxed_timing(),
+        );
+        self.link_p[node] = link;
+        self.raw_p[node] = self.timing.flit_error_probability(
+            self.temperatures[node],
+            self.utilizations[node],
+            self.variation.factor(node),
+            false,
+        );
+        self.thresholds[node] = ErrorThreshold::from_probability(link);
+    }
+
+    fn refresh_all(&mut self) {
+        for node in 0..self.modes.len() {
+            self.refresh_node(node);
+        }
+    }
+
     /// Sets router `node`'s operation mode (effective for flits that
     /// start a hop after this call).
     ///
@@ -114,11 +158,13 @@ impl FaultTolerantProtocol {
     /// Panics if `node` is out of range.
     pub fn set_mode(&mut self, node: usize, mode: OperationMode) {
         self.modes[node] = mode;
+        self.refresh_node(node);
     }
 
     /// Sets every router to `mode` (the static CRC / ARQ+ECC baselines).
     pub fn set_all_modes(&mut self, mode: OperationMode) {
         self.modes.fill(mode);
+        self.refresh_all();
     }
 
     /// Updates per-router temperatures (°C) from the thermal model.
@@ -129,6 +175,7 @@ impl FaultTolerantProtocol {
     pub fn set_temperatures(&mut self, temps: &[f64]) {
         assert_eq!(temps.len(), self.temperatures.len(), "length mismatch");
         self.temperatures.copy_from_slice(temps);
+        self.refresh_all();
     }
 
     /// Updates per-router mean output-link utilizations (flits/cycle).
@@ -139,30 +186,34 @@ impl FaultTolerantProtocol {
     pub fn set_utilizations(&mut self, utils: &[f64]) {
         assert_eq!(utils.len(), self.utilizations.len(), "length mismatch");
         self.utilizations.copy_from_slice(utils);
+        self.refresh_all();
     }
 
     /// The current per-flit error probability on router `node`'s output
     /// links (what a VARIUS oracle would report) — also the supervised
-    /// label used to train the decision-tree baseline.
+    /// label used to train the decision-tree baseline. Served from the
+    /// per-epoch cache (refreshed by the temperature / utilization /
+    /// mode setters).
     pub fn link_error_probability(&self, node: usize) -> f64 {
-        self.timing.flit_error_probability(
-            self.temperatures[node],
-            self.utilizations[node],
-            self.variation.factor(node),
-            self.modes[node].relaxed_timing(),
-        )
+        self.link_p[node]
     }
 
     /// Like [`link_error_probability`](Self::link_error_probability) but
     /// ignoring the mode's timing relaxation — the *raw* error level the
-    /// controller must react to.
+    /// controller must react to. Served from the per-epoch cache.
     pub fn raw_error_probability(&self, node: usize) -> f64 {
-        self.timing.flit_error_probability(
-            self.temperatures[node],
-            self.utilizations[node],
-            self.variation.factor(node),
-            false,
-        )
+        self.raw_p[node]
+    }
+
+    /// All cached link error probabilities, indexed by router.
+    pub fn link_error_probabilities(&self) -> &[f64] {
+        &self.link_p
+    }
+
+    /// All cached raw error probabilities, indexed by router — the
+    /// oracle-rate table the decision-tree label path reads per epoch.
+    pub fn raw_error_probabilities(&self) -> &[f64] {
+        &self.raw_p
     }
 
     /// Total hop transfers processed (diagnostics).
@@ -188,17 +239,17 @@ impl ErrorControl for FaultTolerantProtocol {
     ) -> HopOutcome {
         self.hop_transfers += 1;
         let src = link.src.index();
-        let p = self.link_error_probability(src);
-        let flips = self.injector.sample_flips(&self.timing, p);
+        let flips = self
+            .injector
+            .sample_flips_at(&self.timing, self.thresholds[src]);
 
         // `protected` is the send-time ECC state — a flit launched before
         // a mode switch keeps the protection it was encoded with.
         if !protected {
             // Raw link: corruption rides through to the destination CRC.
             if flips > 0 {
-                for bit in self.injector.pick_bits(flips, 128) {
-                    flit.flip_payload_bit(bit);
-                }
+                let (bits, n) = self.injector.pick_bits_fixed(flips, 128);
+                flit.flip_payload_bits(&bits[..n]);
             }
             return HopOutcome::Delivered;
         }
@@ -214,7 +265,10 @@ impl ErrorControl for FaultTolerantProtocol {
             Secded64::encode(flit.payload[0]),
             Secded64::encode(flit.payload[1]),
         ];
-        for bit in self.injector.pick_bits(flips, 2 * Secded64::CODE_BITS) {
+        let (bits, n) = self
+            .injector
+            .pick_bits_fixed(flips, 2 * Secded64::CODE_BITS);
+        for &bit in &bits[..n] {
             let (w, b) = (
                 (bit / Secded64::CODE_BITS) as usize,
                 bit % Secded64::CODE_BITS,

@@ -1,0 +1,132 @@
+//! The protocol's per-epoch error-probability cache must always equal a
+//! fresh VARIUS evaluation, *bitwise* — the golden campaign fixtures
+//! depend on the cached path being indistinguishable from recomputing
+//! `flit_error_probability` per flit-hop.
+
+use noc_fault::timing::{TimingErrorModel, TimingErrorParams};
+use noc_fault::variation::VariationMap;
+use noc_sim::topology::Mesh;
+use rlnoc_core::modes::OperationMode;
+use rlnoc_core::protocol::FaultTolerantProtocol;
+
+const W: u16 = 4;
+const H: u16 = 4;
+const N: usize = (W as usize) * (H as usize);
+
+/// Asserts that every cached probability equals a freshly computed
+/// `flit_error_probability` with the given inputs, comparing f64 bits.
+fn assert_cache_fresh(
+    protocol: &FaultTolerantProtocol,
+    timing: &TimingErrorModel,
+    variation: &VariationMap,
+    temps: &[f64],
+    utils: &[f64],
+) {
+    for node in 0..N {
+        let relaxed = protocol.modes()[node].relaxed_timing();
+        let fresh_link = timing.flit_error_probability(
+            temps[node],
+            utils[node],
+            variation.factor(node),
+            relaxed,
+        );
+        let fresh_raw =
+            timing.flit_error_probability(temps[node], utils[node], variation.factor(node), false);
+        assert_eq!(
+            protocol.link_error_probability(node).to_bits(),
+            fresh_link.to_bits(),
+            "stale link cache at node {node}"
+        );
+        assert_eq!(
+            protocol.raw_error_probability(node).to_bits(),
+            fresh_raw.to_bits(),
+            "stale raw cache at node {node}"
+        );
+        assert_eq!(
+            protocol.link_error_probabilities()[node].to_bits(),
+            fresh_link.to_bits()
+        );
+        assert_eq!(
+            protocol.raw_error_probabilities()[node].to_bits(),
+            fresh_raw.to_bits()
+        );
+    }
+}
+
+#[test]
+fn cache_tracks_temperature_utilization_and_mode_updates() {
+    let timing = TimingErrorModel::new(TimingErrorParams::default());
+    let variation = VariationMap::generate(W, H, 0.08, 0.05, 41);
+    let mut protocol = FaultTolerantProtocol::new(Mesh::new(W, H), timing, variation.clone(), 2024);
+
+    // Construction defaults: 50 °C everywhere, idle links, mode 0.
+    let mut temps = vec![50.0; N];
+    let mut utils = vec![0.0; N];
+    assert_cache_fresh(&protocol, &timing, &variation, &temps, &utils);
+
+    // Drive the protocol through the update kinds a control epoch
+    // performs, in varying orders, checking the cache after each.
+    for step in 0..24usize {
+        match step % 4 {
+            0 => {
+                for (i, t) in temps.iter_mut().enumerate() {
+                    *t = 50.0 + ((step * 7 + i * 13) % 50) as f64 + 0.25;
+                }
+                protocol.set_temperatures(&temps);
+            }
+            1 => {
+                for (i, u) in utils.iter_mut().enumerate() {
+                    *u = ((step * 11 + i * 3) % 30) as f64 / 100.0;
+                }
+                protocol.set_utilizations(&utils);
+            }
+            2 => {
+                let mode = match step % 16 {
+                    2 => OperationMode::Mode1,
+                    6 => OperationMode::Mode2,
+                    10 => OperationMode::Mode3,
+                    _ => OperationMode::Mode0,
+                };
+                protocol.set_mode(step % N, mode);
+            }
+            _ => {
+                let mode = if step % 8 == 3 {
+                    OperationMode::Mode3
+                } else {
+                    OperationMode::Mode1
+                };
+                protocol.set_all_modes(mode);
+            }
+        }
+        assert_cache_fresh(&protocol, &timing, &variation, &temps, &utils);
+    }
+}
+
+#[test]
+fn mode_relaxation_is_reflected_immediately() {
+    let timing = TimingErrorModel::default();
+    let variation = VariationMap::uniform(W, H);
+    let mut protocol = FaultTolerantProtocol::new(Mesh::new(W, H), timing, variation.clone(), 7);
+    protocol.set_temperatures(&[95.0; N]);
+
+    let before = protocol.link_error_probability(3);
+    protocol.set_mode(3, OperationMode::Mode3);
+    let relaxed = protocol.link_error_probability(3);
+    assert!(relaxed < before * 1e-3, "mode 3 must collapse the cached p");
+    // Raw probability ignores the relaxation and must be unchanged.
+    assert_eq!(
+        protocol.raw_error_probability(3).to_bits(),
+        before.to_bits()
+    );
+    // Other nodes are untouched by a single-node mode change.
+    assert_eq!(
+        protocol.link_error_probability(2).to_bits(),
+        before.to_bits()
+    );
+
+    protocol.set_mode(3, OperationMode::Mode0);
+    assert_eq!(
+        protocol.link_error_probability(3).to_bits(),
+        before.to_bits()
+    );
+}

@@ -128,8 +128,49 @@ impl Default for Crc16 {
     }
 }
 
+/// Slicing-by-8 lookup tables for the reflected IEEE polynomial,
+/// built at compile time and shared process-wide: constructing a
+/// [`Crc32`] costs nothing, so every `Network`, checkpoint writer, and
+/// policy-snapshot codec shares the same static 8 KiB.
+///
+/// `CRC32_TABLES[0]` is the classic byte-at-a-time table;
+/// `CRC32_TABLES[j][b]` extends it to the CRC of byte `b` followed by
+/// `j` zero bytes, which lets eight input bytes be consumed with eight
+/// independent loads XORed together.
+static CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ Crc32::POLY
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1usize;
+    while j < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`), the check used
 /// by the simulated destination-router CRC decoders.
+///
+/// The kernel is slicing-by-8 over process-wide static tables: eight
+/// input bytes per step, no per-instance table construction.
 ///
 /// # Example
 ///
@@ -138,20 +179,65 @@ impl Default for Crc16 {
 /// let crc = Crc32::new();
 /// assert_eq!(crc.checksum(b"123456789"), 0xCBF4_3926);
 /// ```
-#[derive(Debug, Clone)]
-pub struct Crc32 {
-    table: [u32; 256],
-}
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32;
 
 impl Crc32 {
     /// Reflected generator polynomial.
     pub const POLY: u32 = 0xEDB8_8320;
 
-    /// Builds the lookup table for [`Self::POLY`].
+    /// Returns a handle to the process-wide tables (free; kept for API
+    /// compatibility with the per-instance-table era).
     pub fn new() -> Self {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
+        Self
+    }
+
+    /// Advances `crc` over eight message bytes packed little-endian in
+    /// `w` (slicing-by-8: one step, eight independent table loads).
+    #[inline]
+    fn step8(crc: u32, w: u64) -> u32 {
+        let x = w ^ u64::from(crc);
+        let t = &CRC32_TABLES;
+        t[7][(x & 0xFF) as usize]
+            ^ t[6][((x >> 8) & 0xFF) as usize]
+            ^ t[5][((x >> 16) & 0xFF) as usize]
+            ^ t[4][((x >> 24) & 0xFF) as usize]
+            ^ t[3][((x >> 32) & 0xFF) as usize]
+            ^ t[2][((x >> 40) & 0xFF) as usize]
+            ^ t[1][((x >> 48) & 0xFF) as usize]
+            ^ t[0][(x >> 56) as usize]
+    }
+
+    /// Computes the CRC-32 of `data` (init `0xFFFF_FFFF`, final XOR
+    /// `0xFFFF_FFFF`, matching zlib's `crc32`).
+    pub fn checksum(&self, data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            crc = Self::step8(crc, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
+    /// Computes the CRC-32 of the four 32-bit words of a 128-bit flit
+    /// payload, the granularity at which the simulated CRC encoder runs.
+    /// Equivalent to serializing the words little-endian and calling
+    /// [`checksum`](Self::checksum), in exactly two slicing steps.
+    #[inline]
+    pub fn checksum_words(&self, words: &[u64; 2]) -> u32 {
+        Self::step8(Self::step8(0xFFFF_FFFF, words[0]), words[1]) ^ 0xFFFF_FFFF
+    }
+
+    /// Bit-at-a-time reference implementation (no tables) retained as
+    /// the oracle the sliced kernel is property-tested against.
+    #[doc(hidden)]
+    pub fn checksum_reference(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            crc ^= u32::from(b);
             for _ in 0..8 {
                 crc = if crc & 1 != 0 {
                     (crc >> 1) ^ Self::POLY
@@ -159,27 +245,8 @@ impl Crc32 {
                     crc >> 1
                 };
             }
-            *entry = crc;
         }
-        Self { table }
-    }
-
-    /// Computes the CRC-32 of `data` (init `0xFFFF_FFFF`, final XOR
-    /// `0xFFFF_FFFF`, matching zlib's `crc32`).
-    pub fn checksum(&self, data: &[u8]) -> u32 {
-        let crc = data.iter().fold(0xFFFF_FFFFu32, |crc, &b| {
-            (crc >> 8) ^ self.table[((crc ^ b as u32) & 0xFF) as usize]
-        });
         crc ^ 0xFFFF_FFFF
-    }
-
-    /// Computes the CRC-32 of the four 32-bit words of a 128-bit flit
-    /// payload, the granularity at which the simulated CRC encoder runs.
-    pub fn checksum_words(&self, words: &[u64; 2]) -> u32 {
-        let mut bytes = [0u8; 16];
-        bytes[..8].copy_from_slice(&words[0].to_le_bytes());
-        bytes[8..].copy_from_slice(&words[1].to_le_bytes());
-        self.checksum(&bytes)
     }
 
     /// Returns `true` when `expected` matches the checksum of `data`.
@@ -328,6 +395,16 @@ mod prop_tests {
             let a = Crc32::new().checksum(&data);
             let b = Crc32::new().checksum(&data);
             prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn crc32_sliced_matches_bitwise_reference(
+            data in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            prop_assert_eq!(
+                Crc32::new().checksum(&data),
+                Crc32::checksum_reference(&data)
+            );
         }
 
         #[test]

@@ -63,106 +63,175 @@ impl fmt::Display for DecodeOutcome {
     }
 }
 
-/// Precomputed scatter/gather maps and parity masks for one code size.
-struct CodeTables<const K: usize> {
-    /// `data_position[d]` = codeword position of data bit `d`.
-    data_position: [u32; K],
-    /// `parity_mask[j]` = positions covered by parity bit 2^j (bit 2^j
-    /// itself included); used for both encode and syndrome computation.
-    parity_mask: [u128; 8],
-    /// Number of parity bits (masks actually used).
-    parity_bits: u32,
+/// Const-evaluable extended-Hamming encode, used only to *build* the
+/// byte-sliced tables below. The independently written
+/// [`encode_generic`] remains the specification the tables are tested
+/// against.
+const fn encode_const(data: u64, data_bits: u32, total_positions: u32) -> u128 {
+    let mut code: u128 = 0;
+    let mut d = 0u32;
+    let mut pos = 1u32;
+    while pos <= total_positions {
+        if !pos.is_power_of_two() {
+            if data & (1u64 << d) != 0 {
+                code |= 1u128 << pos;
+            }
+            d += 1;
+            if d == data_bits {
+                break;
+            }
+        }
+        pos += 1;
+    }
+    let mut p = 1u32;
+    while p <= total_positions {
+        let mut parity = 0u32;
+        let mut q = 1u32;
+        while q <= total_positions {
+            if q & p != 0 && code & (1u128 << q) != 0 {
+                parity ^= 1;
+            }
+            q += 1;
+        }
+        if parity != 0 {
+            code |= 1u128 << p;
+        }
+        p <<= 1;
+    }
+    if code.count_ones() & 1 != 0 {
+        code |= 1;
+    }
+    code
 }
 
-impl<const K: usize> CodeTables<K> {
-    const fn build(total_positions: u32) -> Self {
-        let mut data_position = [0u32; K];
-        let mut d = 0;
+/// Sentinel in `data_index` for positions that carry no data bit
+/// (parity positions, position 0, and positions past the codeword).
+const NO_DATA: u8 = 0xFF;
+
+/// Word-sliced encode/decode tables for one code size.
+///
+/// Extended Hamming is linear, so a codeword is the XOR of the
+/// codewords of its data bytes taken in isolation — `encode` is `DB`
+/// table loads XORed together, with parity bits and the overall parity
+/// bit already folded into each entry. Decode slices the codeword into
+/// `CB` bytes: `syndrome[i][b]` accumulates (low 8 bits) the XOR of the
+/// positions of `b`'s set bits and (bit 15) their popcount parity,
+/// while `gather[i][b]` accumulates the data bits those positions
+/// carry. No per-bit loops remain on the hot path.
+struct ByteTables<const DB: usize, const CB: usize> {
+    /// `encode[lane][b]` = codeword of data byte `b` in lane `lane`.
+    encode: [[u128; 256]; DB],
+    /// `syndrome[i][b]` = XOR of positions (low bits) | parity (bit 15).
+    syndrome: [[u16; 256]; CB],
+    /// `gather[i][b]` = data-word contribution of codeword byte `i`=`b`.
+    gather: [[u64; 256]; CB],
+    /// `data_index[pos]` = data-bit index stored at codeword position
+    /// `pos`, or [`NO_DATA`].
+    data_index: [u8; 128],
+}
+
+impl<const DB: usize, const CB: usize> ByteTables<DB, CB> {
+    const fn build(data_bits: u32, total_positions: u32) -> Self {
+        let mut data_index = [NO_DATA; 128];
+        let mut d = 0u32;
         let mut pos = 1u32;
-        while pos <= total_positions && d < K {
+        while pos <= total_positions && d < data_bits {
             if !pos.is_power_of_two() {
-                data_position[d] = pos;
+                data_index[pos as usize] = d as u8;
                 d += 1;
             }
             pos += 1;
         }
-        let mut parity_mask = [0u128; 8];
-        let mut parity_bits = 0u32;
-        let mut p = 1u32;
-        while p <= total_positions {
-            let mut mask = 0u128;
-            let mut q = 1u32;
-            while q <= total_positions {
-                if q & p != 0 {
-                    mask |= 1u128 << q;
-                }
-                q += 1;
+        let mut encode = [[0u128; 256]; DB];
+        let mut lane = 0;
+        while lane < DB {
+            let mut v = 0usize;
+            while v < 256 {
+                encode[lane][v] =
+                    encode_const((v as u64) << (lane * 8), data_bits, total_positions);
+                v += 1;
             }
-            parity_mask[parity_bits as usize] = mask;
-            parity_bits += 1;
-            p <<= 1;
+            lane += 1;
+        }
+        let mut syndrome = [[0u16; 256]; CB];
+        let mut gather = [[0u64; 256]; CB];
+        let mut byte = 0;
+        while byte < CB {
+            let mut v = 0usize;
+            while v < 256 {
+                let mut s = 0u16;
+                let mut g = 0u64;
+                let mut j = 0u32;
+                while j < 8 {
+                    if v & (1usize << j) != 0 {
+                        let p = byte as u32 * 8 + j;
+                        // Every set bit toggles the overall parity (bit
+                        // 15) and XORs its position into the syndrome.
+                        s ^= 0x8000 | (p as u16);
+                        if data_index[p as usize] != NO_DATA {
+                            g |= 1u64 << data_index[p as usize];
+                        }
+                    }
+                    j += 1;
+                }
+                syndrome[byte][v] = s;
+                gather[byte][v] = g;
+                v += 1;
+            }
+            byte += 1;
         }
         Self {
-            data_position,
-            parity_mask,
-            parity_bits,
+            encode,
+            syndrome,
+            gather,
+            data_index,
         }
     }
 
-    /// Fast encode via precomputed tables.
+    /// Fast encode: one table load + XOR per data byte.
+    #[inline]
     fn encode(&self, data: u64) -> u128 {
         let mut code = 0u128;
-        for (d, &pos) in self.data_position.iter().enumerate() {
-            code |= (((data >> d) & 1) as u128) << pos;
-        }
-        for j in 0..self.parity_bits as usize {
-            if (code & self.parity_mask[j]).count_ones() & 1 != 0 {
-                code |= 1u128 << (1u32 << j);
-            }
-        }
-        if code.count_ones() & 1 != 0 {
-            code |= 1;
+        for (lane, table) in self.encode.iter().enumerate() {
+            code ^= table[((data >> (8 * lane)) & 0xFF) as usize];
         }
         code
     }
 
-    /// Fast decode via precomputed tables.
-    fn decode(&self, mut code: u128, total_positions: u32) -> DecodeOutcome {
-        let mut syndrome = 0u32;
-        for j in 0..self.parity_bits as usize {
-            if (code & self.parity_mask[j]).count_ones() & 1 != 0 {
-                syndrome |= 1 << j;
-            }
+    /// Fast decode: syndrome + overall parity + data gather in one
+    /// byte-sliced pass, then a single indexed fix-up on correction.
+    #[inline]
+    fn decode(&self, code: u128, total_positions: u32) -> DecodeOutcome {
+        let mut acc = 0u16;
+        let mut data = 0u64;
+        for (byte, (syn, gat)) in self.syndrome.iter().zip(&self.gather).enumerate() {
+            let v = ((code >> (8 * byte)) & 0xFF) as usize;
+            acc ^= syn[v];
+            data ^= gat[v];
         }
-        let overall_ok = code.count_ones().is_multiple_of(2);
-        let corrected_bit = match (syndrome, overall_ok) {
-            (0, true) => None,
-            (0, false) => {
-                code ^= 1;
-                Some(0)
-            }
+        let syndrome = u32::from(acc & 0x7FFF);
+        let overall_ok = acc & 0x8000 == 0;
+        match (syndrome, overall_ok) {
+            (0, true) => DecodeOutcome::Clean { data },
+            // Position 0 (the overall parity bit) carries no data.
+            (0, false) => DecodeOutcome::Corrected { data, bit: 0 },
             (s, false) => {
                 if s > total_positions {
                     return DecodeOutcome::DoubleError;
                 }
-                code ^= 1u128 << s;
-                Some(s)
+                let di = self.data_index[s as usize];
+                if di != NO_DATA {
+                    data ^= 1u64 << di;
+                }
+                DecodeOutcome::Corrected { data, bit: s }
             }
-            (_, true) => return DecodeOutcome::DoubleError,
-        };
-        let mut data = 0u64;
-        for (d, &pos) in self.data_position.iter().enumerate() {
-            data |= (((code >> pos) & 1) as u64) << d;
-        }
-        match corrected_bit {
-            None => DecodeOutcome::Clean { data },
-            Some(bit) => DecodeOutcome::Corrected { data, bit },
+            (_, true) => DecodeOutcome::DoubleError,
         }
     }
 }
 
-static TABLES_64: CodeTables<64> = CodeTables::build(71);
-static TABLES_32: CodeTables<32> = CodeTables::build(38);
+static TABLES_64: ByteTables<8, 9> = ByteTables::build(64, 71);
+static TABLES_32: ByteTables<4, 5> = ByteTables::build(32, 38);
 
 /// Reference extended-Hamming encode over `k` data bits (kept as the
 /// specification against which the table-driven fast path is tested).

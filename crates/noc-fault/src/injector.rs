@@ -7,7 +7,43 @@
 
 use crate::timing::TimingErrorModel;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Maximum bit flips a single fault event can produce (the flip-weight
+/// distribution is over 1, 2, or 3 flips).
+pub const MAX_FLIPS: usize = 3;
+
+/// A per-flit error probability precompiled into the integer domain of
+/// the RNG, so the hot-path Bernoulli draw is one `u64` compare instead
+/// of an int→float conversion, multiply, and float compare per flit.
+///
+/// `rand`'s `gen_bool(p)` accepts a draw when `(bits >> 11) · 2⁻⁵³ < p`.
+/// Both sides scale exactly by 2⁵³ (power-of-two scaling of an integer
+/// below 2⁵³ is exact in f64), so the accept set is *identical* to
+/// comparing the integer `bits >> 11` against `ceil(p · 2⁵³)` — the
+/// cached [`FaultTolerantProtocol`] recomputes this once per control
+/// epoch and replays the exact same accept/reject decisions per draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorThreshold(u64);
+
+impl ErrorThreshold {
+    /// Compiles probability `p` (clamped to `[0, 1]`) into its exact
+    /// integer acceptance threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN.
+    pub fn from_probability(p: f64) -> Self {
+        assert!(!p.is_nan(), "error probability is NaN");
+        let p = p.clamp(0.0, 1.0);
+        Self((p * (1u64 << 53) as f64).ceil() as u64)
+    }
+
+    /// `true` when no draw can ever be accepted (p == 0).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
 
 /// Samples fault events and flips payload bits.
 ///
@@ -49,8 +85,19 @@ impl FaultInjector {
     /// how many bits flip (per the model's flip-weight distribution).
     /// Returns 0 for a clean transfer.
     pub fn sample_flips(&mut self, model: &TimingErrorModel, p_error: f64) -> u8 {
-        let p = p_error.clamp(0.0, 1.0);
-        if p == 0.0 || !self.rng.gen_bool(p) {
+        self.sample_flips_at(model, ErrorThreshold::from_probability(p_error))
+    }
+
+    /// Like [`sample_flips`](Self::sample_flips) but with the
+    /// probability precompiled into an [`ErrorThreshold`] — the hot
+    /// path when the caller caches thresholds per control epoch.
+    ///
+    /// RNG draw order is identical to `sample_flips`: a zero threshold
+    /// consumes no draw (as `p == 0.0` did), any other threshold
+    /// consumes exactly one `u64`, and the accept set per draw is
+    /// bit-for-bit the same as `gen_bool`'s.
+    pub fn sample_flips_at(&mut self, model: &TimingErrorModel, threshold: ErrorThreshold) -> u8 {
+        if threshold.0 == 0 || (self.rng.next_u64() >> 11) >= threshold.0 {
             return 0;
         }
         let flips = model.flips_for_draw(self.rng.gen_range(0.0..1.0));
@@ -74,6 +121,30 @@ impl FaultInjector {
             }
         }
         bits
+    }
+
+    /// Allocation-free variant of [`pick_bits`](Self::pick_bits) for the
+    /// per-flit fault path: returns the chosen positions in a fixed
+    /// array plus the count. Uses the same rejection-sampling loop, so
+    /// for a given RNG state it draws exactly the same values and
+    /// produces the same positions as `pick_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > MAX_FLIPS` or `count as u32 > width`.
+    pub fn pick_bits_fixed(&mut self, count: u8, width: u32) -> ([u32; MAX_FLIPS], usize) {
+        assert!(usize::from(count) <= MAX_FLIPS, "more than MAX_FLIPS flips");
+        assert!(u32::from(count) <= width, "more flips than bits");
+        let mut bits = [0u32; MAX_FLIPS];
+        let mut n = 0usize;
+        while n < count as usize {
+            let bit = self.rng.gen_range(0..width);
+            if !bits[..n].contains(&bit) {
+                bits[n] = bit;
+                n += 1;
+            }
+        }
+        (bits, n)
     }
 
     /// Total error events injected so far.
@@ -172,6 +243,51 @@ mod tests {
     fn too_many_flips_panics() {
         let mut inj = FaultInjector::new(0);
         let _ = inj.pick_bits(5, 4);
+    }
+
+    /// The integer-threshold fast path must replay `sample_flips`
+    /// exactly: same accepts, same flip counts, same stream position.
+    #[test]
+    fn threshold_path_replays_float_path_exactly() {
+        let model = TimingErrorModel::default();
+        for p in [0.0, 1e-12, 1e-6, 1e-3, 0.04999, 0.3, 0.5, 0.999, 1.0] {
+            let mut a = FaultInjector::new(77);
+            let mut b = FaultInjector::new(77);
+            let thr = ErrorThreshold::from_probability(p);
+            assert_eq!(thr.is_zero(), p == 0.0);
+            for i in 0..5_000 {
+                assert_eq!(
+                    a.sample_flips(&model, p),
+                    b.sample_flips_at(&model, thr),
+                    "p={p} draw {i} diverged"
+                );
+            }
+            assert_eq!(a.faults_injected(), b.faults_injected());
+            assert_eq!(a.bits_flipped(), b.bits_flipped());
+            // Streams are still in lockstep after the sweep.
+            assert_eq!(a.pick_bits(3, 128), b.pick_bits(3, 128));
+        }
+    }
+
+    /// The allocation-free pick must draw the identical positions.
+    #[test]
+    fn pick_bits_fixed_matches_pick_bits() {
+        for seed in 0..20u64 {
+            let mut a = FaultInjector::new(seed);
+            let mut b = FaultInjector::new(seed);
+            for count in [1u8, 2, 3, 1, 3, 2] {
+                let vec = a.pick_bits(count, 72);
+                let (arr, n) = b.pick_bits_fixed(count, 72);
+                assert_eq!(vec.as_slice(), &arr[..n]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_FLIPS")]
+    fn pick_bits_fixed_caps_count() {
+        let mut inj = FaultInjector::new(0);
+        let _ = inj.pick_bits_fixed(4, 128);
     }
 }
 

@@ -114,6 +114,28 @@ impl Flit {
         assert!(bit < 128, "payload bit {bit} out of range");
         self.payload[(bit / 64) as usize] ^= 1u64 << (bit % 64);
     }
+
+    /// Flips every listed payload bit in one word-wise pass: the
+    /// positions are accumulated into two 64-bit XOR masks applied
+    /// once. For distinct positions this equals repeated
+    /// [`flip_payload_bit`](Self::flip_payload_bit) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is `>= 128`.
+    pub fn flip_payload_bits(&mut self, bits: &[u32]) {
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for &bit in bits {
+            assert!(bit < 128, "payload bit {bit} out of range");
+            if bit < 64 {
+                lo ^= 1u64 << bit;
+            } else {
+                hi ^= 1u64 << (bit - 64);
+            }
+        }
+        self.payload[0] ^= lo;
+        self.payload[1] ^= hi;
+    }
 }
 
 /// A packet descriptor held by the source protocol state until delivery is
@@ -478,6 +500,35 @@ mod tests {
         let crc = Crc32::new();
         let mut f = sample_packet(1).make_flit(0, 0, &crc);
         f.flip_payload_bit(128);
+    }
+
+    #[test]
+    fn batch_flip_equals_sequential_flips() {
+        let crc = Crc32::new();
+        for bits in [
+            &[0u32][..],
+            &[63, 64],
+            &[0, 1, 127],
+            &[5, 70, 100],
+            &[127, 64, 63],
+            &[],
+        ] {
+            let mut a = sample_packet(3).make_flit(0, 0, &crc);
+            let mut b = a;
+            for &bit in bits {
+                a.flip_payload_bit(bit);
+            }
+            b.flip_payload_bits(bits);
+            assert_eq!(a, b, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_flip_out_of_range_panics() {
+        let crc = Crc32::new();
+        let mut f = sample_packet(1).make_flit(0, 0, &crc);
+        f.flip_payload_bits(&[3, 128]);
     }
 
     #[test]

@@ -921,12 +921,13 @@ impl<E: ErrorControl> Network<E> {
         let link_latency = config.link_latency as u64;
 
         for router in routers.iter_mut() {
-            // A router with no buffered flit, no active packet, and no
-            // pending resend has no SA/ST work. Skipping it is exact:
-            // arbiters are untouched since grants on empty request sets
-            // are no-ops.
-            if router.occupied_vcs == 0 && router.outputs.iter().all(|o| o.retx_pending.is_empty())
-            {
+            // A router with no VC in Active state and no pending resend
+            // has no SA/ST work: no switch request can be asserted, so
+            // skipping it is exact — arbiters are untouched since grants
+            // on empty request sets are no-ops, and `next_free` is only
+            // advanced when something is sent.
+            router.debug_check_stage_counters();
+            if router.active_vcs == 0 && router.outputs.iter().all(|o| o.retx_pending.is_empty()) {
                 continue;
             }
             let rid = router.id;
@@ -1067,6 +1068,12 @@ impl<E: ErrorControl> Network<E> {
                 let is_tail = arena[bf.flit].kind.is_tail();
                 if is_tail {
                     router.inputs[in_p][in_v].state = VcState::Idle;
+                    router.active_vcs -= 1;
+                    if !router.inputs[in_p][in_v].fifo.is_empty() {
+                        // The next packet's head is already buffered; it
+                        // becomes an RC candidate immediately.
+                        router.rc_pending += 1;
+                    }
                 }
                 if !router.inputs[in_p][in_v].occupied() {
                     router.occupied_vcs -= 1;

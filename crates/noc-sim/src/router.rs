@@ -124,6 +124,18 @@ pub struct Router {
     /// every FIFO push/pop and VC release. Lets the per-cycle phases
     /// skip idle routers entirely instead of rescanning `5 × V` VCs.
     pub(crate) occupied_vcs: u32,
+    /// Count of idle input VCs holding a buffered flit — the candidates
+    /// the RC stage would examine. Zero lets `rc_stage` return without
+    /// scanning; maintained at enqueue, RC promotion, and VC release.
+    pub(crate) rc_pending: u32,
+    /// Count of input VCs in [`VcState::NeedsVa`]. Zero lets `va_stage`
+    /// return without scanning: with no requester, no arbiter is
+    /// consulted and no output VC changes, so the skip is exact.
+    pub(crate) needs_va: u32,
+    /// Count of input VCs in [`VcState::Active`]. Together with empty
+    /// resend queues, zero lets the SA/ST phase skip the router: no
+    /// request can be asserted, so arbiters and ports are untouched.
+    pub(crate) active_vcs: u32,
     /// Reusable request vector for SA input arbitration (`V` slots).
     pub(crate) sa_scratch: Vec<bool>,
     /// Reusable request vector for VA arbitration (`NUM_PORTS × V`).
@@ -168,6 +180,9 @@ impl Router {
                 .map(|_| RoundRobinArbiter::new(NUM_PORTS))
                 .collect(),
             occupied_vcs: 0,
+            rc_pending: 0,
+            needs_va: 0,
+            active_vcs: 0,
             sa_scratch: vec![false; v],
             va_scratch: vec![false; NUM_PORTS * v],
         }
@@ -180,7 +195,34 @@ impl Router {
         if !ivc.occupied() {
             self.occupied_vcs += 1;
         }
+        if ivc.state == VcState::Idle && ivc.fifo.is_empty() {
+            self.rc_pending += 1;
+        }
         ivc.fifo.push_back(BufferedFlit { flit, arrived_at });
+    }
+
+    /// Debug cross-check of the three incremental pipeline-stage
+    /// counters against a full VC rescan (compiled out in release).
+    pub(crate) fn debug_check_stage_counters(&self) {
+        if cfg!(debug_assertions) {
+            let mut rc = 0u32;
+            let mut va = 0u32;
+            let mut active = 0u32;
+            for vc in self.inputs.iter().flat_map(|port| port.iter()) {
+                match vc.state {
+                    VcState::Idle if !vc.fifo.is_empty() => rc += 1,
+                    VcState::Idle => {}
+                    VcState::NeedsVa { .. } => va += 1,
+                    VcState::Active { .. } => active += 1,
+                }
+            }
+            debug_assert_eq!(
+                (rc, va, active),
+                (self.rc_pending, self.needs_va, self.active_vcs),
+                "pipeline-stage counters diverged at {}",
+                self.id
+            );
+        }
     }
 
     /// This router's node id.
@@ -220,6 +262,10 @@ impl Router {
     /// buffer-write stage compute their output port via the precomputed
     /// route table.
     pub(crate) fn rc_stage(&mut self, cycle: u64, routes: &RouteTable, arena: &FlitArena) {
+        self.debug_check_stage_counters();
+        if self.rc_pending == 0 {
+            return; // no idle VC holds a flit: nothing to route
+        }
         for port in &mut self.inputs {
             for vc in port.iter_mut() {
                 if vc.state != VcState::Idle {
@@ -239,6 +285,8 @@ impl Router {
                 );
                 let out_port = routes.next_hop(self.id, flit.dst);
                 vc.state = VcState::NeedsVa { out_port };
+                self.rc_pending -= 1;
+                self.needs_va += 1;
             }
         }
     }
@@ -247,6 +295,10 @@ impl Router {
     ///
     /// Returns the number of allocations performed (for the power model).
     pub(crate) fn va_stage(&mut self) -> u64 {
+        self.debug_check_stage_counters();
+        if self.needs_va == 0 {
+            return 0; // no requester: arbiters and output VCs untouched
+        }
         let v = self.inputs[0].len();
         let mut allocations = 0;
         for out_p in 0..NUM_PORTS {
@@ -281,6 +333,8 @@ impl Router {
                 out_port: Direction::from_index(out_p),
                 out_vc: free_vc as u8,
             };
+            self.needs_va -= 1;
+            self.active_vcs += 1;
             self.outputs[out_p].vcs[free_vc].allocated = true;
             allocations += 1;
         }
