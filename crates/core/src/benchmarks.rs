@@ -51,6 +51,17 @@ impl WorkloadProfile {
             / total as f64
     }
 
+    /// Whether every node this workload's traffic patterns reference
+    /// exists in `mesh`. Profiles that pin a coordinator node (e.g.
+    /// streamcluster's hotspot at (3,3) of the 8×8 mesh) only run on
+    /// meshes that contain it.
+    pub fn fits_mesh(&self, mesh: Mesh) -> bool {
+        self.phases.iter().all(|p| match p.pattern {
+            TrafficPattern::Hotspot { hotspot, .. } => hotspot.index() < mesh.num_nodes(),
+            _ => true,
+        })
+    }
+
     /// All eleven PARSEC profiles, in the figures' order.
     pub fn all() -> Vec<WorkloadProfile> {
         vec![

@@ -16,6 +16,7 @@
 //! The closed loop — traffic → power → temperature → timing errors →
 //! retransmissions → traffic — is exactly the paper's evaluation system.
 
+use crate::backend::SimBackend;
 use crate::benchmarks::WorkloadProfile;
 use crate::controller::{ControllerBank, DtSample, DtThresholds};
 use crate::modes::OperationMode;
@@ -375,7 +376,24 @@ impl Experiment {
     /// Like [`run`](Self::run) but also returns the end-of-run artifacts
     /// (learned controllers, thermal state) for inspection.
     pub fn run_inspect(self) -> (ExperimentReport, RunArtifacts) {
-        let mut runner = Runner::new(self.cfg);
+        self.run_inspect_with_backend::<Network<FaultTolerantProtocol>>()
+    }
+
+    /// Runs the experiment on an alternative data-plane implementation.
+    ///
+    /// The control plane (curriculum, controllers, thermal/energy
+    /// accounting, report assembly) is byte-for-byte the code behind
+    /// [`run`](Self::run); only the cycle kernel is swapped. With a
+    /// conforming [`SimBackend`] the report must equal the default
+    /// backend's — the differential oracle in `rlnoc-verify` checks
+    /// exactly this.
+    pub fn run_with_backend<B: SimBackend>(self) -> ExperimentReport {
+        self.run_inspect_with_backend::<B>().0
+    }
+
+    /// [`run_inspect`](Self::run_inspect) on an alternative backend.
+    pub fn run_inspect_with_backend<B: SimBackend>(self) -> (ExperimentReport, RunArtifacts) {
+        let mut runner = Runner::<B>::new(self.cfg);
         let report = runner.run();
         (
             report,
@@ -488,10 +506,11 @@ impl ExperimentReport {
 
 // ---------------------------------------------------------------------------
 
-/// Internal run state.
-struct Runner {
+/// Internal run state, generic over the data-plane kernel (see
+/// [`SimBackend`]).
+struct Runner<B: SimBackend> {
     cfg: ExperimentBuilder,
-    net: Network<FaultTolerantProtocol>,
+    net: B,
     thermal: ThermalModel,
     energy: EnergyModel,
     controllers: ControllerBank,
@@ -516,7 +535,7 @@ struct Runner {
     phase: Phase,
 }
 
-impl Runner {
+impl<B: SimBackend> Runner<B> {
     fn new(cfg: ExperimentBuilder) -> Self {
         let mesh = cfg.noc.mesh;
         let n = mesh.num_nodes();
@@ -528,8 +547,13 @@ impl Runner {
             cfg.seed ^ 0x5EED_0001,
         );
         let timing = TimingErrorModel::new(cfg.timing);
-        let protocol = FaultTolerantProtocol::new(mesh, timing, variation, cfg.seed ^ 0x5EED_0002);
-        let net = Network::new(cfg.noc, protocol, cfg.seed ^ 0x5EED_0003);
+        let net = B::build(
+            cfg.noc,
+            timing,
+            variation,
+            cfg.seed ^ 0x5EED_0002,
+            cfg.seed ^ 0x5EED_0003,
+        );
         let thermal = ThermalModel::new(mesh.width(), mesh.height(), cfg.thermal);
         let controllers = match cfg.scheme {
             ErrorControlScheme::StaticCrc => ControllerBank::statically(OperationMode::Mode0),
@@ -601,7 +625,7 @@ impl Runner {
         };
         runner.net.set_telemetry(&runner.telemetry);
         runner.controllers.set_telemetry(&runner.telemetry);
-        runner.net.protocol_mut().set_all_modes(initial_mode);
+        runner.net.set_all_modes(initial_mode);
         runner
     }
 
@@ -870,7 +894,7 @@ impl Runner {
         // The oracle rates come straight from the protocol's per-epoch
         // cache — one slice borrow, no per-router VARIUS evaluation.
         if pretrain && self.controllers.is_dt() {
-            let rates = self.net.protocol().raw_error_probabilities();
+            let rates = self.net.raw_error_probabilities();
             for (i, f) in features.iter().enumerate() {
                 self.controllers.record_dt_sample(DtSample {
                     features: *f,
@@ -887,7 +911,7 @@ impl Runner {
                 mode = OperationMode::Mode1;
             }
             self.modes[i] = mode;
-            self.net.protocol_mut().set_mode(i, mode);
+            self.net.set_mode(i, mode);
             self.mode_histogram[mode.index()] += 1;
             updates += 1;
         }
@@ -903,10 +927,8 @@ impl Runner {
         for &t in self.thermal.temperatures() {
             self.max_temp = self.max_temp.max(t);
         }
-        self.net
-            .protocol_mut()
-            .set_temperatures(self.thermal.temperatures());
-        self.net.protocol_mut().set_utilizations(&utilizations);
+        self.net.set_temperatures(self.thermal.temperatures());
+        self.net.set_utilizations(&utilizations);
 
         // Export one record per router into the telemetry epoch series.
         if self.telemetry.is_enabled() {

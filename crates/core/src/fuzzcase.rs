@@ -1,0 +1,587 @@
+//! Differential fuzz cases: generation, replayable serialization, and
+//! report diffing.
+//!
+//! The `rlnoc-verify` oracle runs the optimized kernel and a reference
+//! kernel on the *same* randomly drawn configuration and demands
+//! bit-identical [`ExperimentReport`]s. This module owns the pieces that
+//! belong to the core crate: the case description itself (everything
+//! needed to rebuild the [`Experiment`]), a stable text serialization so
+//! a failing case can be committed and replayed, and a field-by-field
+//! report differ whose output names exactly which metric diverged.
+//!
+//! ## Case-file format (`rlnoc-case v1`)
+//!
+//! Plain text, one `key=value` per line, CRC-32 trailer over everything
+//! above it (the same corruption armor as the runner's checkpoints):
+//!
+//! ```text
+//! rlnoc-case v1
+//! mesh=3x2
+//! scheme=RL
+//! workload=canneal
+//! seed=00000000deadbeef
+//! epoch=500
+//! pretrain=2000
+//! warmup=500
+//! measure=4000
+//! drain=50000
+//! modes=1011
+//! p_ref_scale=3fd0000000000000
+//! ambient=4044000000000000
+//! crc=4a17c3b2
+//! ```
+//!
+//! Floats are serialized as f64 bit patterns in hex so a replay is
+//! exact, not merely close.
+
+use crate::benchmarks::WorkloadProfile;
+use crate::experiment::{ErrorControlScheme, Experiment, ExperimentReport};
+use noc_coding::crc::Crc32;
+use noc_fault::thermal::ThermalParams;
+use noc_fault::timing::TimingErrorParams;
+use noc_sim::config::NocConfig;
+use noc_sim::flit::splitmix64;
+
+/// Everything needed to rebuild one differential experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Mesh width (≥ 2).
+    pub mesh_w: u16,
+    /// Mesh height (≥ 2).
+    pub mesh_h: u16,
+    /// Error-control scheme under test.
+    pub scheme: ErrorControlScheme,
+    /// PARSEC workload name (resolved via [`WorkloadProfile::all`]).
+    pub workload: String,
+    /// Master experiment seed.
+    pub seed: u64,
+    /// Control-epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Pre-training budget (learning schemes).
+    pub pretrain_cycles: u64,
+    /// Warm-up cycles.
+    pub warmup_cycles: u64,
+    /// Measurement injection window.
+    pub measure_cycles: u64,
+    /// Drain budget.
+    pub drain_limit: u64,
+    /// Mode-ablation schedule: which of the four operation modes the
+    /// controller may select.
+    pub allowed_modes: [bool; 4],
+    /// Multiplier on the timing model's `p_ref` (the fault pattern:
+    /// from nearly fault-free to error storms).
+    pub p_ref_scale: f64,
+    /// Thermal ambient, °C (shifts the whole temperature field).
+    pub ambient_c: f64,
+}
+
+/// A parse/validation failure for a case file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCaseError(pub String);
+
+impl std::fmt::Display for ParseCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid case file: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCaseError {}
+
+const MAGIC: &str = "rlnoc-case v1";
+
+impl FuzzCase {
+    /// Draws case `index` from the SplitMix64 stream rooted at
+    /// `root_seed`. Every field is derived from an independent mix so
+    /// adjacent indices decorrelate; the same `(root_seed, index)` pair
+    /// always yields the same case.
+    pub fn generate(root_seed: u64, index: u64) -> Self {
+        let base = rand::seed_stream(root_seed, index);
+        let mut k = 0u64;
+        let mut draw = move || {
+            k += 1;
+            splitmix64(base.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        };
+        let mesh_w = 2 + (draw() % 3) as u16; // 2..=4
+        let mesh_h = 2 + (draw() % 3) as u16;
+        let scheme = ErrorControlScheme::ALL[(draw() % 4) as usize];
+        // Only workloads whose traffic patterns fit the drawn mesh
+        // (streamcluster pins a hotspot node that small meshes lack).
+        let mesh = noc_sim::topology::Mesh::new(mesh_w, mesh_h);
+        let workloads: Vec<WorkloadProfile> = WorkloadProfile::all()
+            .into_iter()
+            .filter(|w| w.fits_mesh(mesh))
+            .collect();
+        let workload = workloads[(draw() % workloads.len() as u64) as usize]
+            .name
+            .to_string();
+        let seed = draw();
+        let epoch_cycles = [250, 500, 1_000][(draw() % 3) as usize];
+        let pretrain_cycles = [0, 2_000, 4_000, 6_000][(draw() % 4) as usize];
+        let warmup_cycles = [0, 500, 1_000][(draw() % 3) as usize];
+        let measure_cycles = [2_000, 4_000, 6_000][(draw() % 3) as usize];
+        // Mode 1 stays allowed (it is the fallback for disallowed
+        // decisions); the other three toggle freely.
+        let mode_bits = draw();
+        let allowed_modes = [
+            mode_bits & 1 != 0,
+            true,
+            mode_bits & 2 != 0,
+            mode_bits & 4 != 0,
+        ];
+        let p_ref_scale = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0][(draw() % 6) as usize];
+        let ambient_c = 40.0 + (draw() % 21) as f64;
+        Self {
+            mesh_w,
+            mesh_h,
+            scheme,
+            workload,
+            seed,
+            epoch_cycles,
+            pretrain_cycles,
+            warmup_cycles,
+            measure_cycles,
+            drain_limit: 50_000,
+            allowed_modes,
+            p_ref_scale,
+            ambient_c,
+        }
+    }
+
+    /// Builds the runnable experiment this case describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case is internally inconsistent (unknown workload,
+    /// invalid dimensions) — [`FuzzCase::validate`] reports the same
+    /// conditions as an error.
+    pub fn experiment(&self) -> Experiment {
+        self.validate().expect("invalid fuzz case");
+        let workload = WorkloadProfile::all()
+            .into_iter()
+            .find(|w| w.name == self.workload)
+            .expect("validated workload");
+        let allowed: Vec<crate::modes::OperationMode> = crate::modes::OperationMode::ALL
+            .into_iter()
+            .filter(|m| self.allowed_modes[m.index()])
+            .collect();
+        let timing = TimingErrorParams {
+            p_ref: TimingErrorParams::default().p_ref * self.p_ref_scale,
+            ..TimingErrorParams::default()
+        };
+        let thermal = ThermalParams {
+            ambient_c: self.ambient_c,
+            ..ThermalParams::default()
+        };
+        Experiment::builder()
+            .scheme(self.scheme)
+            .workload(workload)
+            .noc(NocConfig::builder().mesh(self.mesh_w, self.mesh_h).build())
+            .seed(self.seed)
+            .epoch_cycles(self.epoch_cycles)
+            .pretrain_cycles(self.pretrain_cycles)
+            .warmup_cycles(self.warmup_cycles)
+            .measure_cycles(self.measure_cycles)
+            .drain_limit(self.drain_limit)
+            .timing(timing)
+            .thermal(thermal)
+            .allowed_modes(&allowed)
+            .build()
+            .expect("fuzz case must build")
+    }
+
+    /// Checks internal consistency without building the experiment.
+    pub fn validate(&self) -> Result<(), ParseCaseError> {
+        if self.mesh_w < 2 || self.mesh_h < 2 {
+            return Err(ParseCaseError("mesh dimensions must be ≥ 2".into()));
+        }
+        if self.epoch_cycles == 0 || self.drain_limit == 0 {
+            return Err(ParseCaseError("cycle budgets must be positive".into()));
+        }
+        if !self.allowed_modes.iter().any(|&b| b) {
+            return Err(ParseCaseError("no operation mode allowed".into()));
+        }
+        if !self.p_ref_scale.is_finite() || self.p_ref_scale < 0.0 {
+            return Err(ParseCaseError("p_ref_scale must be finite and ≥ 0".into()));
+        }
+        if !self.ambient_c.is_finite() {
+            return Err(ParseCaseError("ambient_c must be finite".into()));
+        }
+        let mesh = noc_sim::topology::Mesh::new(self.mesh_w, self.mesh_h);
+        match WorkloadProfile::all()
+            .iter()
+            .find(|w| w.name == self.workload)
+        {
+            None => {
+                return Err(ParseCaseError(format!(
+                    "unknown workload `{}`",
+                    self.workload
+                )));
+            }
+            Some(w) if !w.fits_mesh(mesh) => {
+                return Err(ParseCaseError(format!(
+                    "workload `{}` references nodes outside a {}x{} mesh",
+                    self.workload, self.mesh_w, self.mesh_h
+                )));
+            }
+            Some(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Reduction candidates for shrinking, ordered most-aggressive
+    /// first. Each candidate is a strictly "smaller" case; the driver
+    /// keeps a candidate only if it still reproduces the divergence.
+    pub fn shrink_candidates(&self) -> Vec<FuzzCase> {
+        let mut out = Vec::new();
+        let mut push = |c: FuzzCase| {
+            if c != *self && c.validate().is_ok() {
+                out.push(c);
+            }
+        };
+        if self.pretrain_cycles > 0 {
+            push(FuzzCase {
+                pretrain_cycles: 0,
+                ..self.clone()
+            });
+            push(FuzzCase {
+                pretrain_cycles: self.pretrain_cycles / 2,
+                ..self.clone()
+            });
+        }
+        if self.warmup_cycles > 0 {
+            push(FuzzCase {
+                warmup_cycles: 0,
+                ..self.clone()
+            });
+        }
+        if self.measure_cycles > 500 {
+            push(FuzzCase {
+                measure_cycles: self.measure_cycles / 2,
+                ..self.clone()
+            });
+        }
+        if self.mesh_w > 2 {
+            push(FuzzCase {
+                mesh_w: self.mesh_w - 1,
+                ..self.clone()
+            });
+        }
+        if self.mesh_h > 2 {
+            push(FuzzCase {
+                mesh_h: self.mesh_h - 1,
+                ..self.clone()
+            });
+        }
+        if self.epoch_cycles > 250 {
+            push(FuzzCase {
+                epoch_cycles: self.epoch_cycles / 2,
+                ..self.clone()
+            });
+        }
+        out
+    }
+
+    /// Serializes the case to the `rlnoc-case v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MAGIC);
+        body.push('\n');
+        body.push_str(&format!("mesh={}x{}\n", self.mesh_w, self.mesh_h));
+        body.push_str(&format!("scheme={}\n", self.scheme));
+        body.push_str(&format!("workload={}\n", self.workload));
+        body.push_str(&format!("seed={:016x}\n", self.seed));
+        body.push_str(&format!("epoch={}\n", self.epoch_cycles));
+        body.push_str(&format!("pretrain={}\n", self.pretrain_cycles));
+        body.push_str(&format!("warmup={}\n", self.warmup_cycles));
+        body.push_str(&format!("measure={}\n", self.measure_cycles));
+        body.push_str(&format!("drain={}\n", self.drain_limit));
+        let modes: String = self
+            .allowed_modes
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        body.push_str(&format!("modes={modes}\n"));
+        body.push_str(&format!(
+            "p_ref_scale={:016x}\n",
+            self.p_ref_scale.to_bits()
+        ));
+        body.push_str(&format!("ambient={:016x}\n", self.ambient_c.to_bits()));
+        let crc = Crc32::new().checksum(body.as_bytes());
+        body.push_str(&format!("crc={crc:08x}\n"));
+        body
+    }
+
+    /// Parses and validates an `rlnoc-case v1` file, including its
+    /// CRC-32 trailer.
+    pub fn from_text(text: &str) -> Result<Self, ParseCaseError> {
+        let trailer_at = text
+            .rfind("crc=")
+            .ok_or_else(|| ParseCaseError("missing crc trailer".into()))?;
+        let (body, trailer) = text.split_at(trailer_at);
+        let stated = trailer
+            .trim()
+            .strip_prefix("crc=")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| ParseCaseError("malformed crc trailer".into()))?;
+        let actual = Crc32::new().checksum(body.as_bytes());
+        if stated != actual {
+            return Err(ParseCaseError(format!(
+                "crc mismatch: file says {stated:08x}, content is {actual:08x}"
+            )));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(ParseCaseError(format!("bad magic, want `{MAGIC}`")));
+        }
+        let mut field = |name: &str| -> Result<String, ParseCaseError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| ParseCaseError(format!("missing field `{name}`")))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(str::to_string)
+                .ok_or_else(|| ParseCaseError(format!("expected `{name}=`, got `{line}`")))
+        };
+        let mesh = field("mesh")?;
+        let (w, h) = mesh
+            .split_once('x')
+            .ok_or_else(|| ParseCaseError("mesh must be WxH".into()))?;
+        let mesh_w: u16 = w
+            .parse()
+            .map_err(|_| ParseCaseError("bad mesh width".into()))?;
+        let mesh_h: u16 = h
+            .parse()
+            .map_err(|_| ParseCaseError("bad mesh height".into()))?;
+        let scheme = match field("scheme")?.as_str() {
+            "CRC" => ErrorControlScheme::StaticCrc,
+            "ARQ+ECC" => ErrorControlScheme::StaticArqEcc,
+            "DT" => ErrorControlScheme::DecisionTree,
+            "RL" => ErrorControlScheme::ProposedRl,
+            other => return Err(ParseCaseError(format!("unknown scheme `{other}`"))),
+        };
+        let workload = field("workload")?;
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseCaseError> {
+            s.parse()
+                .map_err(|_| ParseCaseError(format!("bad {what} `{s}`")))
+        };
+        let parse_hex = |s: &str, what: &str| -> Result<u64, ParseCaseError> {
+            u64::from_str_radix(s, 16).map_err(|_| ParseCaseError(format!("bad {what} `{s}`")))
+        };
+        let seed = parse_hex(&field("seed")?, "seed")?;
+        let epoch_cycles = parse_u64(&field("epoch")?, "epoch")?;
+        let pretrain_cycles = parse_u64(&field("pretrain")?, "pretrain")?;
+        let warmup_cycles = parse_u64(&field("warmup")?, "warmup")?;
+        let measure_cycles = parse_u64(&field("measure")?, "measure")?;
+        let drain_limit = parse_u64(&field("drain")?, "drain")?;
+        let modes = field("modes")?;
+        if modes.len() != 4 || !modes.chars().all(|c| c == '0' || c == '1') {
+            return Err(ParseCaseError("modes must be four 0/1 flags".into()));
+        }
+        let mut allowed_modes = [false; 4];
+        for (i, c) in modes.chars().enumerate() {
+            allowed_modes[i] = c == '1';
+        }
+        let p_ref_scale = f64::from_bits(parse_hex(&field("p_ref_scale")?, "p_ref_scale")?);
+        let ambient_c = f64::from_bits(parse_hex(&field("ambient")?, "ambient")?);
+        let case = Self {
+            mesh_w,
+            mesh_h,
+            scheme,
+            workload,
+            seed,
+            epoch_cycles,
+            pretrain_cycles,
+            warmup_cycles,
+            measure_cycles,
+            drain_limit,
+            allowed_modes,
+            p_ref_scale,
+            ambient_c,
+        };
+        case.validate()?;
+        Ok(case)
+    }
+}
+
+impl std::fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} {} {} seed={:016x} epoch={} pretrain={} warmup={} measure={} p_ref×{} ambient={}°C",
+            self.mesh_w,
+            self.mesh_h,
+            self.scheme,
+            self.workload,
+            self.seed,
+            self.epoch_cycles,
+            self.pretrain_cycles,
+            self.warmup_cycles,
+            self.measure_cycles,
+            self.p_ref_scale,
+            self.ambient_c,
+        )
+    }
+}
+
+/// One report field that differs between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDiff {
+    /// Field name in [`ExperimentReport`].
+    pub field: &'static str,
+    /// Value from the first (usually optimized) run.
+    pub a: String,
+    /// Value from the second (usually reference) run.
+    pub b: String,
+}
+
+impl std::fmt::Display for FieldDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} != {}", self.field, self.a, self.b)
+    }
+}
+
+impl ExperimentReport {
+    /// Field-by-field comparison against `other`. Floats compare by bit
+    /// pattern — the optimized kernel claims *bit*-identical behavior,
+    /// so even a 1-ulp drift is a divergence worth naming.
+    pub fn diff(&self, other: &ExperimentReport) -> Vec<FieldDiff> {
+        let mut diffs = Vec::new();
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    diffs.push(FieldDiff {
+                        field: stringify!($field),
+                        a: format!("{:?}", self.$field),
+                        b: format!("{:?}", other.$field),
+                    });
+                }
+            };
+        }
+        macro_rules! cmp_f64 {
+            ($field:ident) => {
+                if self.$field.to_bits() != other.$field.to_bits() {
+                    diffs.push(FieldDiff {
+                        field: stringify!($field),
+                        a: format!("{:?} ({:016x})", self.$field, self.$field.to_bits()),
+                        b: format!("{:?} ({:016x})", other.$field, other.$field.to_bits()),
+                    });
+                }
+            };
+        }
+        cmp!(scheme);
+        cmp!(workload);
+        cmp!(seed);
+        cmp_f64!(frequency_hz);
+        cmp!(packets_injected);
+        cmp!(packets_delivered);
+        cmp!(flits_delivered);
+        cmp_f64!(avg_latency_cycles);
+        cmp!(p99_latency_cycles);
+        cmp!(execution_cycles);
+        cmp!(drained);
+        cmp!(packet_retransmissions);
+        cmp!(flit_retransmissions);
+        cmp_f64!(retransmitted_packets_equiv);
+        cmp!(hop_nacks);
+        cmp!(ecc_corrections);
+        cmp!(crc_failures);
+        cmp!(control_packets);
+        cmp!(pre_retransmit_hits);
+        cmp!(silent_corruptions);
+        cmp_f64!(dynamic_energy_j);
+        cmp_f64!(static_energy_j);
+        cmp_f64!(control_energy_j);
+        cmp!(mode_histogram);
+        cmp_f64!(mean_temperature_c);
+        cmp_f64!(max_temperature_c);
+        diffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let a = FuzzCase::generate(7, 0);
+        let b = FuzzCase::generate(7, 0);
+        assert_eq!(a, b);
+        let different = (0..32)
+            .map(|i| FuzzCase::generate(7, i))
+            .collect::<Vec<_>>();
+        let schemes: std::collections::HashSet<_> =
+            different.iter().map(|c| format!("{}", c.scheme)).collect();
+        assert!(schemes.len() > 1, "case stream must vary the scheme");
+        for c in &different {
+            c.validate().expect("generated cases are always valid");
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        for i in 0..16 {
+            let case = FuzzCase::generate(99, i);
+            let text = case.to_text();
+            let back = FuzzCase::from_text(&text).expect("round trip");
+            assert_eq!(case, back);
+        }
+    }
+
+    #[test]
+    fn corrupt_case_file_is_rejected() {
+        let text = FuzzCase::generate(1, 1).to_text();
+        let mut corrupt = text.replace("mesh=", "mesh=9");
+        assert!(
+            FuzzCase::from_text(&corrupt).is_err(),
+            "crc must catch edits"
+        );
+        corrupt = text[..text.len() - 2].to_string();
+        assert!(FuzzCase::from_text(&corrupt).is_err());
+    }
+
+    #[test]
+    fn shrink_candidates_are_smaller_and_valid() {
+        let case = FuzzCase::generate(3, 5);
+        for c in case.shrink_candidates() {
+            assert_ne!(c, case);
+            c.validate().expect("shrunk cases stay valid");
+            assert!(
+                c.pretrain_cycles <= case.pretrain_cycles
+                    && c.warmup_cycles <= case.warmup_cycles
+                    && c.measure_cycles <= case.measure_cycles
+                    && c.mesh_w <= case.mesh_w
+                    && c.mesh_h <= case.mesh_h
+                    && c.epoch_cycles <= case.epoch_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn report_diff_names_the_changed_field() {
+        let case = FuzzCase {
+            mesh_w: 2,
+            mesh_h: 2,
+            scheme: ErrorControlScheme::StaticCrc,
+            workload: "blackscholes".into(),
+            seed: 11,
+            epoch_cycles: 500,
+            pretrain_cycles: 0,
+            warmup_cycles: 0,
+            measure_cycles: 1_000,
+            drain_limit: 50_000,
+            allowed_modes: [true; 4],
+            p_ref_scale: 1.0,
+            ambient_c: 45.0,
+        };
+        let report = case.experiment().run();
+        assert!(report.diff(&report).is_empty());
+        let mut other = report.clone();
+        other.hop_nacks += 1;
+        other.avg_latency_cycles += 1e-12;
+        let diffs = report.diff(&other);
+        let names: Vec<_> = diffs.iter().map(|d| d.field).collect();
+        assert!(names.contains(&"hop_nacks"));
+        assert!(names.contains(&"avg_latency_cycles"));
+    }
+}

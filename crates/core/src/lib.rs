@@ -44,16 +44,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod benchmarks;
 pub mod campaign;
 pub mod controller;
 pub mod experiment;
+pub mod fuzzcase;
 pub mod modes;
 pub mod protocol;
 
+pub use backend::SimBackend;
 pub use benchmarks::WorkloadProfile;
 pub use campaign::{Campaign, CampaignResult, CampaignTask};
 pub use controller::{ControllerBank, DtSample, DtThresholds, PolicyLoadError};
 pub use experiment::{ErrorControlScheme, Experiment, ExperimentReport};
+pub use fuzzcase::{FieldDiff, FuzzCase};
 pub use modes::OperationMode;
 pub use protocol::FaultTolerantProtocol;

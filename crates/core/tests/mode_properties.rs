@@ -11,61 +11,19 @@
 //!   copies must never surface as extra deliveries.
 
 use noc_coding::crc::Crc32;
-use noc_fault::timing::TimingErrorModel;
-use noc_fault::variation::VariationMap;
 use noc_sim::config::NocConfig;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use noc_sim::flit::{Flit, PacketId};
 use noc_sim::network::Network;
 use noc_sim::stats::EventCounters;
-use noc_sim::topology::{LinkId, Mesh, NodeId};
+use noc_sim::topology::{LinkId, Mesh};
+use noc_testutil::{hot_network, traffic_pairs, HOT_MESH};
 use proptest::prelude::*;
 use rlnoc_core::modes::OperationMode;
-use rlnoc_core::protocol::FaultTolerantProtocol;
 use std::collections::HashSet;
 
-const MESH_W: u16 = 4;
-const MESH_H: u16 = 4;
-
-/// A very hot 4×4 network: link error probabilities high enough that a
-/// run of any length exercises the fault machinery of the given mode.
-fn hot_network(mode: OperationMode, seed: u64) -> Network<FaultTolerantProtocol> {
-    let mesh = Mesh::new(MESH_W, MESH_H);
-    let mut protocol = FaultTolerantProtocol::new(
-        mesh,
-        TimingErrorModel::default(),
-        VariationMap::uniform(MESH_W, MESH_H),
-        seed,
-    );
-    protocol.set_all_modes(mode);
-    protocol.set_temperatures(&vec![100.0; mesh.num_nodes()]);
-    protocol.set_utilizations(&vec![0.3; mesh.num_nodes()]);
-    let config = NocConfig::builder().mesh(MESH_W, MESH_H).build();
-    Network::new(config, protocol, seed)
-}
-
-/// Deterministic (src, dst) pairs derived from a seed, src != dst.
-fn traffic_pairs(mesh: Mesh, seed: u64, n: usize) -> Vec<(NodeId, NodeId)> {
-    let mut state = seed;
-    let mut next = || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
-    let nodes = mesh.num_nodes() as u64;
-    (0..n)
-        .map(|_| {
-            let src = NodeId((next() % nodes) as u16);
-            let mut dst = NodeId((next() % nodes) as u16);
-            if src == dst {
-                dst = NodeId(((dst.index() + 1) % mesh.num_nodes()) as u16);
-            }
-            (src, dst)
-        })
-        .collect()
-}
+const MESH_W: u16 = HOT_MESH.0;
+const MESH_H: u16 = HOT_MESH.1;
 
 /// Mode-0 semantics (raw links, destination CRC, no hop ARQ) with a
 /// deterministic saboteur: the head flit of every targeted packet takes

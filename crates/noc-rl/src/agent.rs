@@ -94,6 +94,23 @@ pub struct QLearningAgent {
     learning: bool,
     td_timer: TimerHandle,
     last_td_delta: f64,
+    /// Most recent ε observed by the runtime invariant checker; the
+    /// schedule must never rise above it (`verify` feature only).
+    #[cfg(feature = "verify")]
+    verify_last_eps: f64,
+}
+
+/// `true` when the process opted into per-step agent-state invariant
+/// checking via `RLNOC_VERIFY=1` (or `true`). Read once and cached.
+#[cfg(feature = "verify")]
+pub(crate) fn verify_armed() -> bool {
+    static ARMED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ARMED.get_or_init(|| {
+        matches!(
+            std::env::var("RLNOC_VERIFY").as_deref(),
+            Ok("1") | Ok("true")
+        )
+    })
 }
 
 impl QLearningAgent {
@@ -122,6 +139,8 @@ impl QLearningAgent {
             learning: true,
             td_timer: TimerHandle::default(),
             last_td_delta: 0.0,
+            #[cfg(feature = "verify")]
+            verify_last_eps: f64::INFINITY,
         }
     }
 
@@ -186,6 +205,8 @@ impl QLearningAgent {
         };
         self.last = Some((state, action));
         self.step += 1;
+        #[cfg(feature = "verify")]
+        self.verify_agent_state(state, action);
         action
     }
 
@@ -204,7 +225,61 @@ impl QLearningAgent {
         self.credit_previous(state, reward);
         self.last = Some((state, action));
         self.step += 1;
+        #[cfg(feature = "verify")]
+        self.verify_agent_state(state, action);
         action
+    }
+
+    /// Runtime agent-state invariants (`verify` feature, armed by
+    /// `RLNOC_VERIFY=1`): every Q-value finite, the selected action in
+    /// range, ε within `[0, 1]` after clamping and non-increasing along
+    /// the schedule, and the learning rate α within `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first violated invariant.
+    #[cfg(feature = "verify")]
+    fn verify_agent_state(&mut self, state: usize, action: usize) {
+        if !verify_armed() {
+            return;
+        }
+        assert!(
+            action < NUM_ACTIONS,
+            "selected action {action} out of range"
+        );
+        assert!(
+            state < self.q.num_states(),
+            "state {state} outside the {}-state table",
+            self.q.num_states()
+        );
+        for s in 0..self.q.num_states() {
+            for (a, &v) in self.q.row(s).iter().enumerate() {
+                assert!(
+                    v.is_finite(),
+                    "Q[{s}][{a}] diverged to {v} at step {}",
+                    self.step
+                );
+            }
+        }
+        let eps = self.current_epsilon();
+        assert!(
+            (0.0..=1.0).contains(&eps),
+            "ε = {eps} escaped [0,1] at step {}",
+            self.step
+        );
+        assert!(
+            eps <= self.verify_last_eps,
+            "ε rose from {} to {eps} at step {} (schedule must be non-increasing)",
+            self.verify_last_eps,
+            self.step
+        );
+        self.verify_last_eps = eps;
+        let alpha = self.config.alpha.value(self.step);
+        assert!(
+            alpha.is_finite() && 0.0 < alpha && alpha <= 1.0,
+            "α = {alpha} escaped (0,1] at step {}",
+            self.step
+        );
     }
 
     /// Applies the TD update crediting `reward` to the previous
@@ -258,6 +333,11 @@ impl QLearningAgent {
     /// Replaces the exploration schedule (e.g. ε → 0 after pre-training).
     pub fn set_epsilon(&mut self, epsilon: Schedule) {
         self.config.epsilon = epsilon;
+        // A deliberate schedule swap restarts the monotonicity baseline.
+        #[cfg(feature = "verify")]
+        {
+            self.verify_last_eps = f64::INFINITY;
+        }
     }
 
     /// The exploration probability the next action draw will use.

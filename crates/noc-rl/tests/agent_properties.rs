@@ -1,0 +1,156 @@
+//! Property tests for the tabular Q-learning stack.
+//!
+//! 1. **The TD update matches the Bellman form within ulp bounds.** The
+//!    table's update must equal
+//!    `Q + α·(r + γ·maxₐ′ Q(s′, a′) − Q)` up to a few ulps of
+//!    re-association — no drifted constants, no accidental extra terms.
+//! 2. **Decaying ε-schedules are monotone non-increasing** and respect
+//!    their floors, so exploration can only shrink over a campaign.
+//! 3. **State discretization maps every feature into exactly one of ≤5
+//!    bins with no boundary gaps**: per-feature bin indices are monotone
+//!    in the feature, start at bin 0, reach the top bin, and never skip
+//!    a bin — so adjacent operating points land in the same or adjacent
+//!    states.
+
+use noc_rl::qtable::QTable;
+use noc_rl::schedule::Schedule;
+use noc_rl::state::{RouterFeatures, StateSpace};
+use noc_rl::NUM_ACTIONS;
+use proptest::prelude::*;
+
+/// `|a − b|` measured in units-in-the-last-place of `scale`.
+///
+/// The two Bellman associations (`(1−α)q + αt` vs `q + α(t−q)`) agree
+/// to a few rounding errors *of their operands*; when q and the target
+/// nearly cancel, the result can be tiny and relative-to-result ulps
+/// explode, so the bound must be anchored at the operand magnitude.
+fn ulps_of(a: f64, b: f64, scale: f64) -> u64 {
+    ((a - b).abs() / (scale.max(f64::MIN_POSITIVE) * f64::EPSILON)) as u64
+}
+
+proptest! {
+    /// The applied TD update equals the Bellman target convex
+    /// combination, compared against an independently associated
+    /// evaluation of the same formula.
+    #[test]
+    fn q_update_matches_bellman_within_ulps(
+        q0 in -1000.0f64..1000.0,
+        q1 in -1000.0f64..1000.0,
+        q2 in -1000.0f64..1000.0,
+        q3 in -1000.0f64..1000.0,
+        q4 in -1000.0f64..1000.0,
+        reward in -100.0f64..100.0,
+        alpha in 0.0f64..1.0,
+        gamma in 0.0f64..1.0,
+        action in 0usize..NUM_ACTIONS,
+    ) {
+        let qnext = [q1, q2, q3, q4];
+        let mut table = QTable::with_initial(2, q0);
+        for (a, &v) in qnext.iter().enumerate() {
+            // Install the next-state row by driving cell `a` to `v` with
+            // a full-overwrite update (α = 1, γ = 0 ⇒ cell := reward).
+            table.update(1, a, v, 0, 1.0, 0.0);
+        }
+        let max_next = qnext.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(table.max_value(1), max_next);
+
+        table.update(0, action, reward, 1, alpha, gamma);
+        let got = table.value(0, action);
+        // Bellman form in incremental association.
+        let target = reward + gamma * max_next;
+        let expected = q0 + alpha * (target - q0);
+        let scale = q0.abs().max(target.abs()).max(1.0);
+        prop_assert!(
+            ulps_of(got, expected, scale) <= 4,
+            "TD update drifted: got {got}, Bellman {expected} ({} operand-ulps)",
+            ulps_of(got, expected, scale)
+        );
+        // Untouched cells stay untouched.
+        for a in (0..NUM_ACTIONS).filter(|&a| a != action) {
+            prop_assert_eq!(table.value(0, a), q0);
+        }
+    }
+
+    /// Linear (from ≥ to) and exponential schedules never increase with
+    /// the step, never rise above their start, and never fall below
+    /// their terminal value/floor.
+    #[test]
+    fn decaying_schedules_are_monotone_non_increasing(
+        from in 0.0f64..1.0,
+        to_frac in 0.0f64..1.0,
+        steps in 1u64..500,
+        decay in 0.5f64..1.0,
+        floor_frac in 0.0f64..1.0,
+        probe in 0u64..2000,
+    ) {
+        let to = from * to_frac;
+        let linear = Schedule::Linear { from, to, steps };
+        let floor = from * floor_frac;
+        let exp = Schedule::Exponential { from, decay, floor };
+        for s in [&linear, &exp] {
+            let (now, next) = (s.value(probe), s.value(probe + 1));
+            prop_assert!(next <= now, "{s:?} rose from {now} to {next} at step {probe}");
+            prop_assert!(now <= from);
+        }
+        prop_assert!(linear.value(probe) >= to);
+        prop_assert!(exp.value(probe) >= floor);
+        prop_assert_eq!(linear.value(steps), to);
+    }
+
+    /// Sweeping any single feature across (and beyond) its range walks
+    /// its bin index monotonically from 0 to the top bin without ever
+    /// skipping a bin, every index stays within the ≤5-bin budget, and
+    /// the combined state index stays dense.
+    #[test]
+    fn discretization_covers_every_bin_without_gaps(
+        feature in 0usize..6,
+        jitter in 0.0f64..1.0,
+    ) {
+        let space = StateSpace::paper_default();
+        let bins = space.bins()[feature];
+        prop_assert!((1..=5).contains(&bins), "Table I allows at most 5 bins");
+
+        // Stride of this feature's bin inside the mixed-radix index.
+        let stride: usize = space.bins()[feature + 1..].iter().product();
+        let set = |v: f64| {
+            let mut f = RouterFeatures::default();
+            match feature {
+                0 => f.buffer_occupancy = v,
+                1 => f.input_utilization = v,
+                2 => f.output_utilization = v,
+                3 => f.input_nack_rate = v,
+                4 => f.output_nack_rate = v,
+                5 => f.temperature_c = v,
+                _ => unreachable!(),
+            }
+            f
+        };
+        // A sweep wide enough to cross every boundary of every feature:
+        // linear features top out at 20 (occupancy) and 95 °C, so a
+        // linear sweep past 200 crosses all edges; the NACK features bin
+        // by log decade, so their sweep is geometric across 1e-6..10.
+        let log_feature = feature == 3 || feature == 4;
+        let samples = 20_000;
+        let mut prev = None;
+        let mut seen = vec![false; bins];
+        for i in 0..=samples {
+            let t = ((i as f64) + jitter) / samples as f64;
+            let v = if log_feature {
+                10f64.powf(-6.0 + 7.0 * t)
+            } else {
+                -10.0 + 210.0 * t
+            };
+            let index = space.discretize(&set(v));
+            prop_assert!(index < space.num_states());
+            let bin = (index / stride) % bins;
+            seen[bin] = true;
+            if let Some(p) = prev {
+                prop_assert!(bin >= p, "bin regressed on a rising feature");
+                prop_assert!(bin - p <= 1, "bin skipped: {p} -> {bin} (boundary gap)");
+            }
+            prev = Some(bin);
+        }
+        prop_assert_eq!(prev, Some(bins - 1), "sweep must reach the top bin");
+        prop_assert!(seen.iter().all(|&b| b), "every bin must be hit exactly once in order");
+    }
+}

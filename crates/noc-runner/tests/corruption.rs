@@ -10,21 +10,10 @@
 
 use noc_rl::qtable::QTable;
 use noc_rl::snapshot::PolicySnapshot;
-use rlnoc_core::campaign::Campaign;
+use noc_testutil::{temp_dir, tiny_campaign};
 use rlnoc_core::experiment::{ErrorControlScheme, ExperimentReport};
-use rlnoc_core::WorkloadProfile;
 use rlnoc_runner::{CheckpointDir, RunnerConfig};
 use std::fs;
-use std::path::PathBuf;
-
-fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "rlnoc-corruption-test-{}-{tag}",
-        std::process::id()
-    ));
-    let _ = fs::remove_dir_all(&dir);
-    dir
-}
 
 fn sample_report(seed: u64) -> ExperimentReport {
     ExperimentReport {
@@ -194,12 +183,9 @@ fn policy_with_any_single_bit_flip_never_parses() {
 /// policy snapshot is rewritten by the re-run.
 #[test]
 fn resume_with_corrupted_snapshot_dir_matches_uninterrupted_run() {
-    let mut campaign = Campaign::quick();
-    campaign.workloads = vec![WorkloadProfile::blackscholes()];
-    campaign.pretrain_cycles = 4_000;
-    campaign.measure_cycles = Some(4_000);
+    let campaign = tiny_campaign();
 
-    let dir = temp_dir("resume");
+    let dir = temp_dir("corruption-resume");
     let populate = RunnerConfig {
         jobs: 2,
         snapshot_dir: Some(dir.clone()),

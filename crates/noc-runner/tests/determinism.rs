@@ -1,25 +1,9 @@
 //! Tier-1 guarantees of the parallel runner: worker count and
 //! checkpoint/resume must never change campaign results.
 
-use rlnoc_core::campaign::Campaign;
-use rlnoc_core::WorkloadProfile;
+use noc_testutil::{temp_dir, tiny_campaign};
 use rlnoc_runner::{CheckpointDir, RunnerConfig};
 use rlnoc_telemetry::Telemetry;
-use std::path::PathBuf;
-
-fn tiny_campaign() -> Campaign {
-    let mut campaign = Campaign::quick();
-    campaign.workloads = vec![WorkloadProfile::blackscholes()];
-    campaign.pretrain_cycles = 4_000;
-    campaign.measure_cycles = Some(4_000);
-    campaign
-}
-
-fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("rlnoc-runner-test-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
 
 #[test]
 fn one_worker_and_four_workers_agree_exactly() {

@@ -383,6 +383,11 @@ impl<T> PacketWindow<T> {
         self.slots.get_mut(idx).and_then(Option::as_mut)
     }
 
+    /// Iterates over the live entries (window order, i.e. by id).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
     /// Removes and returns the entry under `id`, sliding the window
     /// base past any leading vacancies.
     pub fn remove(&mut self, id: PacketId) -> Option<T> {

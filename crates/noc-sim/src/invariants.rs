@@ -1,0 +1,392 @@
+//! Runtime invariant checker for the optimized data plane.
+//!
+//! Compiled only under the `verify` cargo feature (as a child module of
+//! [`network`](crate::network), so it can traverse the private event
+//! wheel and router state) and armed at runtime by `RLNOC_VERIFY=1`.
+//! Every armed cycle re-derives, from scratch, properties the optimized
+//! kernel maintains incrementally:
+//!
+//! * **Flit conservation / arena leak accounting** — every live
+//!   [`FlitArena`] slot is owned by exactly one input-FIFO entry,
+//!   flit-carrying wheel event, priority-resend queue entry, or
+//!   reassembly entry; the structural count must equal
+//!   [`FlitArena::live`].
+//! * **Credit conservation** — for every inter-router (output port, VC),
+//!   held credits + downstream FIFO occupancy + in-flight flits and
+//!   credit returns on that link sum to exactly `vc_depth`.
+//! * **ARQ window sanity** — every go-back-N gate (`awaiting_retx`)
+//!   names a sequence number the upstream retransmit buffer still holds
+//!   a pristine copy of (NACKs keep entries; only ACKs release them),
+//!   and no gate sits on a local injection port.
+//! * **Pipeline-stage counters** — the incremental `occupied_vcs` /
+//!   `rc_pending` / `needs_va` / `active_vcs` skip counters match a full
+//!   rescan (the release-build analogue of
+//!   [`Router::debug_check_stage_counters`]).
+//! * **No-progress watchdog** — a non-quiescent network whose activity
+//!   fingerprint has not changed for [`WATCHDOG_CYCLES`] cycles is
+//!   declared deadlocked/livelocked.
+//!
+//! Violations panic with a diagnostic; the differential fuzzer surfaces
+//! the panic together with the replayable case that triggered it.
+
+use super::*;
+use crate::flit::splitmix64;
+use std::sync::OnceLock;
+
+/// Cycles without any activity-fingerprint change (while non-quiescent)
+/// before the watchdog declares a deadlock/livelock. Generously above
+/// the worst legitimate stall (ARQ timeout ≪ 1k cycles).
+const WATCHDOG_CYCLES: u64 = 20_000;
+
+/// Test-only override: arms the checker regardless of the environment
+/// (the env verdict is cached process-wide, which tests cannot rely on).
+#[cfg(test)]
+static FORCE_ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// `true` when the process opted into per-cycle invariant checking via
+/// `RLNOC_VERIFY=1` (or `true`). Read once; the verdict is cached.
+pub(crate) fn armed() -> bool {
+    #[cfg(test)]
+    if FORCE_ARMED.load(std::sync::atomic::Ordering::Relaxed) {
+        return true;
+    }
+    static ARMED: OnceLock<bool> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        matches!(
+            std::env::var("RLNOC_VERIFY").as_deref(),
+            Ok("1") | Ok("true")
+        )
+    })
+}
+
+/// Watchdog bookkeeping carried between cycles.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VerifyState {
+    /// Activity fingerprint observed at `last_change_cycle`.
+    fingerprint: u64,
+    /// Last cycle at which the fingerprint changed.
+    last_change_cycle: u64,
+}
+
+impl<E: ErrorControl> Network<E> {
+    /// Checks every runtime invariant; called at the end of each
+    /// [`Network::step`] when the checker is armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic on the first violated invariant.
+    pub(crate) fn verify_invariants(&mut self) {
+        if !armed() {
+            return;
+        }
+        self.verify_arena_reachability();
+        self.verify_credit_conservation();
+        self.verify_arq_windows();
+        self.verify_stage_counters();
+        self.verify_watchdog();
+    }
+
+    /// Flit conservation: structural ownership count == arena live count.
+    fn verify_arena_reachability(&self) {
+        let mut fifo = 0usize;
+        let mut resend = 0usize;
+        for r in &self.routers {
+            fifo += r
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter())
+                .map(|vc| vc.fifo.len())
+                .sum::<usize>();
+            resend += r
+                .outputs
+                .iter()
+                .map(|o| o.retx_pending.len())
+                .sum::<usize>();
+        }
+        let mut in_events = 0usize;
+        for slot in &self.wheel.slots {
+            for ev in slot {
+                match ev {
+                    Event::Arrival { .. } | Event::DirectDeliver { .. } | Event::Eject { .. } => {
+                        in_events += 1;
+                    }
+                    Event::Credit { .. } | Event::AckSignal { .. } => {}
+                }
+            }
+        }
+        let reassembling: usize = self
+            .reassembly
+            .values()
+            .flat_map(|entries| entries.iter())
+            .map(|e| e.flits.len())
+            .sum();
+        let reachable = fifo + resend + in_events + reassembling;
+        assert_eq!(
+            reachable,
+            self.arena.live(),
+            "flit conservation violated at cycle {}: {} arena slots live but {} reachable \
+             (fifo {fifo} + resend {resend} + events {in_events} + reassembly {reassembling})",
+            self.cycle,
+            self.arena.live(),
+            reachable,
+        );
+    }
+
+    /// Credit conservation: for every inter-router (node, output port,
+    /// VC), credits held at the sender plus flits/credits in flight on
+    /// the link plus downstream FIFO occupancy equals `vc_depth`.
+    fn verify_credit_conservation(&self) {
+        let v = self.config.vcs_per_port as usize;
+        let slot = |node: usize, port: usize, vc: usize| (node * NUM_PORTS + port) * v + vc;
+        // In-flight debits per (upstream node, output port, vc): flits on
+        // the wire (Arrival), accepted mode-2 duplicates one cycle from
+        // the downstream buffer (DirectDeliver), and credits returning
+        // upstream (Credit).
+        let mut in_flight = vec![0u32; self.routers.len() * NUM_PORTS * v];
+        for events in &self.wheel.slots {
+            for ev in events {
+                match *ev {
+                    Event::Arrival { link, vc, .. } => {
+                        in_flight[slot(link.src.index(), link.dir.index(), vc as usize)] += 1;
+                    }
+                    Event::Credit { node, port, vc } => {
+                        if port != Direction::Local {
+                            in_flight[slot(node.index(), port.index(), vc as usize)] += 1;
+                        }
+                    }
+                    Event::DirectDeliver {
+                        node, in_port, vc, ..
+                    } => {
+                        let up = self
+                            .neighbors
+                            .get(node, in_port)
+                            .expect("duplicate crossed a real link");
+                        in_flight[slot(up.index(), in_port.opposite().index(), vc as usize)] += 1;
+                    }
+                    Event::Eject { .. } | Event::AckSignal { .. } => {}
+                }
+            }
+        }
+        for r in &self.routers {
+            for dir in Direction::ALL {
+                if dir == Direction::Local {
+                    continue; // ejection port: modeled as never back-pressured
+                }
+                let Some(down) = self.neighbors.get(r.id, dir) else {
+                    continue; // mesh edge: port unused
+                };
+                let in_port = dir.opposite().index();
+                for vcn in 0..v {
+                    let credits = u32::from(r.outputs[dir.index()].vcs[vcn].credits);
+                    let fifo = self.routers[down.index()].inputs[in_port][vcn].fifo.len() as u32;
+                    let flight = in_flight[slot(r.id.index(), dir.index(), vcn)];
+                    assert_eq!(
+                        credits + fifo + flight,
+                        u32::from(self.config.vc_depth),
+                        "credit conservation violated at cycle {} on {}:{dir} vc{vcn}: \
+                         credits {credits} + downstream fifo {fifo} + in-flight {flight} \
+                         != depth {}",
+                        self.cycle,
+                        r.id,
+                        self.config.vc_depth,
+                    );
+                }
+            }
+        }
+    }
+
+    /// ARQ window sanity: every go-back-N gate awaits a sequence number
+    /// whose pristine copy the upstream retransmit buffer still holds.
+    fn verify_arq_windows(&self) {
+        for r in &self.routers {
+            for (pi, port) in r.inputs.iter().enumerate() {
+                let dir = Direction::from_index(pi);
+                for (vci, ivc) in port.iter().enumerate() {
+                    let Some(seq) = ivc.awaiting_retx else {
+                        continue;
+                    };
+                    assert!(
+                        dir != Direction::Local,
+                        "ARQ gate on the injection port of {}",
+                        r.id
+                    );
+                    let up = self
+                        .neighbors
+                        .get(r.id, dir)
+                        .expect("gated input port faces a neighbor");
+                    let out = &self.routers[up.index()].outputs[dir.opposite().index()];
+                    assert!(
+                        out.retx_buffer.iter().any(|(s, _)| s == seq),
+                        "ARQ gate at cycle {}: {}:{dir} vc{vci} awaits {seq} but upstream \
+                         {up} no longer buffers it (premature release would deadlock the VC)",
+                        self.cycle,
+                        r.id,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pipeline-stage skip counters match a full VC rescan, in release
+    /// builds too (the optimized phases trust these to skip routers).
+    fn verify_stage_counters(&self) {
+        for r in &self.routers {
+            let (mut occupied, mut rc, mut va, mut active) = (0u32, 0u32, 0u32, 0u32);
+            for vc in r.inputs.iter().flat_map(|port| port.iter()) {
+                if vc.occupied() {
+                    occupied += 1;
+                }
+                match vc.state {
+                    VcState::Idle if !vc.fifo.is_empty() => rc += 1,
+                    VcState::Idle => {}
+                    VcState::NeedsVa { .. } => va += 1,
+                    VcState::Active { .. } => active += 1,
+                }
+            }
+            assert_eq!(
+                (occupied, rc, va, active),
+                (r.occupied_vcs, r.rc_pending, r.needs_va, r.active_vcs),
+                "pipeline-stage counters diverged from rescan at {} (cycle {}): \
+                 (occupied, rc, va, active)",
+                r.id,
+                self.cycle,
+            );
+        }
+    }
+
+    /// No-progress watchdog: a non-quiescent network whose activity
+    /// fingerprint is frozen for [`WATCHDOG_CYCLES`] is stuck.
+    fn verify_watchdog(&mut self) {
+        let fp = self.activity_fingerprint();
+        if fp != self.verify.fingerprint {
+            self.verify.fingerprint = fp;
+            self.verify.last_change_cycle = self.cycle;
+            return;
+        }
+        if self.cycle - self.verify.last_change_cycle >= WATCHDOG_CYCLES && !self.is_quiescent() {
+            panic!(
+                "no-progress watchdog: network non-quiescent with no activity since cycle {} \
+                 (now {}): deadlock or livelock",
+                self.verify.last_change_cycle, self.cycle,
+            );
+        }
+    }
+
+    /// Order-sensitive hash over the monotone activity counters; any
+    /// flit movement, signal, or delivery changes it.
+    fn activity_fingerprint(&self) -> u64 {
+        let mut h = 0xA5A5_0001u64;
+        let mut mix = |x: u64| h = splitmix64(h ^ x);
+        mix(self.stats.packets_injected);
+        mix(self.stats.packets_delivered);
+        mix(self.stats.flits_delivered);
+        mix(self.stats.hop_nacks);
+        mix(self.stats.flit_retransmissions);
+        mix(self.stats.packet_retransmissions);
+        for c in &self.counters {
+            mix(c.buffer_writes);
+            mix(c.buffer_reads);
+            mix(c.ack_signals);
+            mix(c.retransmit_sends);
+            mix(c.link_traversals.iter().sum());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_control::{PerfectLink, ScriptedErrorControl};
+
+    fn armed_net<E: ErrorControl>(protocol: E) -> Network<E> {
+        FORCE_ARMED.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(armed());
+        let config = NocConfig::builder().mesh(4, 4).build();
+        Network::new(config, protocol, 77)
+    }
+
+    fn offer_all_pairs<E: ErrorControl>(net: &mut Network<E>) {
+        let mesh = net.mesh();
+        for src in mesh.nodes() {
+            let dst = NodeId(((src.index() + 5) % mesh.num_nodes()) as u16);
+            if src != dst {
+                net.offer(src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_traffic_upholds_every_invariant() {
+        let mut net = armed_net(PerfectLink::new());
+        offer_all_pairs(&mut net);
+        assert!(net.run_until_quiescent(10_000));
+    }
+
+    #[test]
+    fn arq_heavy_traffic_upholds_every_invariant() {
+        let mut net = armed_net(ScriptedErrorControl::reject_every(3));
+        offer_all_pairs(&mut net);
+        assert!(net.run_until_quiescent(20_000));
+        assert!(
+            net.stats().flit_retransmissions > 0,
+            "scenario must exercise ARQ"
+        );
+    }
+
+    #[test]
+    fn pre_retransmit_traffic_upholds_every_invariant() {
+        let protocol = ScriptedErrorControl::reject_every(4).with_pre_retransmit(true);
+        let mut net = armed_net(protocol);
+        offer_all_pairs(&mut net);
+        assert!(net.run_until_quiescent(20_000));
+        assert!(
+            net.stats().pre_retransmit_hits > 0,
+            "scenario must exercise mode 2"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "credit conservation violated")]
+    fn stolen_credit_is_detected() {
+        let mut net = armed_net(PerfectLink::new());
+        net.routers[0].outputs[Direction::East.index()].vcs[0].credits -= 1;
+        net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "flit conservation violated")]
+    fn leaked_arena_slot_is_detected() {
+        let mut net = armed_net(PerfectLink::new());
+        let packet = Packet {
+            id: PacketId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            num_flits: 1,
+            class: PacketClass::Data,
+            injected_at: 0,
+            payload_seed: 1,
+        };
+        // Allocate a slot no FIFO, event, or reassembly entry owns.
+        let _ = net.arena.alloc(packet.make_flit(0, 0, &Crc32::new()));
+        net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "ARQ gate")]
+    fn orphaned_arq_gate_is_detected() {
+        let mut net = armed_net(ScriptedErrorControl::reliable());
+        // Gate an input VC on a sequence number the upstream never sent.
+        net.routers[0].inputs[Direction::East.index()][0].awaiting_retx =
+            Some(SequenceNumber::new(41));
+        net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline-stage counters diverged")]
+    fn corrupted_stage_counter_is_detected() {
+        let mut net = armed_net(PerfectLink::new());
+        net.routers[0].rc_pending += 1;
+        net.step();
+    }
+}

@@ -40,6 +40,13 @@ use noc_coding::crc::Crc32;
 use rlnoc_telemetry::{Counter, Histogram, Telemetry, TimerHandle};
 use std::collections::VecDeque;
 
+/// Per-cycle runtime invariant checks (child module so it can traverse
+/// the private event wheel); compiled only under the `verify` feature
+/// and armed by `RLNOC_VERIFY=1`.
+#[cfg(feature = "verify")]
+#[path = "invariants.rs"]
+mod invariants;
+
 /// Event-wheel horizon in cycles; all scheduled events must land within
 /// this many cycles of the present.
 const WHEEL: u64 = 64;
@@ -193,6 +200,9 @@ pub struct Network<E: ErrorControl> {
     epoch: Vec<RouterEpochStats>,
     counters: Vec<EventCounters>,
     tel: NetTelemetry,
+    /// Watchdog state for the runtime invariant checker.
+    #[cfg(feature = "verify")]
+    verify: invariants::VerifyState,
 }
 
 /// Flits of one end-to-end transmission attempt collecting at the
@@ -275,6 +285,8 @@ impl<E: ErrorControl> Network<E> {
             epoch: vec![RouterEpochStats::default(); n],
             counters: vec![EventCounters::default(); n],
             tel: NetTelemetry::default(),
+            #[cfg(feature = "verify")]
+            verify: invariants::VerifyState::default(),
         }
     }
 
@@ -438,6 +450,8 @@ impl<E: ErrorControl> Network<E> {
         }
         self.tel.cycles.inc();
         self.cycle += 1;
+        #[cfg(feature = "verify")]
+        self.verify_invariants();
     }
 
     /// Advances until either the network is quiescent or `max_cycles`

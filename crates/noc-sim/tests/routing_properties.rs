@@ -16,18 +16,8 @@ use noc_sim::error_control::PerfectLink;
 use noc_sim::network::Network;
 use noc_sim::routing::{xy_path, xy_route, RouteTable};
 use noc_sim::topology::{Direction, Mesh, NeighborTable, NodeId};
+use noc_testutil::{manhattan, pick_node};
 use proptest::prelude::*;
-
-/// Deterministic node picker so tests can derive arbitrary node pairs
-/// from plain `u64` proptest inputs regardless of the sampled mesh size.
-fn pick_node(mesh: Mesh, raw: u64) -> NodeId {
-    NodeId((raw % mesh.num_nodes() as u64) as u16)
-}
-
-fn manhattan(mesh: Mesh, a: NodeId, b: NodeId) -> u64 {
-    let (ca, cb) = (mesh.coord(a), mesh.coord(b));
-    (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u64
-}
 
 proptest! {
     /// Hop count of the X-Y path is exactly the Manhattan distance, the

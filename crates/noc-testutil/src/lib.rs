@@ -1,0 +1,145 @@
+//! Shared fixtures for the rlnoc test suites.
+//!
+//! Every helper here used to be copy-pasted between the integration
+//! tests of `rlnoc-core`, `noc-sim`, and `rlnoc-runner`. The crate is a
+//! **dev-dependency only** — nothing in it ships in a production build —
+//! and everything in it is deterministic: helpers derive all randomness
+//! from caller-supplied seeds via SplitMix64 so test failures replay
+//! exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use noc_fault::timing::TimingErrorModel;
+use noc_fault::variation::VariationMap;
+use noc_sim::config::NocConfig;
+use noc_sim::network::Network;
+use noc_sim::topology::{Mesh, NodeId};
+use rlnoc_core::campaign::Campaign;
+use rlnoc_core::modes::OperationMode;
+use rlnoc_core::protocol::FaultTolerantProtocol;
+use rlnoc_core::WorkloadProfile;
+use std::path::PathBuf;
+
+/// A deterministic SplitMix64 stream.
+///
+/// The same generator the simulator seeds its subsystems with, exposed
+/// so tests can derive arbitrary values from plain `u64` inputs (e.g.
+/// proptest-sampled seeds) without an RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Maps a raw `u64` (e.g. a proptest input) onto a node of `mesh`.
+pub fn pick_node(mesh: Mesh, raw: u64) -> NodeId {
+    NodeId((raw % mesh.num_nodes() as u64) as u16)
+}
+
+/// Manhattan (X-Y hop) distance between two nodes.
+pub fn manhattan(mesh: Mesh, a: NodeId, b: NodeId) -> u64 {
+    let (ca, cb) = (mesh.coord(a), mesh.coord(b));
+    (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u64
+}
+
+/// Deterministic `(src, dst)` traffic pairs derived from `seed`, with
+/// `src != dst` guaranteed.
+pub fn traffic_pairs(mesh: Mesh, seed: u64, n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let src = pick_node(mesh, rng.next_u64());
+            let mut dst = pick_node(mesh, rng.next_u64());
+            if src == dst {
+                dst = NodeId(((dst.index() + 1) % mesh.num_nodes()) as u16);
+            }
+            (src, dst)
+        })
+        .collect()
+}
+
+/// Mesh size used by [`hot_network`].
+pub const HOT_MESH: (u16, u16) = (4, 4);
+
+/// A very hot 4×4 network: every router at 100 °C and 0.3 flits/cycle
+/// utilization, so link error probabilities are high enough that a run
+/// of any length exercises the fault machinery of the given mode.
+pub fn hot_network(mode: OperationMode, seed: u64) -> Network<FaultTolerantProtocol> {
+    let (w, h) = HOT_MESH;
+    let mesh = Mesh::new(w, h);
+    let mut protocol = FaultTolerantProtocol::new(
+        mesh,
+        TimingErrorModel::default(),
+        VariationMap::uniform(w, h),
+        seed,
+    );
+    protocol.set_all_modes(mode);
+    protocol.set_temperatures(&vec![100.0; mesh.num_nodes()]);
+    protocol.set_utilizations(&vec![0.3; mesh.num_nodes()]);
+    let config = NocConfig::builder().mesh(w, h).build();
+    Network::new(config, protocol, seed)
+}
+
+/// The smallest campaign that still exercises pre-training, measurement,
+/// and a real workload — seconds, not minutes, per runner test.
+pub fn tiny_campaign() -> Campaign {
+    let mut campaign = Campaign::quick();
+    campaign.workloads = vec![WorkloadProfile::blackscholes()];
+    campaign.pretrain_cycles = 4_000;
+    campaign.measure_cycles = Some(4_000);
+    campaign
+}
+
+/// A fresh per-process scratch directory under the system temp dir,
+/// removed first if a previous run left one behind. `tag` keeps tests
+/// within one binary from colliding.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlnoc-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_pairs_are_deterministic_and_valid() {
+        let mesh = Mesh::new(4, 4);
+        let a = traffic_pairs(mesh, 42, 50);
+        let b = traffic_pairs(mesh, 42, 50);
+        assert_eq!(a, b);
+        assert!(a
+            .iter()
+            .all(|(s, d)| s != d && d.index() < mesh.num_nodes()));
+        assert_ne!(a, traffic_pairs(mesh, 43, 50));
+    }
+
+    #[test]
+    fn hot_network_is_actually_hot() {
+        let net = hot_network(OperationMode::Mode1, 7);
+        let p = net.protocol().raw_error_probabilities();
+        assert!(p.iter().all(|&p| p > 0.0), "every link must see faults");
+    }
+
+    #[test]
+    fn temp_dirs_are_distinct_per_tag() {
+        assert_ne!(temp_dir("a"), temp_dir("b"));
+    }
+}

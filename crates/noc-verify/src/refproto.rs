@@ -1,0 +1,221 @@
+//! Reference fault-tolerant protocol.
+//!
+//! A re-implementation of `rlnoc_core::protocol::FaultTolerantProtocol`
+//! that recomputes the link error probability from the timing model on
+//! *every* hop (no epoch caches, no precomputed integer thresholds) and
+//! runs the coding layers through the bitwise reference oracles
+//! ([`Secded64::encode_reference`]/[`Secded64::decode_reference`] and
+//! [`Crc32::checksum_reference`]) instead of the table-driven kernels.
+//!
+//! RNG discipline: [`FaultInjector::sample_flips`] consumes exactly the
+//! same draws as the optimized threshold path by construction, so the
+//! fault streams line up draw for draw and a divergence in any report
+//! field is a real behavioral difference, not RNG skew.
+
+use noc_coding::crc::Crc32;
+use noc_coding::hamming::{DecodeOutcome, Secded64};
+use noc_fault::injector::FaultInjector;
+use noc_fault::timing::TimingErrorModel;
+use noc_fault::variation::VariationMap;
+use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
+use noc_sim::flit::Flit;
+use noc_sim::stats::EventCounters;
+use noc_sim::topology::{LinkId, Mesh};
+use rlnoc_core::modes::OperationMode;
+
+/// Serializes a flit payload little-endian and checks its CRC-32 with
+/// the bit-at-a-time reference kernel — the oracle form of
+/// [`Flit::crc_ok`].
+fn crc_ok_reference(flit: &Flit) -> bool {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&flit.payload[0].to_le_bytes());
+    bytes[8..].copy_from_slice(&flit.payload[1].to_le_bytes());
+    Crc32::checksum_reference(&bytes) == flit.crc
+}
+
+/// The reference protocol: same observable behavior as the production
+/// [`FaultTolerantProtocol`](rlnoc_core::protocol::FaultTolerantProtocol),
+/// implemented the slow obvious way.
+#[derive(Debug, Clone)]
+pub struct RefProtocol {
+    mesh: Mesh,
+    modes: Vec<OperationMode>,
+    timing: TimingErrorModel,
+    variation: VariationMap,
+    injector: FaultInjector,
+    temperatures: Vec<f64>,
+    utilizations: Vec<f64>,
+}
+
+impl RefProtocol {
+    /// Creates the protocol with every router in mode 0, 50 °C
+    /// everywhere, and idle links — the production initial state.
+    pub fn new(mesh: Mesh, timing: TimingErrorModel, variation: VariationMap, seed: u64) -> Self {
+        let n = mesh.num_nodes();
+        assert_eq!(
+            variation.factors().len(),
+            n,
+            "variation map does not match mesh"
+        );
+        Self {
+            mesh,
+            modes: vec![OperationMode::Mode0; n],
+            timing,
+            variation,
+            injector: FaultInjector::new(seed),
+            temperatures: vec![50.0; n],
+            utilizations: vec![0.0; n],
+        }
+    }
+
+    /// The mesh this protocol serves.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Sets router `node`'s operation mode.
+    pub fn set_mode(&mut self, node: usize, mode: OperationMode) {
+        self.modes[node] = mode;
+    }
+
+    /// Sets every router to `mode`.
+    pub fn set_all_modes(&mut self, mode: OperationMode) {
+        self.modes.fill(mode);
+    }
+
+    /// Updates per-router temperatures (°C).
+    pub fn set_temperatures(&mut self, temps: &[f64]) {
+        assert_eq!(temps.len(), self.temperatures.len(), "length mismatch");
+        self.temperatures.copy_from_slice(temps);
+    }
+
+    /// Updates per-router mean output-link utilizations (flits/cycle).
+    pub fn set_utilizations(&mut self, utils: &[f64]) {
+        assert_eq!(utils.len(), self.utilizations.len(), "length mismatch");
+        self.utilizations.copy_from_slice(utils);
+    }
+
+    /// Per-flit error probability on router `node`'s output links,
+    /// recomputed from the model on every call.
+    pub fn link_error_probability(&self, node: usize) -> f64 {
+        self.timing.flit_error_probability(
+            self.temperatures[node],
+            self.utilizations[node],
+            self.variation.factor(node),
+            self.modes[node].relaxed_timing(),
+        )
+    }
+
+    /// Mode-independent (raw) error probability for `node`.
+    pub fn raw_error_probability(&self, node: usize) -> f64 {
+        self.timing.flit_error_probability(
+            self.temperatures[node],
+            self.utilizations[node],
+            self.variation.factor(node),
+            false,
+        )
+    }
+
+    /// Raw error probabilities for every router.
+    pub fn raw_error_probabilities(&self) -> Vec<f64> {
+        (0..self.mesh.num_nodes())
+            .map(|n| self.raw_error_probability(n))
+            .collect()
+    }
+}
+
+impl ErrorControl for RefProtocol {
+    fn hop_transfer(
+        &mut self,
+        link: LinkId,
+        flit: &mut Flit,
+        _cycle: u64,
+        _kind: TransferKind,
+        protected: bool,
+        counters: &mut EventCounters,
+    ) -> HopOutcome {
+        let src = link.src.index();
+        let p = self.link_error_probability(src);
+        let flips = self.injector.sample_flips(&self.timing, p);
+
+        // `protected` is the send-time ECC state — a flit launched before
+        // a mode switch keeps the protection it was encoded with.
+        if !protected {
+            // Raw link: corruption rides through to the destination CRC.
+            if flips > 0 {
+                for bit in self.injector.pick_bits(flips, 128) {
+                    flit.flip_payload_bit(bit);
+                }
+            }
+            return HopOutcome::Delivered;
+        }
+
+        counters.ecc_encodes += 1;
+        counters.ecc_decodes += 1;
+        if flips == 0 {
+            return HopOutcome::Delivered;
+        }
+        // Two Hamming(72,64) codewords protect the 128-bit payload; the
+        // sampled flips land on codeword bits (data or check bits alike).
+        let mut words = [
+            Secded64::encode_reference(flit.payload[0]),
+            Secded64::encode_reference(flit.payload[1]),
+        ];
+        for bit in self.injector.pick_bits(flips, 2 * Secded64::CODE_BITS) {
+            let (w, b) = (
+                (bit / Secded64::CODE_BITS) as usize,
+                bit % Secded64::CODE_BITS,
+            );
+            words[w] = words[w].with_bit_flipped(b);
+        }
+        let mut corrected = false;
+        let mut decoded = [0u64; 2];
+        for (i, cw) in words.iter().enumerate() {
+            match cw.decode_reference() {
+                DecodeOutcome::Clean { data } => decoded[i] = data,
+                DecodeOutcome::Corrected { data, .. } => {
+                    decoded[i] = data;
+                    corrected = true;
+                }
+                DecodeOutcome::DoubleError => return HopOutcome::Reject,
+            }
+        }
+        // ≥3 flips in one codeword can mis-correct — the corruption is
+        // carried forward honestly; the destination CRC is the backstop.
+        flit.payload = decoded;
+        if corrected {
+            HopOutcome::DeliveredCorrected
+        } else {
+            HopOutcome::Delivered
+        }
+    }
+
+    fn tx_delay(&self, link: LinkId) -> u32 {
+        self.modes[link.src.index()].tx_delay()
+    }
+
+    fn pipeline_latency(&self, link: LinkId) -> u32 {
+        self.modes[link.src.index()].pipeline_latency()
+    }
+
+    fn pre_retransmit(&self, link: LinkId) -> bool {
+        self.modes[link.src.index()].pre_retransmit()
+    }
+
+    fn hop_arq(&self, link: LinkId) -> bool {
+        self.modes[link.src.index()].ecc_enabled()
+    }
+
+    fn eject_check(
+        &mut self,
+        flits: &[Flit],
+        _cycle: u64,
+        _counters: &mut EventCounters,
+    ) -> EjectOutcome {
+        if flits.iter().all(crc_ok_reference) {
+            EjectOutcome::Accept
+        } else {
+            EjectOutcome::RequestRetransmit
+        }
+    }
+}

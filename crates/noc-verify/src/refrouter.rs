@@ -1,0 +1,226 @@
+//! Reference router: the deliberately simple per-router pipeline state.
+//!
+//! This is a by-value re-implementation of the optimized router in
+//! `noc_sim::router` with none of its performance machinery: flits are
+//! stored by value in `VecDeque` FIFOs (no arena handles), there are no
+//! pipeline-stage skip counters, and every stage scans every VC every
+//! cycle. Obviously correct beats fast here — the differential oracle
+//! diffs this model against the optimized kernel.
+
+use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
+use noc_sim::arbiter::RoundRobinArbiter;
+use noc_sim::config::NocConfig;
+use noc_sim::flit::Flit;
+use noc_sim::routing::xy_route;
+use noc_sim::topology::{Direction, Mesh, NodeId, NUM_PORTS};
+use std::collections::VecDeque;
+
+/// A flit resident in an input VC buffer, stamped with its arrival cycle
+/// so the pipeline can enforce the buffer-write stage.
+#[derive(Debug, Clone)]
+pub(crate) struct BufferedFlit {
+    pub flit: Flit,
+    pub arrived_at: u64,
+}
+
+/// Input VC pipeline state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcState {
+    /// No packet assigned.
+    Idle,
+    /// Route computed; awaiting an output VC.
+    NeedsVa { out_port: Direction },
+    /// Output VC held; flits flow through SA.
+    Active { out_port: Direction, out_vc: u8 },
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone)]
+pub(crate) struct InputVc {
+    pub fifo: VecDeque<BufferedFlit>,
+    pub state: VcState,
+    /// Go-back-N gate: when a flit with this sequence number was rejected,
+    /// later flits on this VC are auto-rejected until its retransmission
+    /// arrives (preserves per-VC flit order under hop-level ARQ).
+    pub awaiting_retx: Option<SequenceNumber>,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        Self {
+            fifo: VecDeque::new(),
+            state: VcState::Idle,
+            awaiting_retx: None,
+        }
+    }
+
+    /// An input VC counts as occupied for the buffer-utilization feature
+    /// when it holds flits or an active packet.
+    pub(crate) fn occupied(&self) -> bool {
+        !self.fifo.is_empty() || self.state != VcState::Idle
+    }
+}
+
+/// Credit/allocation state of one output VC.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutputVc {
+    pub allocated: bool,
+    pub credits: u8,
+}
+
+/// A NACKed flit waiting for priority resend on its output port.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRetransmit {
+    pub flit: Flit,
+    pub out_vc: u8,
+    pub seq: SequenceNumber,
+}
+
+/// One output port: its VC credit state, the ARQ retransmit buffer, and
+/// the link-busy horizon used by operation modes 2 and 3.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputPort {
+    pub vcs: Vec<OutputVc>,
+    /// Earliest cycle at which the port may transmit again.
+    pub next_free: u64,
+    /// Copies of unacknowledged flits sent on ECC-enabled links.
+    pub retx_buffer: RetransmitBuffer<(Flit, u8)>,
+    /// NACKed flits queued for priority resend.
+    pub retx_pending: VecDeque<PendingRetransmit>,
+}
+
+/// A mesh router: five input ports of `V` VCs each, five output ports, and
+/// the arbiters for VA and SA.
+#[derive(Debug, Clone)]
+pub struct RefRouter {
+    pub(crate) id: NodeId,
+    /// `inputs[port][vc]`.
+    pub(crate) inputs: Vec<Vec<InputVc>>,
+    /// `outputs[port]`.
+    pub(crate) outputs: Vec<OutputPort>,
+    /// Per output port, over `NUM_PORTS * V` flattened input VCs.
+    pub(crate) va_arbiters: Vec<RoundRobinArbiter>,
+    /// Per input port, over its `V` VCs.
+    pub(crate) sa_input_arbiters: Vec<RoundRobinArbiter>,
+    /// Per output port, over the five input ports.
+    pub(crate) sa_output_arbiters: Vec<RoundRobinArbiter>,
+}
+
+impl RefRouter {
+    /// Builds an empty router for node `id` under `config`.
+    pub(crate) fn new(id: NodeId, config: &NocConfig) -> Self {
+        let v = config.vcs_per_port as usize;
+        let inputs = (0..NUM_PORTS)
+            .map(|_| (0..v).map(|_| InputVc::new()).collect())
+            .collect();
+        let outputs = (0..NUM_PORTS)
+            .map(|p| OutputPort {
+                vcs: (0..v)
+                    .map(|_| OutputVc {
+                        allocated: false,
+                        // The ejection port drains into the core; model it
+                        // as never back-pressured.
+                        credits: if p == Direction::Local.index() {
+                            u8::MAX
+                        } else {
+                            config.vc_depth
+                        },
+                    })
+                    .collect(),
+                next_free: 0,
+                retx_buffer: RetransmitBuffer::new(config.retransmit_buffer_depth),
+                retx_pending: VecDeque::new(),
+            })
+            .collect();
+        Self {
+            id,
+            inputs,
+            outputs,
+            va_arbiters: (0..NUM_PORTS)
+                .map(|_| RoundRobinArbiter::new(NUM_PORTS * v))
+                .collect(),
+            sa_input_arbiters: (0..NUM_PORTS).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa_output_arbiters: (0..NUM_PORTS)
+                .map(|_| RoundRobinArbiter::new(NUM_PORTS))
+                .collect(),
+        }
+    }
+
+    /// Number of currently occupied input VCs (the RL buffer-utilization
+    /// feature).
+    pub fn occupied_input_vcs(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .filter(|vc| vc.occupied())
+            .count()
+    }
+
+    /// Route computation: idle input VCs whose head flit has completed its
+    /// buffer-write stage compute their output port.
+    pub(crate) fn rc_stage(&mut self, cycle: u64, mesh: Mesh) {
+        for port in &mut self.inputs {
+            for vc in port.iter_mut() {
+                if vc.state != VcState::Idle {
+                    continue;
+                }
+                let Some(front) = vc.fifo.front() else {
+                    continue;
+                };
+                if front.arrived_at >= cycle {
+                    continue; // still in the BW stage
+                }
+                debug_assert!(
+                    front.flit.kind.is_head(),
+                    "non-head flit {:?} at front of idle VC",
+                    front.flit.kind
+                );
+                let out_port = xy_route(mesh, self.id, front.flit.dst);
+                vc.state = VcState::NeedsVa { out_port };
+            }
+        }
+    }
+
+    /// Virtual-channel allocation: one grant per output port per cycle.
+    ///
+    /// Returns the number of allocations performed (for the power model).
+    pub(crate) fn va_stage(&mut self) -> u64 {
+        let v = self.inputs[0].len();
+        let mut allocations = 0;
+        for out_p in 0..NUM_PORTS {
+            // Find a free output VC.
+            let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
+                continue;
+            };
+            // Gather requesting input VCs (flattened index).
+            let mut requests = vec![false; NUM_PORTS * v];
+            let mut any = false;
+            for (in_p, port) in self.inputs.iter().enumerate() {
+                for (in_v, vc) in port.iter().enumerate() {
+                    if vc.state
+                        == (VcState::NeedsVa {
+                            out_port: Direction::from_index(out_p),
+                        })
+                    {
+                        requests[in_p * v + in_v] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let winner = self.va_arbiters[out_p]
+                .grant(&requests)
+                .expect("a request was asserted");
+            let (in_p, in_v) = (winner / v, winner % v);
+            self.inputs[in_p][in_v].state = VcState::Active {
+                out_port: Direction::from_index(out_p),
+                out_vc: free_vc as u8,
+            };
+            self.outputs[out_p].vcs[free_vc].allocated = true;
+            allocations += 1;
+        }
+        allocations
+    }
+}

@@ -1,0 +1,58 @@
+//! Differential-oracle integration tests.
+//!
+//! * A smoke batch of generated cases must agree bit-for-bit between the
+//!   optimized kernel and the reference model (the CI fuzz job runs the
+//!   same oracle at scale).
+//! * A deliberately planted bug — [`StaleTemperatureBackend`] drops node
+//!   0's temperature updates, the classic stale-cache mistake the
+//!   epoch-cached error probabilities could make — must be caught by the
+//!   differential driver and survive shrinking to a minimal, replayable,
+//!   still-divergent case.
+
+use noc_sim::network::Network;
+use rlnoc_core::fuzzcase::FuzzCase;
+use rlnoc_core::protocol::FaultTolerantProtocol;
+use rlnoc_verify::{run_case, run_case_with, shrink, StaleTemperatureBackend};
+
+const SEED: u64 = 0x5EED_F00D;
+
+type Optimized = Network<FaultTolerantProtocol>;
+
+#[test]
+fn optimized_and_reference_agree_on_smoke_batch() {
+    for i in 0..6 {
+        let case = FuzzCase::generate(SEED, i);
+        let out = run_case(&case);
+        assert!(
+            out.agrees(),
+            "case {i} diverged:\n{case}\ndiffs: {:?}",
+            out.diffs
+        );
+    }
+}
+
+fn mutant_diverges(case: &FuzzCase) -> bool {
+    !run_case_with::<Optimized, StaleTemperatureBackend>(case).agrees()
+}
+
+#[test]
+fn planted_stale_temperature_bug_is_caught_and_shrunk() {
+    let case = (0..24)
+        .map(|i| FuzzCase::generate(SEED, i))
+        .find(mutant_diverges)
+        .expect("the planted stale-temperature bug must diverge within 24 generated cases");
+
+    let minimal = shrink(&case, 32, mutant_diverges);
+    minimal
+        .validate()
+        .expect("shrinking preserves well-formedness");
+    assert!(
+        mutant_diverges(&minimal),
+        "shrunken case must still reproduce the divergence"
+    );
+    // The minimal case replays exactly through the on-disk format the
+    // fuzzer writes for CI artifacts.
+    let reparsed = FuzzCase::from_text(&minimal.to_text()).expect("case file round-trips");
+    assert_eq!(reparsed, minimal);
+    assert!(mutant_diverges(&reparsed));
+}
