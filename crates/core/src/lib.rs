@@ -52,6 +52,7 @@ pub mod experiment;
 pub mod fuzzcase;
 pub mod modes;
 pub mod protocol;
+pub mod spec;
 
 pub use backend::SimBackend;
 pub use benchmarks::WorkloadProfile;
@@ -61,3 +62,4 @@ pub use experiment::{ErrorControlScheme, Experiment, ExperimentReport};
 pub use fuzzcase::{FieldDiff, FuzzCase};
 pub use modes::OperationMode;
 pub use protocol::FaultTolerantProtocol;
+pub use spec::{CampaignSpec, SpecError};

@@ -1,13 +1,16 @@
 //! Mid-flight campaign checkpointing.
 //!
 //! Each completed [`CampaignTask`](rlnoc_core::campaign::CampaignTask)
-//! is persisted as one `task-NNNN.ckpt` file in the snapshot directory,
-//! next to a `campaign.manifest` binding the directory to a specific
-//! campaign configuration (via [`Campaign::fingerprint`]). A killed run
-//! restarted with `RESUME=1` reloads every valid checkpoint and executes
-//! only the missing tasks; because task results are pure functions of
-//! the task, the resumed campaign report is identical to an
-//! uninterrupted one.
+//! is persisted as one `task-NNNN.ckpt` file in a per-campaign
+//! subdirectory `c-<fingerprint:016x>/` of the snapshot directory, next
+//! to a `campaign.manifest` binding that subdirectory to a specific
+//! campaign configuration (via [`Campaign::fingerprint`]). Namespacing
+//! by fingerprint lets any number of campaigns share one snapshot
+//! directory without clobbering each other; directories claimed by the
+//! original flat layout keep working unchanged. A killed run restarted
+//! with `RESUME=1` reloads every valid checkpoint and executes only the
+//! missing tasks; because task results are pure functions of the task,
+//! the resumed campaign report is identical to an uninterrupted one.
 //!
 //! The workspace's `serde` is an offline API shim (marker traits only),
 //! so the format is hand-rolled, line-oriented text in the same family
@@ -253,17 +256,44 @@ pub struct CheckpointDir {
 }
 
 impl CheckpointDir {
-    /// Opens (creating if needed) `dir` for a campaign with the given
-    /// fingerprint and task count. A pre-existing manifest must match;
-    /// an empty or fresh directory is claimed by writing one.
+    /// Opens (creating if needed) a checkpoint set for a campaign with
+    /// the given fingerprint and task count under `dir`.
+    ///
+    /// Campaigns are namespaced by fingerprint: checkpoints live in
+    /// `dir/c-<fingerprint:016x>/` next to that campaign's own
+    /// `campaign.manifest`, so any number of campaigns can share one
+    /// snapshot directory without clobbering each other. One compat
+    /// path remains: a directory claimed by the pre-namespacing flat
+    /// layout (a `campaign.manifest` directly in `dir`) whose
+    /// fingerprint matches keeps being used in place; a flat manifest
+    /// for a *different* campaign is left untouched and the new
+    /// campaign gets its namespaced subdirectory beside it.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::ManifestMismatch`] when the directory belongs
-    /// to a different campaign, or an I/O error.
+    /// [`CheckpointError::ManifestMismatch`] when the namespaced
+    /// subdirectory exists but records a different fingerprint (which
+    /// can only mean tampering, since the directory name encodes the
+    /// fingerprint), [`CheckpointError::Corrupt`] for an unreadable
+    /// manifest, or an I/O error.
     pub fn open(dir: &Path, fingerprint: u64, total_tasks: usize) -> Result<Self, CheckpointError> {
         fs::create_dir_all(dir)?;
-        let manifest = dir.join("campaign.manifest");
+        // Compat: honor a matching pre-namespacing flat layout in place.
+        match fs::read_to_string(dir.join("campaign.manifest")) {
+            Ok(existing) => {
+                if parse_manifest(&existing)? == fingerprint {
+                    return Ok(Self {
+                        dir: dir.to_path_buf(),
+                        fingerprint,
+                    });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let ns = dir.join(Self::namespace(fingerprint));
+        fs::create_dir_all(&ns)?;
+        let manifest = ns.join("campaign.manifest");
         match fs::read_to_string(&manifest) {
             Ok(existing) => {
                 let found = parse_manifest(&existing)?;
@@ -284,9 +314,16 @@ impl CheckpointDir {
             Err(e) => return Err(e.into()),
         }
         Ok(Self {
-            dir: dir.to_path_buf(),
+            dir: ns,
             fingerprint,
         })
+    }
+
+    /// The per-campaign subdirectory name for a fingerprint —
+    /// `c-<fingerprint:016x>`, which is also the campaign id used by
+    /// `rlnoc-serve`.
+    pub fn namespace(fingerprint: u64) -> String {
+        format!("c-{fingerprint:016x}")
     }
 
     /// The directory this checkpoint set lives in.
@@ -462,7 +499,7 @@ mod tests {
         let dir = temp_dir("corrupt");
         let ckpt = CheckpointDir::open(&dir, 1, 4).expect("open");
         ckpt.store(0, &sample_report(1)).expect("store");
-        let path = dir.join("task-0000.ckpt");
+        let path = ckpt.path().join("task-0000.ckpt");
 
         // Bit flip in the body.
         let mut text = fs::read_to_string(&path).expect("read");
@@ -484,25 +521,76 @@ mod tests {
         let ckpt = CheckpointDir::open(&dir, 5, 4).expect("open");
         ckpt.store(0, &sample_report(1)).expect("store");
         // Same bytes presented as a different index: rejected.
-        fs::copy(dir.join("task-0000.ckpt"), dir.join("task-0001.ckpt")).expect("copy");
+        fs::copy(
+            ckpt.path().join("task-0000.ckpt"),
+            ckpt.path().join("task-0001.ckpt"),
+        )
+        .expect("copy");
         assert_eq!(ckpt.load(1), None);
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]
-    fn manifest_guards_against_campaign_mixups() {
+    fn campaigns_are_namespaced_and_never_clobber_each_other() {
         let dir = temp_dir("manifest");
-        let _first = CheckpointDir::open(&dir, 42, 8).expect("claims fresh dir");
-        assert!(
-            CheckpointDir::open(&dir, 42, 8).is_ok(),
-            "same campaign reopens"
-        );
-        match CheckpointDir::open(&dir, 43, 8) {
+        let first = CheckpointDir::open(&dir, 42, 8).expect("claims fresh namespace");
+        assert_eq!(first.path(), dir.join("c-000000000000002a"));
+        let reopened = CheckpointDir::open(&dir, 42, 8).expect("same campaign reopens");
+        assert_eq!(reopened.path(), first.path());
+
+        // A different campaign gets its own namespace beside the first.
+        let second = CheckpointDir::open(&dir, 43, 8).expect("second campaign coexists");
+        assert_ne!(second.path(), first.path());
+        first.store(0, &sample_report(1)).expect("store");
+        second.store(0, &sample_report(2)).expect("store");
+        assert_eq!(first.load(0).map(|r| r.seed), Some(1));
+        assert_eq!(second.load(0).map(|r| r.seed), Some(2), "no clobbering");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn tampered_namespace_manifest_is_a_mismatch() {
+        let dir = temp_dir("tamper");
+        let ckpt = CheckpointDir::open(&dir, 42, 8).expect("open");
+        let manifest = ckpt.path().join("campaign.manifest");
+        let text = fs::read_to_string(&manifest).expect("read");
+        fs::write(
+            &manifest,
+            text.replace(
+                "fingerprint 000000000000002a",
+                "fingerprint 000000000000002b",
+            ),
+        )
+        .expect("write");
+        match CheckpointDir::open(&dir, 42, 8) {
             Err(CheckpointError::ManifestMismatch { found, expected }) => {
-                assert_eq!((found, expected), (42, 43));
+                assert_eq!((found, expected), (0x2b, 42));
             }
             other => panic!("expected manifest mismatch, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn flat_legacy_layout_keeps_working_in_place() {
+        let dir = temp_dir("flat");
+        fs::create_dir_all(&dir).expect("mkdir");
+        // A directory claimed by the pre-namespacing layout.
+        let mut body = String::new();
+        writeln!(body, "{MANIFEST_MAGIC}").expect("write to string");
+        writeln!(body, "fingerprint {:016x}", 42).expect("write to string");
+        writeln!(body, "tasks 8").expect("write to string");
+        fs::write(dir.join("campaign.manifest"), &body).expect("write");
+
+        let flat = CheckpointDir::open(&dir, 42, 8).expect("compat path");
+        assert_eq!(flat.path(), dir, "matching flat layout is used in place");
+        flat.store(3, &sample_report(9)).expect("store");
+        assert!(dir.join("task-0003.ckpt").exists());
+
+        // A different campaign does not disturb the flat tenant.
+        let other = CheckpointDir::open(&dir, 43, 8).expect("namespaced beside it");
+        assert_eq!(other.path(), dir.join("c-000000000000002b"));
+        assert_eq!(flat.load(3).map(|r| r.seed), Some(9));
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 

@@ -42,4 +42,5 @@ pub mod pool;
 pub mod runner;
 
 pub use checkpoint::{parse_report, render_report, CheckpointDir, CheckpointError};
-pub use runner::RunnerConfig;
+pub use pool::{Job, JobSource, ServicePool};
+pub use runner::{execute_task, RunnerConfig};

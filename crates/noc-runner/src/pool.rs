@@ -17,7 +17,7 @@
 use rlnoc_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Runs `f` over every `(index, item)` pair on `jobs` worker threads and
 /// returns the results in item order.
@@ -94,10 +94,159 @@ where
         .collect()
 }
 
+/// A unit of work pulled by a [`ServicePool`] worker.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// Where a long-lived pool pulls its work from.
+///
+/// Unlike [`run_indexed`]'s one-shot item vector, a job source is
+/// *submission-reentrant*: new work can be enqueued behind it at any
+/// time (from other threads, from running jobs, from network handlers)
+/// and idle workers pick it up. Implementations typically wrap a
+/// mutex/condvar pair around a scheduling structure — `rlnoc-serve`
+/// uses a deficit-round-robin queue over tenants.
+pub trait JobSource: Send + Sync {
+    /// Blocks until a job is available and returns it; returns `None`
+    /// to tell the calling worker to exit (shutdown).
+    fn next_job(&self) -> Option<Job>;
+}
+
+/// A long-lived worker pool draining a [`JobSource`].
+///
+/// Complements [`run_indexed`] for always-on services: the pool owns
+/// its threads for the lifetime of the service rather than one campaign
+/// invocation, so submissions can arrive while earlier work is still
+/// running. Determinism is unchanged — jobs are pure functions of their
+/// captured task, so pull order never leaks into results.
+///
+/// `telemetry` records the same instruments as [`run_indexed`]
+/// (`runner.tasks_completed`, `runner.worker.<i>.tasks`).
+#[derive(Debug)]
+pub struct ServicePool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Spawns `jobs` workers (0 is treated as 1) pulling from `source`
+    /// until it returns `None`.
+    pub fn start(jobs: usize, source: Arc<dyn JobSource>, telemetry: &Telemetry) -> Self {
+        let jobs = jobs.max(1);
+        let mut handles = Vec::with_capacity(jobs);
+        for worker in 0..jobs {
+            let source = Arc::clone(&source);
+            let worker_tasks = telemetry.counter(&format!("runner.worker.{worker}.tasks"));
+            let completed = telemetry.counter("runner.tasks_completed");
+            let handle = std::thread::Builder::new()
+                .name(format!("rlnoc-worker-{worker}"))
+                .spawn(move || {
+                    while let Some(job) = source.next_job() {
+                        job();
+                        worker_tasks.add(1);
+                        completed.add(1);
+                    }
+                })
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        Self { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every worker to observe shutdown (`None` from the
+    /// source) and exit.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic.
+    pub fn join(self) {
+        for handle in self.handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Condvar;
+
+    /// A plain FIFO job source with a closed flag, for pool tests.
+    struct FifoSource {
+        state: Mutex<(VecDeque<Job>, bool)>,
+        cv: Condvar,
+    }
+
+    impl FifoSource {
+        fn new() -> Self {
+            Self {
+                state: Mutex::new((VecDeque::new(), false)),
+                cv: Condvar::new(),
+            }
+        }
+
+        fn push(&self, job: Job) {
+            self.state.lock().expect("lock").0.push_back(job);
+            self.cv.notify_one();
+        }
+
+        fn close(&self) {
+            self.state.lock().expect("lock").1 = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl JobSource for FifoSource {
+        fn next_job(&self) -> Option<Job> {
+            let mut state = self.state.lock().expect("lock");
+            loop {
+                if let Some(job) = state.0.pop_front() {
+                    return Some(job);
+                }
+                if state.1 {
+                    return None;
+                }
+                state = self.cv.wait(state).expect("wait");
+            }
+        }
+    }
+
+    #[test]
+    fn service_pool_runs_jobs_submitted_after_start() {
+        let source = Arc::new(FifoSource::new());
+        let telemetry = Telemetry::enabled();
+        let pool = ServicePool::start(3, source.clone(), &telemetry);
+        assert_eq!(pool.workers(), 3);
+        let ran = Arc::new(AtomicUsize::new(0));
+        // Submit in waves — the reentrancy run_indexed cannot offer.
+        for _ in 0..2 {
+            for _ in 0..10 {
+                let ran = ran.clone();
+                source.push(Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        source.close();
+        pool.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 20);
+        assert_eq!(telemetry.counter("runner.tasks_completed").get(), 20);
+    }
+
+    #[test]
+    fn service_pool_join_returns_when_source_closes_empty() {
+        let source = Arc::new(FifoSource::new());
+        let pool = ServicePool::start(2, source.clone(), &Telemetry::disabled());
+        source.close();
+        pool.join();
+    }
 
     #[test]
     fn results_come_back_in_item_order() {

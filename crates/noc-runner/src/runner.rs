@@ -98,6 +98,28 @@ impl RunnerConfig {
     /// Panics when the snapshot directory cannot be opened (wrong
     /// campaign, I/O failure) or a simulation task panics.
     pub fn run_campaign(&self, campaign: &Campaign) -> CampaignResult {
+        self.run_campaign_with(campaign, &|_, _| {})
+    }
+
+    /// Like [`run_campaign`](Self::run_campaign), invoking `on_task`
+    /// once per task as its report becomes available — immediately for
+    /// checkpoints restored via `resume`, and on the completing worker
+    /// thread for freshly-run tasks (so the hook must be `Sync`; it
+    /// runs concurrently under `jobs > 1`).
+    ///
+    /// The hook is observation-only: it receives shared references and
+    /// cannot perturb results, so the returned [`CampaignResult`] is
+    /// still byte-identical to [`Campaign::run`]. `rlnoc-serve` uses it
+    /// to stream per-task progress to watch subscribers.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_campaign`](Self::run_campaign).
+    pub fn run_campaign_with(
+        &self,
+        campaign: &Campaign,
+        on_task: &(dyn Fn(&CampaignTask, &ExperimentReport) + Sync),
+    ) -> CampaignResult {
         let tasks = campaign.tasks();
         let total = tasks.len();
         let run_id =
@@ -121,7 +143,10 @@ impl RunnerConfig {
                 _ => None,
             };
             match restored {
-                Some(report) => slots[task.index] = Some(report),
+                Some(report) => {
+                    on_task(&task, &report);
+                    slots[task.index] = Some(report);
+                }
                 None => pending.push(task),
             }
         }
@@ -135,7 +160,8 @@ impl RunnerConfig {
         pending.sort_by_key(|t| (std::cmp::Reverse(t.scheme.is_learning()), t.index));
 
         let fresh = pool::run_indexed(pending, self.jobs, &self.telemetry, |_, task| {
-            let report = run_one(campaign, &task, ckpt.as_deref());
+            let report = execute_task(campaign, &task, ckpt.as_deref());
+            on_task(&task, &report);
             (task.index, report)
         });
         for (index, report) in fresh {
@@ -151,7 +177,20 @@ impl RunnerConfig {
     }
 }
 
-fn run_one(
+/// Executes one campaign task and, when a checkpoint directory is
+/// given, persists its report (and any learned policy snapshot as
+/// `task-NNNN.policy`).
+///
+/// This is the single-task unit [`RunnerConfig::run_campaign`] is built
+/// from, exported so external schedulers — `rlnoc-serve`'s fair-share
+/// worker pool — can run tasks one at a time with the exact same
+/// execution + persistence semantics and stay byte-identical to a
+/// runner invocation.
+///
+/// # Panics
+///
+/// Panics when a checkpoint or policy snapshot cannot be written.
+pub fn execute_task(
     campaign: &Campaign,
     task: &CampaignTask,
     ckpt: Option<&CheckpointDir>,

@@ -52,7 +52,7 @@ fn checkpoint_truncated_at_every_byte_offset_is_absent() {
     let ckpt = CheckpointDir::open(&dir, 0xFEED, 1).expect("open");
     let report = sample_report(9);
     ckpt.store(0, &report).expect("store");
-    let path = dir.join("task-0000.ckpt");
+    let path = ckpt.path().join("task-0000.ckpt");
     let intact = fs::read(&path).expect("read");
 
     for offset in 0..intact.len() {
@@ -88,7 +88,7 @@ fn checkpoint_with_any_single_bit_flip_is_absent() {
     let ckpt = CheckpointDir::open(&dir, 0xBEEF, 1).expect("open");
     let report = sample_report(4);
     ckpt.store(0, &report).expect("store");
-    let path = dir.join("task-0000.ckpt");
+    let path = ckpt.path().join("task-0000.ckpt");
     let intact = fs::read(&path).expect("read");
 
     for byte in 0..intact.len() {
@@ -201,8 +201,9 @@ fn resume_with_corrupted_snapshot_dir_matches_uninterrupted_run() {
         .iter()
         .position(|r| r.scheme == ErrorControlScheme::ProposedRl)
         .expect("campaign includes the RL scheme");
-    let rl_ckpt = dir.join(format!("task-{rl_index:04}.ckpt"));
-    let rl_policy = dir.join(format!("task-{rl_index:04}.policy"));
+    let ns = dir.join(CheckpointDir::namespace(campaign.fingerprint()));
+    let rl_ckpt = ns.join(format!("task-{rl_index:04}.ckpt"));
+    let rl_policy = ns.join(format!("task-{rl_index:04}.policy"));
     assert!(rl_policy.exists(), "RL task persisted a policy snapshot");
 
     // Damage the RL task's checkpoint (bit flip) and policy (truncate)…
@@ -215,12 +216,12 @@ fn resume_with_corrupted_snapshot_dir_matches_uninterrupted_run() {
 
     // …truncate another task's checkpoint, and garbage a third.
     let other = (rl_index + 1) % total;
-    let other_path = dir.join(format!("task-{other:04}.ckpt"));
+    let other_path = ns.join(format!("task-{other:04}.ckpt"));
     let other_bytes = fs::read(&other_path).expect("read");
     fs::write(&other_path, &other_bytes[..other_bytes.len() / 4]).expect("truncate");
     let third = (rl_index + 2) % total;
     fs::write(
-        dir.join(format!("task-{third:04}.ckpt")),
+        ns.join(format!("task-{third:04}.ckpt")),
         b"not a checkpoint\n",
     )
     .expect("garbage");

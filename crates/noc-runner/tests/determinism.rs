@@ -96,8 +96,11 @@ fn rl_policy_snapshots_are_saved_and_reloadable() {
     .run_campaign(&campaign);
     assert_eq!(result.reports.len(), 1);
 
-    let policy =
-        noc_rl::PolicySnapshot::load_from_path(dir.join("task-0000.policy")).expect("valid");
+    let policy = noc_rl::PolicySnapshot::load_from_path(
+        dir.join(CheckpointDir::namespace(campaign.fingerprint()))
+            .join("task-0000.policy"),
+    )
+    .expect("valid");
     assert_eq!(policy.num_agents(), 16, "one agent per 4x4 mesh router");
 
     // The saved policy drives an inference-only re-run of the same cell.
@@ -121,19 +124,24 @@ fn rl_policy_snapshots_are_saved_and_reloadable() {
 }
 
 #[test]
-fn resume_refuses_a_different_campaigns_directory() {
+fn foreign_campaign_in_the_same_directory_no_longer_conflicts() {
+    // Pre-namespacing this was a hard ManifestMismatch panic; now each
+    // campaign owns a fingerprint-named subdirectory and they coexist.
     let campaign = tiny_campaign();
     let dir = temp_dir("mismatch");
-    let _ = CheckpointDir::open(&dir, campaign.fingerprint() ^ 1, 4).expect("claim with other fp");
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        RunnerConfig {
-            jobs: 1,
-            snapshot_dir: Some(dir.clone()),
-            resume: true,
-            telemetry: Telemetry::disabled(),
-        }
-        .run_campaign(&campaign)
-    }));
-    assert!(result.is_err(), "foreign snapshot dir must be rejected");
+    let foreign =
+        CheckpointDir::open(&dir, campaign.fingerprint() ^ 1, 4).expect("claim with other fp");
+    let result = RunnerConfig {
+        jobs: 1,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: Telemetry::disabled(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(result, campaign.run(), "foreign namespace is not disturbed");
+    assert!(
+        foreign.path().join("campaign.manifest").exists(),
+        "the other campaign's manifest survives"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

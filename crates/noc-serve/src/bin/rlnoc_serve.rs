@@ -1,0 +1,80 @@
+//! The campaign service daemon.
+//!
+//! ```text
+//! rlnoc-serve [--addr HOST:PORT] [--jobs N] [--dir PATH]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:0` (OS-assigned port, written to
+//! `<dir>/serve.addr`), `--jobs <available_parallelism>`, `--dir`
+//! from `$RLNOC_SERVE_DIR` or `./rlnoc-serve-data`. On startup the
+//! server recovers every persisted campaign under the directory and
+//! resumes their unfinished tasks before accepting new submissions.
+
+use rlnoc_serve::{Server, ServerConfig};
+use rlnoc_telemetry::Telemetry;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: rlnoc-serve [--addr HOST:PORT] [--jobs N] [--dir PATH]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut jobs = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut dir = std::env::var("RLNOC_SERVE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("rlnoc-serve-data"));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--jobs" => {
+                jobs = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--dir" => dir = PathBuf::from(value(&mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let server = match Server::start(ServerConfig {
+        addr,
+        jobs,
+        dir: dir.clone(),
+        telemetry: Telemetry::enabled(),
+        start_paused: false,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rlnoc-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "rlnoc-serve listening on {} (data: {})",
+        server.addr(),
+        dir.display()
+    );
+    println!(
+        "address file: {}",
+        dir.join(rlnoc_serve::ADDR_FILE).display()
+    );
+
+    // Serve until killed. Recovery on the next start picks up whatever
+    // this process was doing — that is the crash-safety contract.
+    loop {
+        std::thread::park();
+    }
+}

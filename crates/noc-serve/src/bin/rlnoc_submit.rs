@@ -1,0 +1,158 @@
+//! Client CLI for the campaign service.
+//!
+//! ```text
+//! rlnoc-submit submit --addr A --tenant T [--priority P] (--spec FILE | --tiny SEED | --quick SEED)
+//! rlnoc-submit status --addr A --tenant T --campaign ID
+//! rlnoc-submit watch  --addr A --tenant T --campaign ID
+//! rlnoc-submit result --addr A --tenant T --campaign ID
+//! rlnoc-submit cancel --addr A --tenant T --campaign ID
+//! ```
+//!
+//! `--addr` may name either `host:port` or a server data directory
+//! (the address is then read from its `serve.addr` file). `watch`
+//! prints one JSONL event per line until the campaign finishes.
+
+use rlnoc_core::spec::CampaignSpec;
+use rlnoc_serve::{wait_for_addr, Client};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rlnoc-submit <submit|status|watch|result|cancel> --addr HOST:PORT|DIR \
+         --tenant T [--campaign ID] [--priority P] [--spec FILE | --tiny SEED | --quick SEED]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    addr: String,
+    tenant: String,
+    campaign: String,
+    priority: u32,
+    spec_text: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        tenant: String::new(),
+        campaign: String::new(),
+        priority: 1,
+        spec_text: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(&mut i),
+            "--tenant" => opts.tenant = value(&mut i),
+            "--campaign" => opts.campaign = value(&mut i),
+            "--priority" => opts.priority = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--spec" => {
+                let path = value(&mut i);
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => opts.spec_text = Some(text),
+                    Err(e) => {
+                        eprintln!("rlnoc-submit: cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--tiny" => {
+                let seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+                opts.spec_text = Some(CampaignSpec::tiny(seed).to_text());
+            }
+            "--quick" => {
+                let seed = value(&mut i).parse().unwrap_or_else(|_| usage());
+                opts.spec_text = Some(CampaignSpec::quick(seed).to_text());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if opts.addr.is_empty() || opts.tenant.is_empty() {
+        usage();
+    }
+    // Accept a server data directory in place of an address.
+    if Path::new(&opts.addr).is_dir() {
+        match wait_for_addr(Path::new(&opts.addr), Duration::from_secs(5)) {
+            Some(addr) => opts.addr = addr,
+            None => {
+                eprintln!("rlnoc-submit: no serve.addr under {}", opts.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage()
+    };
+    let opts = parse_options(&args[1..]);
+    let mut client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rlnoc-submit: cannot connect to {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match command.as_str() {
+        "submit" => {
+            let Some(spec_text) = opts.spec_text.as_deref() else {
+                usage()
+            };
+            client
+                .submit(&opts.tenant, opts.priority, spec_text)
+                .map(|ack| {
+                    println!(
+                        "campaign={} tasks={} completed={} state={}",
+                        ack.campaign, ack.tasks, ack.completed, ack.state
+                    );
+                })
+        }
+        "status" => client
+            .status(&opts.tenant, &require_campaign(&opts))
+            .map(|s| {
+                println!(
+                    "state={} completed={} total={}",
+                    s.state, s.completed, s.total
+                );
+            }),
+        "watch" => client
+            .watch(&opts.tenant, &require_campaign(&opts), &mut |line| {
+                println!("{line}");
+            })
+            .map(|state| println!("state={state}")),
+        "result" => client
+            .result(&opts.tenant, &require_campaign(&opts))
+            .map(|text| print!("{text}")),
+        "cancel" => client
+            .cancel(&opts.tenant, &require_campaign(&opts))
+            .map(|state| println!("state={state}")),
+        _ => usage(),
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rlnoc-submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn require_campaign(opts: &Options) -> String {
+    if opts.campaign.is_empty() {
+        usage();
+    }
+    opts.campaign.clone()
+}

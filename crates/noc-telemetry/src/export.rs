@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
 
+use crate::series::{EpochRecord, RunSummary};
 use crate::Telemetry;
 
 /// Schema version stamped into the JSONL `meta` line. Bump on any
@@ -25,7 +26,7 @@ pub const CSV_HEADER: &str =
     "run,phase,epoch,router,utilization,nack_rate,temperature_c,mode,reward,epsilon,max_q_delta";
 
 /// Formats an `f64` as a JSON value (`null` for non-finite inputs).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let mut s = format!("{v}");
         // `Display` omits the fraction for integral floats; keep the
@@ -40,7 +41,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escapes a string for embedding in a JSON double-quoted literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -58,6 +59,43 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders one schema-v1 `run` JSONL line (no trailing newline).
+///
+/// Shared by [`write_jsonl`] and streaming sinks — `rlnoc-serve`
+/// forwards these lines to watch subscribers as telemetry frames, so a
+/// streamed summary is byte-identical to the exported one.
+pub fn run_summary_jsonl(run: &RunSummary) -> String {
+    format!(
+        "{{\"type\":\"run\",\"label\":\"{}\",\"wall_seconds\":{},\"cycles\":{},\"cycles_per_sec\":{}}}",
+        json_escape(&run.label),
+        json_f64(run.wall_seconds),
+        run.cycles,
+        json_f64(run.cycles_per_sec)
+    )
+}
+
+/// Renders one schema-v1 `epoch` JSONL line (no trailing newline) for
+/// the given run label.
+///
+/// Shared by [`write_jsonl`] and streaming sinks, so a streamed epoch
+/// record is byte-identical to the exported one.
+pub fn epoch_record_jsonl(run_label: &str, rec: &EpochRecord) -> String {
+    format!(
+        "{{\"type\":\"epoch\",\"run\":\"{}\",\"phase\":\"{}\",\"epoch\":{},\"router\":{},\"utilization\":{},\"nack_rate\":{},\"temperature_c\":{},\"mode\":{},\"reward\":{},\"epsilon\":{},\"max_q_delta\":{}}}",
+        json_escape(run_label),
+        rec.phase.as_str(),
+        rec.epoch,
+        rec.router,
+        json_f64(rec.utilization),
+        json_f64(rec.nack_rate),
+        json_f64(rec.temperature_c),
+        rec.mode,
+        json_f64(rec.reward),
+        json_f64(rec.epsilon),
+        json_f64(rec.max_q_delta)
+    )
+}
+
 /// Writes the full telemetry state as JSON Lines.
 pub fn write_jsonl<W: Write>(telemetry: &Telemetry, mut w: W) -> io::Result<()> {
     let Some(view) = telemetry.export_view() else {
@@ -71,14 +109,7 @@ pub fn write_jsonl<W: Write>(telemetry: &Telemetry, mut w: W) -> io::Result<()> 
         view.dropped
     )?;
     for run in &view.runs {
-        writeln!(
-            w,
-            "{{\"type\":\"run\",\"label\":\"{}\",\"wall_seconds\":{},\"cycles\":{},\"cycles_per_sec\":{}}}",
-            json_escape(&run.label),
-            json_f64(run.wall_seconds),
-            run.cycles,
-            json_f64(run.cycles_per_sec)
-        )?;
+        writeln!(w, "{}", run_summary_jsonl(run))?;
     }
     for (name, value) in &view.counters {
         writeln!(
@@ -115,21 +146,7 @@ pub fn write_jsonl<W: Write>(telemetry: &Telemetry, mut w: W) -> io::Result<()> 
     }
     for rec in &view.records {
         let label = view.run_label(rec.run);
-        writeln!(
-            w,
-            "{{\"type\":\"epoch\",\"run\":\"{}\",\"phase\":\"{}\",\"epoch\":{},\"router\":{},\"utilization\":{},\"nack_rate\":{},\"temperature_c\":{},\"mode\":{},\"reward\":{},\"epsilon\":{},\"max_q_delta\":{}}}",
-            json_escape(label),
-            rec.phase.as_str(),
-            rec.epoch,
-            rec.router,
-            json_f64(rec.utilization),
-            json_f64(rec.nack_rate),
-            json_f64(rec.temperature_c),
-            rec.mode,
-            json_f64(rec.reward),
-            json_f64(rec.epsilon),
-            json_f64(rec.max_q_delta)
-        )?;
+        writeln!(w, "{}", epoch_record_jsonl(label, rec))?;
     }
     w.flush()
 }

@@ -33,9 +33,11 @@ pub mod diff;
 pub mod refnet;
 pub mod refproto;
 pub mod refrouter;
+pub mod reftree;
 
 pub use backend::{ReferenceBackend, StaleTemperatureBackend};
 pub use diff::{run_case, run_case_with, shrink, shrink_divergence, CaseOutcome};
 pub use refnet::RefNetwork;
 pub use refproto::RefProtocol;
 pub use refrouter::RefRouter;
+pub use reftree::{RefNode, RefTree};
