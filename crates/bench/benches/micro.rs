@@ -59,6 +59,7 @@ fn bench_rl_step(c: &mut Criterion) {
         input_nack_rate: 1e-3,
         output_nack_rate: 2e-3,
         temperature_c: 75.0,
+        ..Default::default()
     };
     agent.observe_and_act(0, 0.0);
     c.bench_function("rl_step_discretize_update_select", |b| {

@@ -2,9 +2,11 @@
 //! for the bare simulator and for the full fault-tolerant protocol.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_fault::hardfault::{HardFault, HardFaultSchedule};
 use noc_sim::config::NocConfig;
 use noc_sim::error_control::PerfectLink;
-use noc_sim::network::Network;
+use noc_sim::network::{HardFaultEvent, HardFaultKind, Network};
+use noc_sim::topology::{Direction, NodeId};
 use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
 use rlnoc_core::modes::OperationMode;
 use rlnoc_core::protocol::FaultTolerantProtocol;
@@ -52,6 +54,58 @@ fn bench_network_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a warmed-up 8×8 network routing on the fault-adaptive
+/// up\*/down\* table: 20% of the mesh links fail at cycle 1, so every
+/// measured cycle pays the degraded-topology data path (table lookups
+/// instead of the X-Y fast path, plus the skewed load it produces).
+fn warmed_degraded(rate: f64) -> (Network<PerfectLink>, SyntheticSource) {
+    let config = NocConfig::default();
+    let mut net = Network::new(config, PerfectLink::new(), 7);
+    let links = (8 - 1) * 8 + 8 * (8 - 1); // 112 mesh links
+    let schedule = HardFaultSchedule::random(8, 8, links * 20 / 100, 0, (1, 1), 0x5EED);
+    let events = schedule
+        .entries
+        .iter()
+        .map(|e| HardFaultEvent {
+            cycle: e.cycle,
+            kind: match e.fault {
+                HardFault::Link { node, dir } => HardFaultKind::Link {
+                    node: NodeId(node),
+                    dir: Direction::from_index(usize::from(dir)),
+                },
+                HardFault::Router { node } => HardFaultKind::Router { node: NodeId(node) },
+            },
+        })
+        .collect();
+    net.set_hard_faults(events);
+    let mut traffic = SyntheticSource::new(net.mesh(), TrafficPattern::UniformRandom, rate, 7);
+    for _ in 0..2_000 {
+        step_once(&mut net, &mut traffic);
+    }
+    assert!(
+        net.hard_faults_active(),
+        "degraded bench must route on the fault table"
+    );
+    (net, traffic)
+}
+
+fn bench_degraded_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycle_8x8_degraded");
+    group.bench_function("links_20pct_rate_0.02", |b| {
+        b.iter_batched(
+            || warmed_degraded(0.02),
+            |(mut net, mut traffic)| {
+                for _ in 0..100 {
+                    step_once(&mut net, &mut traffic);
+                }
+                net.cycle()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 fn bench_protocol_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_cycle_8x8_protocol");
     for (name, mode) in [
@@ -94,6 +148,6 @@ fn bench_protocol_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_network_step, bench_protocol_step
+    targets = bench_network_step, bench_degraded_step, bench_protocol_step
 }
 criterion_main!(benches);

@@ -57,6 +57,7 @@ fn main() {
         input_nack_rate: 1e-3,
         output_nack_rate: 1e-3,
         temperature_c: 75.0,
+        ..Default::default()
     };
     // Warm up, then time the full per-epoch step: discretize + TD update +
     // action selection.

@@ -20,7 +20,7 @@ use crate::protocol::FaultTolerantProtocol;
 use noc_fault::timing::TimingErrorModel;
 use noc_fault::variation::VariationMap;
 use noc_sim::config::NocConfig;
-use noc_sim::network::Network;
+use noc_sim::network::{HardFaultEvent, Network};
 use noc_sim::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use noc_sim::topology::NodeId;
 use rlnoc_telemetry::Telemetry;
@@ -44,6 +44,12 @@ pub trait SimBackend {
     /// Installs a telemetry handle. Observation-only: enabled vs
     /// disabled telemetry must not change any report field.
     fn set_telemetry(&mut self, telemetry: &Telemetry);
+
+    /// Installs a permanent hard-fault schedule before the first step.
+    /// Each event must take effect at the start of its cycle's `step`,
+    /// before event processing; an empty schedule must leave the
+    /// backend exactly on its zero-fault path.
+    fn set_hard_faults(&mut self, events: Vec<HardFaultEvent>);
 
     /// Current simulation cycle.
     fn cycle(&self) -> u64;
@@ -105,6 +111,10 @@ impl SimBackend for Network<FaultTolerantProtocol> {
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         Network::set_telemetry(self, telemetry);
+    }
+
+    fn set_hard_faults(&mut self, events: Vec<HardFaultEvent>) {
+        Network::set_hard_faults(self, events);
     }
 
     fn cycle(&self) -> u64 {

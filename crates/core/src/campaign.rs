@@ -15,8 +15,10 @@
 
 use crate::benchmarks::WorkloadProfile;
 use crate::experiment::{ErrorControlScheme, Experiment, ExperimentBuilder, ExperimentReport};
+use noc_fault::hardfault::HardFaultSchedule;
 use noc_sim::config::NocConfig;
 use rlnoc_telemetry::Telemetry;
+use std::sync::Arc;
 
 /// A grid of experiments: schemes × workloads (× seed replicates).
 #[derive(Debug, Clone)]
@@ -42,6 +44,10 @@ pub struct Campaign {
     pub measure_cycles: Option<u64>,
     /// Drain budget per run.
     pub drain_limit: u64,
+    /// Optional hard-fault schedule shared by every run in the grid
+    /// (degradation sweeps give each scheme the same dying topology).
+    /// `None` leaves every experiment on its zero-fault path.
+    pub hard_faults: Option<Arc<HardFaultSchedule>>,
     /// Optional customization applied to every experiment builder.
     pub customize: Option<fn(ExperimentBuilder) -> ExperimentBuilder>,
     /// Telemetry handle cloned into every run (default: disabled). All
@@ -91,6 +97,7 @@ impl Campaign {
             warmup_cycles: 2_000,
             measure_cycles: None,
             drain_limit: 200_000,
+            hard_faults: None,
             customize: None,
             telemetry: Telemetry::disabled(),
         }
@@ -108,6 +115,7 @@ impl Campaign {
             warmup_cycles: 1_000,
             measure_cycles: Some(6_000),
             drain_limit: 60_000,
+            hard_faults: None,
             customize: None,
             telemetry: Telemetry::disabled(),
         }
@@ -154,6 +162,9 @@ impl Campaign {
             .telemetry(self.telemetry.clone());
         if let Some(cap) = self.measure_cycles {
             builder = builder.measure_cycles(cap);
+        }
+        if let Some(hf) = &self.hard_faults {
+            builder = builder.hard_faults(hf.clone());
         }
         if let Some(f) = self.customize {
             builder = f(builder);
@@ -206,6 +217,12 @@ impl Campaign {
             self.customize.is_some(),
         )
         .expect("write to string");
+        if let Some(hf) = &self.hard_faults {
+            // The schedule's canonical text (CRC trailer included) pins
+            // the exact fault realization; fault-free campaigns render
+            // nothing here so their fingerprints are unchanged.
+            write!(canon, "hardfaults={};", hf.to_text()).expect("write to string");
+        }
         for s in &self.schemes {
             write!(canon, "scheme={s};").expect("write to string");
         }
@@ -455,5 +472,66 @@ mod tests {
         let mut d = Campaign::quick();
         d.replicates = 3;
         assert_ne!(a.fingerprint(), d.fingerprint(), "replicates change it");
+        let mut e = Campaign::quick();
+        e.hard_faults = Some(Arc::new(HardFaultSchedule::random(4, 4, 2, 0, (1, 100), 9)));
+        assert_ne!(
+            a.fingerprint(),
+            e.fingerprint(),
+            "fault schedule changes it"
+        );
+        let mut f = Campaign::quick();
+        f.hard_faults = Some(Arc::new(HardFaultSchedule::random(
+            4,
+            4,
+            2,
+            0,
+            (1, 100),
+            10,
+        )));
+        assert_ne!(
+            e.fingerprint(),
+            f.fingerprint(),
+            "different fault realizations get different prints"
+        );
+    }
+
+    #[test]
+    fn campaign_threads_hard_faults_into_every_task() {
+        use noc_fault::hardfault::{HardFault, HardFaultEntry};
+        let mut c = Campaign::quick();
+        c.workloads = vec![WorkloadProfile::blackscholes()];
+        c.schemes = vec![
+            ErrorControlScheme::StaticCrc,
+            ErrorControlScheme::ProposedRl,
+        ];
+        c.pretrain_cycles = 4_000;
+        c.measure_cycles = Some(4_000);
+        // Cutting both links of corner node 0 at cycle 1 isolates a live
+        // node long before any scheme's measurement window opens; the
+        // unreachable-pairs gauge survives the measurement-phase stats
+        // reset, so every report must see the degraded topology.
+        c.hard_faults = Some(Arc::new(HardFaultSchedule::explicit(
+            4,
+            4,
+            vec![
+                HardFaultEntry {
+                    cycle: 1,
+                    fault: HardFault::Link { node: 0, dir: 1 },
+                },
+                HardFaultEntry {
+                    cycle: 1,
+                    fault: HardFault::Link { node: 0, dir: 2 },
+                },
+            ],
+        )));
+        let result = c.run();
+        for r in &result.reports {
+            assert!(
+                r.unreachable_pairs > 0,
+                "{}/{} does not reflect the degraded topology",
+                r.scheme,
+                r.workload
+            );
+        }
     }
 }

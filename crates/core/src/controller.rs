@@ -41,6 +41,14 @@ pub enum PolicyLoadError {
         /// States per table in the snapshot.
         actual: usize,
     },
+    /// The snapshot was trained with a different fault-degree bin count
+    /// than the bank's state space uses.
+    FaultBinsMismatch {
+        /// Fault bins in the bank's state space.
+        expected: usize,
+        /// Fault bins recorded in the snapshot.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for PolicyLoadError {
@@ -54,6 +62,12 @@ impl std::fmt::Display for PolicyLoadError {
                 write!(
                     f,
                     "snapshot tables have {actual} states, bank expects {expected}"
+                )
+            }
+            Self::FaultBinsMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot trained with {actual} fault bins, bank uses {expected}"
                 )
             }
         }
@@ -341,9 +355,10 @@ impl ControllerBank {
     /// [`PolicySnapshot`]; `None` for non-RL banks.
     pub fn policy_snapshot(&self) -> Option<PolicySnapshot> {
         match &self.bank {
-            Bank::Rl { agents, .. } => Some(PolicySnapshot::new(
-                agents.iter().map(|a| a.q_table().clone()).collect(),
-            )),
+            Bank::Rl { agents, space, .. } => Some(
+                PolicySnapshot::new(agents.iter().map(|a| a.q_table().clone()).collect())
+                    .with_fault_bins(space.fault_bins()),
+            ),
             _ => None,
         }
     }
@@ -371,6 +386,12 @@ impl ControllerBank {
             return Err(PolicyLoadError::StateSpaceMismatch {
                 expected: space.num_states(),
                 actual: snapshot.num_states(),
+            });
+        }
+        if snapshot.fault_bins() != space.fault_bins() {
+            return Err(PolicyLoadError::FaultBinsMismatch {
+                expected: space.fault_bins(),
+                actual: snapshot.fault_bins(),
             });
         }
         for (agent, table) in agents.iter_mut().zip(snapshot.into_tables()) {
@@ -432,6 +453,7 @@ mod tests {
             input_nack_rate: 0.0,
             output_nack_rate: 0.0,
             temperature_c: temp,
+            ..Default::default()
         }
     }
 

@@ -21,6 +21,7 @@ use crate::benchmarks::WorkloadProfile;
 use crate::controller::{ControllerBank, DtSample, DtThresholds};
 use crate::modes::OperationMode;
 use crate::protocol::FaultTolerantProtocol;
+use noc_fault::hardfault::{HardFault, HardFaultSchedule};
 use noc_fault::thermal::{ThermalModel, ThermalParams};
 use noc_fault::timing::{TimingErrorModel, TimingErrorParams};
 use noc_fault::variation::VariationMap;
@@ -28,8 +29,9 @@ use noc_power::area::RouterVariant;
 use noc_power::energy::{EnergyModel, StaticConfig};
 use noc_rl::state::RouterFeatures;
 use noc_sim::config::NocConfig;
-use noc_sim::network::Network;
+use noc_sim::network::{HardFaultEvent, HardFaultKind, Network};
 use noc_sim::stats::EventCounters;
+use noc_sim::topology::Direction;
 use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
 use rlnoc_telemetry::{EpochRecord, Phase, RunId, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -129,6 +131,7 @@ pub struct ExperimentBuilder {
     allowed_modes: [bool; 4],
     telemetry: Telemetry,
     rl_policy: Option<std::sync::Arc<noc_rl::snapshot::PolicySnapshot>>,
+    hard_faults: Option<std::sync::Arc<HardFaultSchedule>>,
 }
 
 impl ExperimentBuilder {
@@ -255,6 +258,17 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Installs a permanent hard-fault schedule (default: none). The
+    /// schedule's mesh dimensions must match the NoC configuration;
+    /// each event takes effect at the start of its cycle's step and the
+    /// network reroutes around the casualty (see `noc_sim`'s
+    /// fault-adaptive routing). The `Arc` lets a degradation sweep
+    /// share one schedule across many parallel evaluation tasks.
+    pub fn hard_faults(mut self, schedule: std::sync::Arc<HardFaultSchedule>) -> Self {
+        self.hard_faults = Some(schedule);
+        self
+    }
+
     /// DT threshold override.
     pub fn dt_thresholds(mut self, thresholds: DtThresholds) -> Self {
         self.dt_thresholds = thresholds;
@@ -327,6 +341,16 @@ impl ExperimentBuilder {
                 ));
             }
         }
+        if let Some(hf) = &self.hard_faults {
+            if hf.validate().is_err() {
+                return Err(BuildExperimentError("invalid hard-fault schedule"));
+            }
+            if hf.mesh_w != self.noc.mesh.width() || hf.mesh_h != self.noc.mesh.height() {
+                return Err(BuildExperimentError(
+                    "hard-fault schedule mesh does not match the NoC mesh",
+                ));
+            }
+        }
         Ok(Experiment { cfg: self })
     }
 }
@@ -364,6 +388,7 @@ impl Experiment {
             allowed_modes: [true; 4],
             telemetry: Telemetry::disabled(),
             rl_policy: None,
+            hard_faults: None,
         }
     }
 
@@ -468,6 +493,17 @@ pub struct ExperimentReport {
     pub mean_temperature_c: f64,
     /// Hottest router temperature observed, °C.
     pub max_temperature_c: f64,
+    /// Permanent link/router failures applied during measurement.
+    pub hard_fault_events: u64,
+    /// Fault-adaptive route-table rebuilds.
+    pub reroute_events: u64,
+    /// Data packets that lost flits (or an endpoint) to a hard fault.
+    pub packets_lost_hard_fault: u64,
+    /// Data packets refused at injection: endpoints mutually unreachable.
+    pub packets_refused_unreachable: u64,
+    /// Ordered source/destination pairs unreachable after the last
+    /// reroute (0 on a connected mesh).
+    pub unreachable_pairs: u64,
 }
 
 impl ExperimentReport {
@@ -505,6 +541,27 @@ impl ExperimentReport {
 }
 
 // ---------------------------------------------------------------------------
+
+/// Translates a validated [`HardFaultSchedule`] into the simulator's
+/// event representation.
+fn hard_fault_events(schedule: &HardFaultSchedule) -> Vec<HardFaultEvent> {
+    schedule
+        .entries
+        .iter()
+        .map(|e| HardFaultEvent {
+            cycle: e.cycle,
+            kind: match e.fault {
+                HardFault::Link { node, dir } => HardFaultKind::Link {
+                    node: noc_sim::topology::NodeId(node),
+                    dir: Direction::from_index(usize::from(dir)),
+                },
+                HardFault::Router { node } => HardFaultKind::Router {
+                    node: noc_sim::topology::NodeId(node),
+                },
+            },
+        })
+        .collect()
+}
 
 /// Internal run state, generic over the data-plane kernel (see
 /// [`SimBackend`]).
@@ -626,6 +683,9 @@ impl<B: SimBackend> Runner<B> {
         runner.net.set_telemetry(&runner.telemetry);
         runner.controllers.set_telemetry(&runner.telemetry);
         runner.net.set_all_modes(initial_mode);
+        if let Some(schedule) = &runner.cfg.hard_faults {
+            runner.net.set_hard_faults(hard_fault_events(schedule));
+        }
         runner
     }
 
@@ -778,6 +838,11 @@ impl<B: SimBackend> Runner<B> {
             mode_histogram: self.mode_histogram,
             mean_temperature_c: mean_temp,
             max_temperature_c: self.max_temp,
+            hard_fault_events: stats.hard_fault_events,
+            reroute_events: stats.reroute_events,
+            packets_lost_hard_fault: stats.packets_lost_hard_fault,
+            packets_refused_unreachable: stats.packets_refused_unreachable,
+            unreachable_pairs: stats.unreachable_pairs,
         }
     }
 
@@ -834,6 +899,74 @@ impl<B: SimBackend> Runner<B> {
         self.max_temp = 0.0;
     }
 
+    /// Per-router local hard-fault degree at the current cycle: the
+    /// fraction of each router's existing compass links that have
+    /// permanently failed (`1.0` for a dead router), or `None` without a
+    /// schedule. Computed from the *schedule* — not queried from the
+    /// backend — so the production and reference data planes feed the
+    /// controllers byte-identical features by construction. An event
+    /// applies at the start of its cycle's step, so after stepping
+    /// cycle `c` every event with `cycle <= c` (strictly `< cycle()`)
+    /// is in force.
+    fn fault_degrees(&self) -> Option<Vec<f64>> {
+        let schedule = self.cfg.hard_faults.as_ref()?;
+        let now = self.net.cycle();
+        let mesh = self.cfg.noc.mesh;
+        let n = mesh.num_nodes();
+        let mut node_dead = vec![false; n];
+        let mut link_dead = vec![[false; 4]; n];
+        let kill_link = |link_dead: &mut Vec<[bool; 4]>, node: usize, dir: Direction| {
+            if let Some(peer) = mesh.neighbor(noc_sim::topology::NodeId(node as u16), dir) {
+                link_dead[node][dir.index()] = true;
+                link_dead[peer.index()][dir.opposite().index()] = true;
+            }
+        };
+        for e in schedule.entries.iter().take_while(|e| e.cycle < now) {
+            match e.fault {
+                HardFault::Link { node, dir } => {
+                    kill_link(
+                        &mut link_dead,
+                        usize::from(node),
+                        Direction::from_index(usize::from(dir)),
+                    );
+                }
+                HardFault::Router { node } => {
+                    let node = usize::from(node);
+                    node_dead[node] = true;
+                    for dir in Direction::COMPASS {
+                        kill_link(&mut link_dead, node, dir);
+                    }
+                }
+            }
+        }
+        let degrees = (0..n)
+            .map(|i| {
+                if node_dead[i] {
+                    return 1.0;
+                }
+                let mut existing = 0u32;
+                let mut dead = 0u32;
+                for dir in Direction::COMPASS {
+                    if mesh
+                        .neighbor(noc_sim::topology::NodeId(i as u16), dir)
+                        .is_some()
+                    {
+                        existing += 1;
+                        if link_dead[i][dir.index()] {
+                            dead += 1;
+                        }
+                    }
+                }
+                if existing == 0 {
+                    0.0
+                } else {
+                    f64::from(dead) / f64::from(existing)
+                }
+            })
+            .collect();
+        Some(degrees)
+    }
+
     /// The per-epoch control loop: features → reward → mode decision →
     /// thermal step → energy accounting.
     fn control_epoch(&mut self, pretrain: bool) {
@@ -855,6 +988,7 @@ impl<B: SimBackend> Runner<B> {
         rewards.clear();
         tile_powers.clear();
         utilizations.clear();
+        let fault_degrees = self.fault_degrees();
         {
             let counters = self.net.counters();
             for i in 0..n {
@@ -866,6 +1000,7 @@ impl<B: SimBackend> Runner<B> {
                     input_nack_rate: es.input_nack_rate(),
                     output_nack_rate: es.output_nack_rate(),
                     temperature_c: self.thermal.temperature(i),
+                    fault_degree: fault_degrees.as_ref().map_or(0.0, |d| d[i]),
                 };
                 let dyn_e = self.energy.dynamic_energy(&counters[i])
                     - self.energy.dynamic_energy(&self.last_counters[i]);

@@ -28,15 +28,21 @@
 //! modes=1011
 //! p_ref_scale=3fd0000000000000
 //! ambient=4044000000000000
+//! hardfaults=2 1 00000000c0ffee00
 //! crc=4a17c3b2
 //! ```
 //!
 //! Floats are serialized as f64 bit patterns in hex so a replay is
-//! exact, not merely close.
+//! exact, not merely close. The `hardfaults` line is optional (absent =
+//! fault-free run); it stores the *generation parameters* — link-fault
+//! quota, router-fault quota, schedule seed — and the replay regenerates
+//! the identical [`HardFaultSchedule`](noc_fault::hardfault::HardFaultSchedule)
+//! deterministically, which keeps case files small and the format v1.
 
 use crate::benchmarks::WorkloadProfile;
 use crate::experiment::{ErrorControlScheme, Experiment, ExperimentReport};
 use noc_coding::crc::Crc32;
+use noc_fault::hardfault::HardFaultSchedule;
 use noc_fault::thermal::ThermalParams;
 use noc_fault::timing::TimingErrorParams;
 use noc_sim::config::NocConfig;
@@ -73,6 +79,11 @@ pub struct FuzzCase {
     pub p_ref_scale: f64,
     /// Thermal ambient, °C (shifts the whole temperature field).
     pub ambient_c: f64,
+    /// Hard-fault generation parameters: `(link_faults, router_faults,
+    /// schedule_seed)`, or `None` for a fault-free run. The schedule
+    /// itself is regenerated deterministically via
+    /// [`HardFaultSchedule::random`] over the full run window.
+    pub hard_faults: Option<(u16, u16, u64)>,
 }
 
 /// A parse/validation failure for a case file.
@@ -130,6 +141,16 @@ impl FuzzCase {
         ];
         let p_ref_scale = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0][(draw() % 6) as usize];
         let ambient_c = 40.0 + (draw() % 21) as f64;
+        // Roughly half the stream carries permanent failures, so the
+        // oracle continuously exercises both the zero-fault fast path
+        // and the fault-adaptive machinery.
+        let hard_faults = if draw() % 2 == 0 {
+            None
+        } else {
+            let links = 1 + (draw() % 2) as u16;
+            let routers = (draw() % 2) as u16;
+            Some((links, routers, draw()))
+        };
         Self {
             mesh_w,
             mesh_h,
@@ -144,6 +165,7 @@ impl FuzzCase {
             allowed_modes,
             p_ref_scale,
             ambient_c,
+            hard_faults,
         }
     }
 
@@ -172,7 +194,7 @@ impl FuzzCase {
             ambient_c: self.ambient_c,
             ..ThermalParams::default()
         };
-        Experiment::builder()
+        let mut builder = Experiment::builder()
             .scheme(self.scheme)
             .workload(workload)
             .noc(NocConfig::builder().mesh(self.mesh_w, self.mesh_h).build())
@@ -184,9 +206,28 @@ impl FuzzCase {
             .drain_limit(self.drain_limit)
             .timing(timing)
             .thermal(thermal)
-            .allowed_modes(&allowed)
-            .build()
-            .expect("fuzz case must build")
+            .allowed_modes(&allowed);
+        if let Some(schedule) = self.hard_fault_schedule() {
+            builder = builder.hard_faults(std::sync::Arc::new(schedule));
+        }
+        builder.build().expect("fuzz case must build")
+    }
+
+    /// Regenerates the hard-fault schedule this case describes (`None`
+    /// for fault-free cases). Events land anywhere in the run, from the
+    /// first pre-training cycle to the end of the injection window, so
+    /// every phase of the experiment can be hit by a failure.
+    pub fn hard_fault_schedule(&self) -> Option<HardFaultSchedule> {
+        let (links, routers, seed) = self.hard_faults?;
+        let horizon = (self.pretrain_cycles + self.warmup_cycles + self.measure_cycles).max(1);
+        Some(HardFaultSchedule::random(
+            self.mesh_w,
+            self.mesh_h,
+            usize::from(links),
+            usize::from(routers),
+            (1, horizon),
+            seed,
+        ))
     }
 
     /// Checks internal consistency without building the experiment.
@@ -238,6 +279,12 @@ impl FuzzCase {
                 out.push(c);
             }
         };
+        if self.hard_faults.is_some() {
+            push(FuzzCase {
+                hard_faults: None,
+                ..self.clone()
+            });
+        }
         if self.pretrain_cycles > 0 {
             push(FuzzCase {
                 pretrain_cycles: 0,
@@ -306,6 +353,9 @@ impl FuzzCase {
             self.p_ref_scale.to_bits()
         ));
         body.push_str(&format!("ambient={:016x}\n", self.ambient_c.to_bits()));
+        if let Some((links, routers, seed)) = self.hard_faults {
+            body.push_str(&format!("hardfaults={links} {routers} {seed:016x}\n"));
+        }
         let crc = Crc32::new().checksum(body.as_bytes());
         body.push_str(&format!("crc={crc:08x}\n"));
         body
@@ -383,6 +433,37 @@ impl FuzzCase {
         }
         let p_ref_scale = f64::from_bits(parse_hex(&field("p_ref_scale")?, "p_ref_scale")?);
         let ambient_c = f64::from_bits(parse_hex(&field("ambient")?, "ambient")?);
+        // Optional final line; anything else after `ambient` is junk.
+        let hard_faults = match lines.next() {
+            None => None,
+            Some(line) => {
+                let rest = line
+                    .strip_prefix("hardfaults=")
+                    .ok_or_else(|| ParseCaseError(format!("unexpected trailing line `{line}`")))?;
+                let mut parts = rest.split(' ');
+                let links: u16 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseCaseError("bad hardfaults link count".into()))?;
+                let routers: u16 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseCaseError("bad hardfaults router count".into()))?;
+                let seed = parse_hex(
+                    parts
+                        .next()
+                        .ok_or_else(|| ParseCaseError("missing hardfaults seed".into()))?,
+                    "hardfaults seed",
+                )?;
+                if parts.next().is_some() {
+                    return Err(ParseCaseError("trailing junk on hardfaults line".into()));
+                }
+                if lines.next().is_some() {
+                    return Err(ParseCaseError("unexpected content after hardfaults".into()));
+                }
+                Some((links, routers, seed))
+            }
+        };
         let case = Self {
             mesh_w,
             mesh_h,
@@ -397,6 +478,7 @@ impl FuzzCase {
             allowed_modes,
             p_ref_scale,
             ambient_c,
+            hard_faults,
         };
         case.validate()?;
         Ok(case)
@@ -419,7 +501,11 @@ impl std::fmt::Display for FuzzCase {
             self.measure_cycles,
             self.p_ref_scale,
             self.ambient_c,
-        )
+        )?;
+        if let Some((links, routers, seed)) = self.hard_faults {
+            write!(f, " hardfaults={links}L/{routers}R@{seed:016x}")?;
+        }
+        Ok(())
     }
 }
 
@@ -494,6 +580,11 @@ impl ExperimentReport {
         cmp!(mode_histogram);
         cmp_f64!(mean_temperature_c);
         cmp_f64!(max_temperature_c);
+        cmp!(hard_fault_events);
+        cmp!(reroute_events);
+        cmp!(packets_lost_hard_fault);
+        cmp!(packets_refused_unreachable);
+        cmp!(unreachable_pairs);
         diffs
     }
 }
@@ -573,6 +664,7 @@ mod tests {
             allowed_modes: [true; 4],
             p_ref_scale: 1.0,
             ambient_c: 45.0,
+            hard_faults: None,
         };
         let report = case.experiment().run();
         assert!(report.diff(&report).is_empty());

@@ -252,6 +252,7 @@ impl CampaignSpec {
             warmup_cycles: self.warmup_cycles,
             measure_cycles: self.measure_cycles,
             drain_limit: self.drain_limit,
+            hard_faults: None,
             customize: None,
             telemetry: rlnoc_telemetry::Telemetry::disabled(),
         })

@@ -16,7 +16,7 @@ use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKin
 use noc_sim::flit::{Flit, PacketId};
 use noc_sim::network::Network;
 use noc_sim::stats::EventCounters;
-use noc_sim::topology::{LinkId, Mesh};
+use noc_sim::topology::LinkId;
 use noc_testutil::{hot_network, traffic_pairs, HOT_MESH};
 use proptest::prelude::*;
 use rlnoc_core::modes::OperationMode;

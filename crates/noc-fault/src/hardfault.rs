@@ -1,0 +1,683 @@
+//! Deterministic permanent-fault schedules (`rlnoc-hardfault v1`).
+//!
+//! Transient timing errors (the [`timing`](crate::timing) model) corrupt
+//! individual flits; *hard* faults remove topology. A
+//! [`HardFaultSchedule`] lists links and routers that fail permanently
+//! at configured cycles, either as an explicit list or drawn seedably at
+//! random under a connectivity filter (the final live graph stays one
+//! component, so degradation sweeps measure rerouting pressure rather
+//! than partition loss).
+//!
+//! The schedule is a plain description — `(cycle, node, direction)`
+//! triples over a `width × height` grid — so this crate stays free of
+//! any simulator dependency; the simulation layer translates entries
+//! into its own event type. Directions use the workspace-wide compass
+//! indices (0 = N, 1 = E, 2 = S, 3 = W) over row-major node ids
+//! (`id = y * width + x`, north = decreasing `y`).
+//!
+//! ## Schedule-file format (`rlnoc-hardfault v1`)
+//!
+//! Plain text, CRC-32 trailer over everything above it (the same
+//! corruption armor as `rlnoc-case` files and runner checkpoints):
+//!
+//! ```text
+//! rlnoc-hardfault v1
+//! mesh=4x4
+//! events=3
+//! 20 link 5 E
+//! 30 router 10
+//! 450 link 0 S
+//! crc=9c1a55e2
+//! ```
+//!
+//! Event lines are `<cycle> link <node> <N|E|S|W>` or
+//! `<cycle> router <node>`, sorted by cycle. Parsing is strict — exact
+//! field order, a lowercase 8-digit CRC, and a trailing newline — so
+//! any truncation or single-bit flip is rejected.
+
+use noc_coding::crc::Crc32;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Compass direction count (the `Local` port cannot hard-fail).
+pub const NUM_DIRS: u8 = 4;
+
+const DIR_LETTERS: [char; 4] = ['N', 'E', 'S', 'W'];
+const MAGIC: &str = "rlnoc-hardfault v1";
+
+/// One permanent failure: a single link channel pair or a whole router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HardFault {
+    /// The bidirectional link leaving `node` in compass direction
+    /// `dir` (0 = N, 1 = E, 2 = S, 3 = W). Both channel directions die.
+    Link {
+        /// Row-major node id of one endpoint.
+        node: u16,
+        /// Compass direction index toward the other endpoint.
+        dir: u8,
+    },
+    /// The whole router: the node and every link touching it.
+    Router {
+        /// Row-major node id.
+        node: u16,
+    },
+}
+
+/// A [`HardFault`] stamped with the cycle at which it takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HardFaultEntry {
+    /// Simulation cycle at which the fault becomes permanent.
+    pub cycle: u64,
+    /// What fails.
+    pub fault: HardFault,
+}
+
+/// A deterministic schedule of permanent link/router failures on a
+/// `mesh_w × mesh_h` grid, sorted by cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardFaultSchedule {
+    /// Mesh width the node ids refer to.
+    pub mesh_w: u16,
+    /// Mesh height the node ids refer to.
+    pub mesh_h: u16,
+    /// Failures in non-decreasing cycle order.
+    pub entries: Vec<HardFaultEntry>,
+}
+
+/// A parse/validation failure for a schedule file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError(pub String);
+
+impl std::fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid hard-fault schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+/// Total number of bidirectional links in a `w × h` mesh.
+pub fn mesh_links(w: u16, h: u16) -> u64 {
+    let (w, h) = (u64::from(w), u64::from(h));
+    (w - 1) * h + w * (h - 1)
+}
+
+/// `(x, y)` of a row-major node id.
+fn coords(node: u16, w: u16) -> (u16, u16) {
+    (node % w, node / w)
+}
+
+/// The neighbor of `node` in compass direction `dir`, if it exists.
+fn neighbor(node: u16, dir: u8, w: u16, h: u16) -> Option<u16> {
+    let (x, y) = coords(node, w);
+    let (nx, ny) = match dir {
+        0 => (x, y.checked_sub(1)?),             // north
+        1 => ((x + 1 < w).then_some(x + 1)?, y), // east
+        2 => (x, (y + 1 < h).then_some(y + 1)?), // south
+        3 => (x.checked_sub(1)?, y),             // west
+        _ => return None,
+    };
+    Some(ny * w + nx)
+}
+
+impl HardFaultSchedule {
+    /// An empty schedule: the mesh never loses anything. Translates to
+    /// the simulator's no-fault fast path, bit-identical to a run with
+    /// no schedule at all.
+    pub fn none(mesh_w: u16, mesh_h: u16) -> Self {
+        Self {
+            mesh_w,
+            mesh_h,
+            entries: Vec::new(),
+        }
+    }
+
+    /// An explicit schedule. Entries are sorted by cycle (stable, so
+    /// same-cycle entries keep their given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry fails [`HardFaultSchedule::validate`] — an
+    /// explicit list is programmer input, not untrusted data.
+    pub fn explicit(mesh_w: u16, mesh_h: u16, mut entries: Vec<HardFaultEntry>) -> Self {
+        entries.sort_by_key(|e| e.cycle);
+        let s = Self {
+            mesh_w,
+            mesh_h,
+            entries,
+        };
+        if let Err(e) = s.validate() {
+            panic!("{e}");
+        }
+        s
+    }
+
+    /// Draws a random schedule: `link_faults` link failures and
+    /// `router_faults` router failures at cycles uniform in `cycles`
+    /// (inclusive), deterministically from `seed`, under the
+    /// connectivity filter — after *all* entries apply, the surviving
+    /// routers still form a single connected component. Candidates that
+    /// would partition the mesh are redrawn; if the quota cannot be met
+    /// (small meshes saturate quickly), the schedule carries as many
+    /// faults as could be placed.
+    pub fn random(
+        mesh_w: u16,
+        mesh_h: u16,
+        link_faults: usize,
+        router_faults: usize,
+        cycles: (u64, u64),
+        seed: u64,
+    ) -> Self {
+        assert!(mesh_w >= 2 && mesh_h >= 2, "mesh must be at least 2x2");
+        assert!(cycles.0 <= cycles.1, "cycle window must be ordered");
+        let n = usize::from(mesh_w) * usize::from(mesh_h);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut node_dead = vec![false; n];
+        let mut link_dead = vec![[false; 4]; n];
+        let mut faults: Vec<HardFault> = Vec::new();
+        // Routers first: each removal constrains links far more than the
+        // reverse, so placing the big cuts early wastes fewer redraws.
+        let quotas = [
+            (router_faults, true /* router */),
+            (link_faults, false /* link */),
+        ];
+        for &(quota, is_router) in &quotas {
+            let mut placed = 0;
+            let mut attempts = 0usize;
+            while placed < quota && attempts < 64 * quota.max(1) {
+                attempts += 1;
+                let node = rng.gen_range(0u16..n as u16);
+                let candidate = if is_router {
+                    // Skip routers touching any prior casualty so the
+                    // reject path can roll back with a plain revert
+                    // (resurrecting a link no earlier fault had killed).
+                    if node_dead[usize::from(node)]
+                        || link_dead[usize::from(node)].iter().any(|&d| d)
+                    {
+                        continue;
+                    }
+                    HardFault::Router { node }
+                } else {
+                    let dir = rng.gen_range(0u8..NUM_DIRS);
+                    let Some(peer) = neighbor(node, dir, mesh_w, mesh_h) else {
+                        continue; // mesh edge: no link to kill
+                    };
+                    if link_dead[usize::from(node)][usize::from(dir)]
+                        || node_dead[usize::from(node)]
+                        || node_dead[usize::from(peer)]
+                    {
+                        continue; // already gone
+                    }
+                    HardFault::Link { node, dir }
+                };
+                // Tentatively apply, test connectivity, roll back on cut.
+                apply(&candidate, &mut node_dead, &mut link_dead, mesh_w, mesh_h);
+                if connected(&node_dead, &link_dead, mesh_w, mesh_h) {
+                    faults.push(candidate);
+                    placed += 1;
+                } else {
+                    unapply(&candidate, &mut node_dead, &mut link_dead, mesh_w, mesh_h);
+                }
+            }
+        }
+        let mut entries: Vec<HardFaultEntry> = faults
+            .into_iter()
+            .map(|fault| HardFaultEntry {
+                cycle: rng.gen_range(cycles.0..cycles.1 + 1),
+                fault,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.cycle);
+        Self {
+            mesh_w,
+            mesh_h,
+            entries,
+        }
+    }
+
+    /// Checks every entry against the mesh: nodes in range, direction a
+    /// real compass index, link entries naming links that exist, and
+    /// cycles non-decreasing.
+    pub fn validate(&self) -> Result<(), ParseScheduleError> {
+        if self.mesh_w < 2 || self.mesh_h < 2 {
+            return Err(ParseScheduleError("mesh dimensions must be ≥ 2".into()));
+        }
+        let n = u32::from(self.mesh_w) * u32::from(self.mesh_h);
+        if n > u32::from(u16::MAX) {
+            return Err(ParseScheduleError("mesh larger than u16 node ids".into()));
+        }
+        let mut prev_cycle = 0u64;
+        for e in &self.entries {
+            if e.cycle < prev_cycle {
+                return Err(ParseScheduleError("entries must be sorted by cycle".into()));
+            }
+            prev_cycle = e.cycle;
+            let node = match e.fault {
+                HardFault::Link { node, .. } | HardFault::Router { node } => node,
+            };
+            if u32::from(node) >= n {
+                return Err(ParseScheduleError(format!(
+                    "node {node} outside {}x{} mesh",
+                    self.mesh_w, self.mesh_h
+                )));
+            }
+            if let HardFault::Link { node, dir } = e.fault {
+                if dir >= NUM_DIRS {
+                    return Err(ParseScheduleError(format!("bad direction index {dir}")));
+                }
+                if neighbor(node, dir, self.mesh_w, self.mesh_h).is_none() {
+                    return Err(ParseScheduleError(format!(
+                        "node {node} has no {} link (mesh edge)",
+                        DIR_LETTERS[usize::from(dir)]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the live graph is still one connected component after
+    /// every entry has applied (vacuously `true` when everything died).
+    pub fn leaves_connected(&self) -> bool {
+        let n = usize::from(self.mesh_w) * usize::from(self.mesh_h);
+        let mut node_dead = vec![false; n];
+        let mut link_dead = vec![[false; 4]; n];
+        for e in &self.entries {
+            apply(
+                &e.fault,
+                &mut node_dead,
+                &mut link_dead,
+                self.mesh_w,
+                self.mesh_h,
+            );
+        }
+        connected(&node_dead, &link_dead, self.mesh_w, self.mesh_h)
+    }
+
+    /// Number of distinct bidirectional links dead once every entry has
+    /// applied (router deaths count their incident links).
+    pub fn final_dead_links(&self) -> u64 {
+        let n = usize::from(self.mesh_w) * usize::from(self.mesh_h);
+        let mut node_dead = vec![false; n];
+        let mut link_dead = vec![[false; 4]; n];
+        for e in &self.entries {
+            apply(
+                &e.fault,
+                &mut node_dead,
+                &mut link_dead,
+                self.mesh_w,
+                self.mesh_h,
+            );
+        }
+        let mut dead = 0u64;
+        for node in 0..n as u16 {
+            // Count each link once via its east/south endpoint.
+            for dir in [1u8, 2] {
+                if neighbor(node, dir, self.mesh_w, self.mesh_h).is_some()
+                    && link_dead[usize::from(node)][usize::from(dir)]
+                {
+                    dead += 1;
+                }
+            }
+        }
+        dead
+    }
+
+    /// Serializes the schedule to the `rlnoc-hardfault v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MAGIC);
+        body.push('\n');
+        body.push_str(&format!("mesh={}x{}\n", self.mesh_w, self.mesh_h));
+        body.push_str(&format!("events={}\n", self.entries.len()));
+        for e in &self.entries {
+            match e.fault {
+                HardFault::Link { node, dir } => {
+                    body.push_str(&format!(
+                        "{} link {} {}\n",
+                        e.cycle,
+                        node,
+                        DIR_LETTERS[usize::from(dir)]
+                    ));
+                }
+                HardFault::Router { node } => {
+                    body.push_str(&format!("{} router {}\n", e.cycle, node));
+                }
+            }
+        }
+        let crc = Crc32::new().checksum(body.as_bytes());
+        body.push_str(&format!("crc={crc:08x}\n"));
+        body
+    }
+
+    /// Parses and validates an `rlnoc-hardfault v1` file, including its
+    /// CRC-32 trailer. Strict by construction: exact field order, an
+    /// exactly-8-digit lowercase CRC, and a final newline, so every
+    /// truncation and every single-bit flip fails to parse.
+    pub fn from_text(text: &str) -> Result<Self, ParseScheduleError> {
+        if !text.ends_with('\n') {
+            return Err(ParseScheduleError("file must end in a newline".into()));
+        }
+        let trailer_at = text
+            .rfind("crc=")
+            .ok_or_else(|| ParseScheduleError("missing crc trailer".into()))?;
+        let (body, trailer) = text.split_at(trailer_at);
+        let hex = trailer
+            .strip_prefix("crc=")
+            .and_then(|rest| rest.strip_suffix('\n'))
+            .ok_or_else(|| ParseScheduleError("malformed crc trailer".into()))?;
+        if hex.len() != 8
+            || !hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return Err(ParseScheduleError(
+                "crc must be exactly 8 lowercase hex digits".into(),
+            ));
+        }
+        let stated = u32::from_str_radix(hex, 16).expect("validated hex");
+        let actual = Crc32::new().checksum(body.as_bytes());
+        if stated != actual {
+            return Err(ParseScheduleError(format!(
+                "crc mismatch: file says {stated:08x}, content is {actual:08x}"
+            )));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(ParseScheduleError(format!("bad magic, want `{MAGIC}`")));
+        }
+        let mesh = lines
+            .next()
+            .and_then(|l| l.strip_prefix("mesh="))
+            .ok_or_else(|| ParseScheduleError("expected `mesh=WxH`".into()))?;
+        let (w, h) = mesh
+            .split_once('x')
+            .ok_or_else(|| ParseScheduleError("mesh must be WxH".into()))?;
+        let mesh_w: u16 = w
+            .parse()
+            .map_err(|_| ParseScheduleError("bad mesh width".into()))?;
+        let mesh_h: u16 = h
+            .parse()
+            .map_err(|_| ParseScheduleError("bad mesh height".into()))?;
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("events="))
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| ParseScheduleError("expected `events=N`".into()))?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| ParseScheduleError("fewer event lines than `events=`".into()))?;
+            let mut parts = line.split(' ');
+            let cycle: u64 = parts
+                .next()
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| ParseScheduleError(format!("bad event cycle in `{line}`")))?;
+            let fault = match parts.next() {
+                Some("link") => {
+                    let node: u16 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseScheduleError(format!("bad link node in `{line}`")))?;
+                    let dir = match parts.next() {
+                        Some("N") => 0,
+                        Some("E") => 1,
+                        Some("S") => 2,
+                        Some("W") => 3,
+                        _ => {
+                            return Err(ParseScheduleError(format!(
+                                "bad link direction in `{line}`"
+                            )));
+                        }
+                    };
+                    HardFault::Link { node, dir }
+                }
+                Some("router") => {
+                    let node: u16 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        ParseScheduleError(format!("bad router node in `{line}`"))
+                    })?;
+                    HardFault::Router { node }
+                }
+                _ => {
+                    return Err(ParseScheduleError(format!(
+                        "unknown event kind in `{line}`"
+                    )))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(ParseScheduleError(format!("trailing junk in `{line}`")));
+            }
+            entries.push(HardFaultEntry { cycle, fault });
+        }
+        if lines.next().is_some() {
+            return Err(ParseScheduleError("more event lines than `events=`".into()));
+        }
+        let schedule = Self {
+            mesh_w,
+            mesh_h,
+            entries,
+        };
+        schedule.validate()?;
+        Ok(schedule)
+    }
+}
+
+/// Marks the fault's casualties in the dead maps (links symmetric).
+fn apply(fault: &HardFault, node_dead: &mut [bool], link_dead: &mut [[bool; 4]], w: u16, h: u16) {
+    match *fault {
+        HardFault::Link { node, dir } => {
+            link_dead[usize::from(node)][usize::from(dir)] = true;
+            if let Some(peer) = neighbor(node, dir, w, h) {
+                link_dead[usize::from(peer)][usize::from(dir ^ 2)] = true;
+            }
+        }
+        HardFault::Router { node } => {
+            node_dead[usize::from(node)] = true;
+            for dir in 0..NUM_DIRS {
+                if let Some(peer) = neighbor(node, dir, w, h) {
+                    link_dead[usize::from(node)][usize::from(dir)] = true;
+                    link_dead[usize::from(peer)][usize::from(dir ^ 2)] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Reverts [`apply`] for a rejected candidate. Precondition: no earlier
+/// accepted fault touched any of the candidate's casualties — the
+/// generator enforces this by skipping candidates adjacent to prior
+/// damage, so a plain revert never resurrects someone else's kill.
+fn unapply(fault: &HardFault, node_dead: &mut [bool], link_dead: &mut [[bool; 4]], w: u16, h: u16) {
+    match *fault {
+        HardFault::Link { node, dir } => {
+            link_dead[usize::from(node)][usize::from(dir)] = false;
+            if let Some(peer) = neighbor(node, dir, w, h) {
+                link_dead[usize::from(peer)][usize::from(dir ^ 2)] = false;
+            }
+        }
+        HardFault::Router { node } => {
+            node_dead[usize::from(node)] = false;
+            for dir in 0..NUM_DIRS {
+                if let Some(peer) = neighbor(node, dir, w, h) {
+                    link_dead[usize::from(node)][usize::from(dir)] = false;
+                    link_dead[usize::from(peer)][usize::from(dir ^ 2)] = false;
+                }
+            }
+        }
+    }
+}
+
+/// BFS over the live sub-grid: `true` when every live node is reachable
+/// from the first live node (vacuously `true` with no live nodes).
+fn connected(node_dead: &[bool], link_dead: &[[bool; 4]], w: u16, h: u16) -> bool {
+    let n = node_dead.len();
+    let Some(start) = (0..n).find(|&i| !node_dead[i]) else {
+        return true;
+    };
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([start as u16]);
+    seen[start] = true;
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for dir in 0..NUM_DIRS {
+            if link_dead[usize::from(u)][usize::from(dir)] {
+                continue;
+            }
+            let Some(v) = neighbor(u, dir, w, h) else {
+                continue;
+            };
+            if node_dead[usize::from(v)] || seen[usize::from(v)] {
+                continue;
+            }
+            seen[usize::from(v)] = true;
+            reached += 1;
+            queue.push_back(v);
+        }
+    }
+    reached == node_dead.iter().filter(|&&d| !d).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_schedule_sorts_and_validates() {
+        let s = HardFaultSchedule::explicit(
+            4,
+            4,
+            vec![
+                HardFaultEntry {
+                    cycle: 30,
+                    fault: HardFault::Router { node: 10 },
+                },
+                HardFaultEntry {
+                    cycle: 20,
+                    fault: HardFault::Link { node: 5, dir: 1 },
+                },
+            ],
+        );
+        assert_eq!(s.entries[0].cycle, 20);
+        assert_eq!(s.entries[1].cycle, 30);
+        s.validate().expect("explicit schedule is valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh edge")]
+    fn edge_link_is_rejected() {
+        // Node 0 sits in the north-west corner: no north link exists.
+        let _ = HardFaultSchedule::explicit(
+            4,
+            4,
+            vec![HardFaultEntry {
+                cycle: 1,
+                fault: HardFault::Link { node: 0, dir: 0 },
+            }],
+        );
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_and_connected() {
+        for seed in 0..16 {
+            let a = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), seed);
+            let b = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), seed);
+            assert_eq!(a, b, "same seed must yield the same schedule");
+            a.validate().expect("random schedules are valid");
+            assert!(a.leaves_connected(), "connectivity filter must hold");
+            assert!(!a.entries.is_empty());
+            assert!(a.entries.windows(2).all(|p| p[0].cycle <= p[1].cycle));
+        }
+        let other = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), 999);
+        assert_ne!(
+            other,
+            HardFaultSchedule::random(5, 5, 6, 1, (10, 500), 0),
+            "different seeds must decorrelate"
+        );
+    }
+
+    #[test]
+    fn random_saturates_gracefully_on_tiny_meshes() {
+        // A 2x2 mesh has 4 links and loses connectivity fast; asking for
+        // far more faults than fit must terminate with fewer entries.
+        let s = HardFaultSchedule::random(2, 2, 50, 2, (0, 10), 7);
+        s.validate().expect("saturated schedule still valid");
+        assert!(s.leaves_connected());
+        assert!(s.entries.len() < 52);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        for seed in 0..8 {
+            let s = HardFaultSchedule::random(4, 4, 4, 1, (0, 1000), seed);
+            let text = s.to_text();
+            let back = HardFaultSchedule::from_text(&text).expect("round trip");
+            assert_eq!(s, back);
+        }
+        let empty = HardFaultSchedule::none(3, 3);
+        assert_eq!(
+            HardFaultSchedule::from_text(&empty.to_text()).expect("empty round trip"),
+            empty,
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_rejected() {
+        let text = HardFaultSchedule::random(4, 4, 3, 1, (5, 50), 11).to_text();
+        for cut in 0..text.len() {
+            assert!(
+                HardFaultSchedule::from_text(&text[..cut]).is_err(),
+                "truncation to {cut}/{} bytes must not parse",
+                text.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let text = HardFaultSchedule::random(4, 4, 3, 1, (5, 50), 13).to_text();
+        let clean = text.as_bytes();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.to_vec();
+                corrupt[byte] ^= 1 << bit;
+                let Ok(corrupt) = String::from_utf8(corrupt) else {
+                    continue; // not even text any more
+                };
+                assert!(
+                    HardFaultSchedule::from_text(&corrupt).is_err(),
+                    "flipping bit {bit} of byte {byte} must not parse",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_links_counts_the_grid() {
+        assert_eq!(mesh_links(2, 2), 4);
+        assert_eq!(mesh_links(4, 4), 24);
+        assert_eq!(mesh_links(8, 8), 112);
+        assert_eq!(mesh_links(3, 2), 7);
+    }
+
+    #[test]
+    fn final_dead_links_counts_each_link_once() {
+        let s = HardFaultSchedule::explicit(
+            4,
+            4,
+            vec![
+                HardFaultEntry {
+                    cycle: 1,
+                    fault: HardFault::Link { node: 5, dir: 1 },
+                },
+                HardFaultEntry {
+                    cycle: 2,
+                    // Router 5 dies later: its East link is already dead,
+                    // the remaining three are fresh casualties.
+                    fault: HardFault::Router { node: 5 },
+                },
+            ],
+        );
+        assert_eq!(s.final_dead_links(), 4);
+    }
+}

@@ -13,6 +13,9 @@
 //!   variation factor, and the operation mode's timing slack.
 //! * [`injector`] — converts probabilities into sampled bit flips on flit
 //!   payloads, deterministically from a seed.
+//! * [`hardfault`] — beyond the paper: deterministic schedules of
+//!   *permanent* link/router failures with a replayable text format,
+//!   feeding the simulator's self-healing fault-adaptive routing.
 //!
 //! # Example
 //!
@@ -35,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hardfault;
 pub mod injector;
 pub mod thermal;
 pub mod timing;
 pub mod variation;
 
+pub use hardfault::{HardFault, HardFaultEntry, HardFaultSchedule};
 pub use injector::FaultInjector;
 pub use thermal::{ThermalModel, ThermalParams};
 pub use timing::{TimingErrorModel, TimingErrorParams};

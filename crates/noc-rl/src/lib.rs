@@ -27,6 +27,7 @@
 //!     input_nack_rate: 0.001,
 //!     output_nack_rate: 0.0,
 //!     temperature_c: 62.0,
+//!     ..Default::default()
 //! };
 //! let state = space.discretize(&features);
 //! let action = agent.observe_and_act(state, 0.5);

@@ -21,6 +21,13 @@
 //! crc32 <8 hex digits>
 //! ```
 //!
+//! **Format v2** extends the bank header with a `fault_bins=<k>` field
+//! recording the fault-degree bin count of the state space the bank was
+//! trained against (see `StateSpace::with_fault_bins`). A fault-blind
+//! bank (`fault_bins == 1`) still writes byte-identical v1, so every
+//! pre-hard-fault snapshot on disk remains valid and every fault-blind
+//! policy written by this build loads under older readers.
+//!
 //! The format is the train-once/eval-many split the paper implies: an
 //! expensive pre-training phase persists its policy once, and any number
 //! of deployed (inference-only, learning-frozen) runs load it back.
@@ -45,13 +52,17 @@ use noc_coding::crc::Crc32;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 
-/// The snapshot format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The newest snapshot format version this build writes and reads.
+/// Fault-blind banks are still written as v1 (see the module docs).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A persisted bank of per-router Q-tables.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicySnapshot {
     tables: Vec<QTable>,
+    /// Fault-degree bin count of the originating state space; `1` for
+    /// fault-blind banks (and for every v1 snapshot on disk).
+    fault_bins: usize,
 }
 
 /// Why a snapshot could not be read.
@@ -124,7 +135,29 @@ impl PolicySnapshot {
             tables.iter().all(|t| t.num_states() == states),
             "all tables in a snapshot must share one state space"
         );
-        Self { tables }
+        Self {
+            tables,
+            fault_bins: 1,
+        }
+    }
+
+    /// Records the fault-degree bin count of the state space this bank
+    /// was trained against. `1` (the default) keeps the snapshot in the
+    /// v1 format; anything larger writes v2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_bins == 0`.
+    pub fn with_fault_bins(mut self, fault_bins: usize) -> Self {
+        assert!(fault_bins > 0, "need at least one fault bin");
+        self.fault_bins = fault_bins;
+        self
+    }
+
+    /// Fault-degree bin count of the originating state space (`1` for
+    /// fault-blind banks).
+    pub fn fault_bins(&self) -> usize {
+        self.fault_bins
     }
 
     /// Number of per-router tables.
@@ -154,12 +187,23 @@ impl PolicySnapshot {
     /// Propagates I/O errors from `writer`.
     pub fn write<W: Write>(&self, mut writer: W) -> io::Result<()> {
         let mut body = Vec::new();
-        writeln!(
-            body,
-            "rlnoc-policy v{FORMAT_VERSION} agents={} states={}",
-            self.num_agents(),
-            self.num_states()
-        )?;
+        if self.fault_bins == 1 {
+            // Fault-blind banks stay byte-identical to pre-v2 output.
+            writeln!(
+                body,
+                "rlnoc-policy v1 agents={} states={}",
+                self.num_agents(),
+                self.num_states()
+            )?;
+        } else {
+            writeln!(
+                body,
+                "rlnoc-policy v2 agents={} states={} fault_bins={}",
+                self.num_agents(),
+                self.num_states(),
+                self.fault_bins
+            )?;
+        }
         for (i, table) in self.tables.iter().enumerate() {
             writeln!(body, "agent {i}")?;
             table.save(&mut body)?;
@@ -212,7 +256,7 @@ impl PolicySnapshot {
             .and_then(|v| v.strip_prefix('v'))
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| corrupt(1, "bad version field".into()))?;
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let field = |parts: &mut std::str::SplitWhitespace<'_>, name: &str| {
@@ -226,8 +270,18 @@ impl PolicySnapshot {
             field(&mut parts, "agents").ok_or_else(|| corrupt(1, "bad agents field".into()))?;
         let num_states =
             field(&mut parts, "states").ok_or_else(|| corrupt(1, "bad states field".into()))?;
-        if num_agents == 0 || num_states == 0 {
+        // v1 predates the fault-degree dimension; v2 records it.
+        let fault_bins = if version >= 2 {
+            field(&mut parts, "fault_bins")
+                .ok_or_else(|| corrupt(1, "bad fault_bins field".into()))?
+        } else {
+            1
+        };
+        if num_agents == 0 || num_states == 0 || fault_bins == 0 {
             return Err(corrupt(1, "empty bank".into()));
+        }
+        if version == 2 && fault_bins == 1 {
+            return Err(corrupt(1, "fault-blind bank must use format v1".into()));
         }
 
         // Each agent section is buffered and handed to QTable::load.
@@ -269,7 +323,7 @@ impl PolicySnapshot {
             }
             None => return Err(corrupt(0, "missing `end` marker".into())),
         }
-        Ok(Self::new(tables))
+        Ok(Self::new(tables).with_fault_bins(fault_bins))
     }
 
     /// Writes the snapshot to `path` atomically: the bytes land in a
@@ -408,5 +462,59 @@ mod tests {
     #[should_panic(expected = "share one state space")]
     fn mismatched_state_counts_panic() {
         let _ = PolicySnapshot::new(vec![QTable::new(4), QTable::new(8)]);
+    }
+
+    #[test]
+    fn fault_blind_bank_writes_v1_bytes() {
+        let snap = trained_bank(2);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(
+            text.starts_with("rlnoc-policy v1 agents=2 states=40\n"),
+            "fault-blind header regressed: {}",
+            text.lines().next().unwrap_or("")
+        );
+        assert!(!text.contains("fault_bins"));
+    }
+
+    #[test]
+    fn fault_aware_bank_round_trips_as_v2() {
+        let snap = trained_bank(3).with_fault_bins(3);
+        let mut buf = Vec::new();
+        snap.write(&mut buf).expect("write");
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert!(
+            text.starts_with("rlnoc-policy v2 agents=3 states=40 fault_bins=3\n"),
+            "v2 header wrong: {}",
+            text.lines().next().unwrap_or("")
+        );
+        let restored = PolicySnapshot::read(buf.as_slice()).expect("read v2");
+        assert_eq!(restored, snap);
+        assert_eq!(restored.fault_bins(), 3);
+    }
+
+    #[test]
+    fn v1_snapshot_loads_as_fault_blind() {
+        // A pre-hard-fault snapshot written by an older build.
+        let text = "rlnoc-policy v1 agents=1 states=4\nagent 0\nqtable 4 0\nend\n";
+        let mut buf = text.as_bytes().to_vec();
+        let crc = Crc32::new().checksum(&buf);
+        buf.extend_from_slice(format!("crc32 {crc:08x}\n").as_bytes());
+        let snap = PolicySnapshot::read(buf.as_slice()).expect("v1 must load");
+        assert_eq!(snap.fault_bins(), 1);
+        assert_eq!(snap.num_agents(), 1);
+    }
+
+    #[test]
+    fn v2_header_without_fault_bins_is_corrupt() {
+        let text = "rlnoc-policy v2 agents=1 states=4\nagent 0\nqtable 4 0\nend\n";
+        let mut buf = text.as_bytes().to_vec();
+        let crc = Crc32::new().checksum(&buf);
+        buf.extend_from_slice(format!("crc32 {crc:08x}\n").as_bytes());
+        match PolicySnapshot::read(buf.as_slice()) {
+            Err(SnapshotError::Corrupt { line: 1, .. }) => {}
+            other => panic!("expected corrupt header, got {other:?}"),
+        }
     }
 }

@@ -31,6 +31,13 @@ pub struct RouterFeatures {
     pub output_nack_rate: f64,
     /// Router temperature, °C (50..100 observed).
     pub temperature_c: f64,
+    /// Local hard-fault degree: the fraction of this router's existing
+    /// compass links that have permanently failed (1.0 if the router
+    /// itself is dead). 0.0 on a healthy mesh — beyond the paper's
+    /// Table I, so the default state space ignores it (one bin) and
+    /// fault-aware policies opt in via
+    /// [`StateSpace::with_fault_bins`].
+    pub fault_degree: f64,
 }
 
 /// Maps [`RouterFeatures`] to a dense state index.
@@ -57,6 +64,12 @@ pub struct StateSpace {
     /// below `nack_log_min` falls in bin 0; each decade above moves up a
     /// bin.
     nack_log_min: f64,
+    /// Bin count for the local hard-fault degree, appended as the
+    /// *last* (least-significant) index dimension so that `1` — the
+    /// paper's fault-free default — leaves every state index and the
+    /// total state count exactly as they were before the feature
+    /// existed.
+    fault_bins: usize,
 }
 
 impl StateSpace {
@@ -77,7 +90,22 @@ impl StateSpace {
             util_range: (0.0, 0.3),
             temp_range: (45.0, 95.0),
             nack_log_min: 1e-4,
+            fault_bins: 1,
         }
+    }
+
+    /// Extends this space with `fault_bins` bins for the local
+    /// hard-fault degree (healthy → partially amputated → dead). `1`
+    /// returns the space unchanged; `3` is the recommended granularity
+    /// for degradation sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_bins == 0`.
+    pub fn with_fault_bins(mut self, fault_bins: usize) -> Self {
+        assert!(fault_bins > 0, "need at least one fault bin");
+        self.fault_bins = fault_bins;
+        self
     }
 
     /// A custom space with uniform `bins_per_feature` everywhere (used by
@@ -94,14 +122,22 @@ impl StateSpace {
         }
     }
 
-    /// Total number of discrete states (the product of bin counts).
+    /// Total number of discrete states (the product of bin counts,
+    /// including the fault-degree dimension).
     pub fn num_states(&self) -> usize {
-        self.bins.iter().product()
+        self.bins.iter().product::<usize>() * self.fault_bins
     }
 
-    /// The per-feature bin counts.
+    /// The per-feature bin counts (Table I features; the fault-degree
+    /// bin count is reported by [`fault_bins`](Self::fault_bins)).
     pub fn bins(&self) -> &[usize; 6] {
         &self.bins
+    }
+
+    /// Bin count of the appended fault-degree dimension (`1` = the
+    /// feature is ignored, the paper's default).
+    pub fn fault_bins(&self) -> usize {
+        self.fault_bins
     }
 
     /// Discretizes a feature vector into a dense state index in
@@ -119,7 +155,9 @@ impl StateSpace {
         for (bin, &count) in d.iter().zip(&self.bins) {
             index = index * count + bin;
         }
-        index
+        // Fault degree rides last so `fault_bins == 1` leaves every
+        // index exactly as it was before the feature existed.
+        index * self.fault_bins + linear_bin(f.fault_degree, (0.0, 1.0), self.fault_bins)
     }
 }
 
@@ -163,6 +201,7 @@ mod tests {
                 input_nack_rate: 1.0,
                 output_nack_rate: 1.0,
                 temperature_c: 1e9,
+                fault_degree: 2.0,
             },
             RouterFeatures {
                 buffer_occupancy: -5.0,
@@ -171,6 +210,7 @@ mod tests {
                 input_nack_rate: -1.0,
                 output_nack_rate: -1.0,
                 temperature_c: -100.0,
+                fault_degree: -1.0,
             },
         ];
         for f in extremes {
@@ -243,6 +283,59 @@ mod tests {
     fn zero_bins_panics() {
         let _ = StateSpace::with_uniform_bins(0);
     }
+
+    #[test]
+    fn fault_bins_scale_state_count() {
+        let space = StateSpace::paper_default().with_fault_bins(3);
+        assert_eq!(space.num_states(), 30_000);
+        assert_eq!(space.fault_bins(), 3);
+    }
+
+    #[test]
+    fn fault_degree_only_matters_with_fault_bins() {
+        let healthy = RouterFeatures {
+            temperature_c: 60.0,
+            ..Default::default()
+        };
+        let amputated = RouterFeatures {
+            fault_degree: 1.0,
+            ..healthy
+        };
+
+        let blind = StateSpace::paper_default();
+        assert_eq!(blind.discretize(&healthy), blind.discretize(&amputated));
+
+        let aware = StateSpace::paper_default().with_fault_bins(3);
+        let h = aware.discretize(&healthy);
+        let a = aware.discretize(&amputated);
+        assert_ne!(h, a);
+        assert!(a > h, "higher fault degree lands in a higher bin");
+    }
+
+    #[test]
+    fn fault_blind_indices_unchanged_by_feature_addition() {
+        // fault_bins == 1 must reproduce the pre-hard-fault indexing
+        // exactly, so existing policy snapshots keep their meaning.
+        let space = StateSpace::paper_default();
+        let f = RouterFeatures {
+            buffer_occupancy: 7.0,
+            input_utilization: 0.12,
+            output_utilization: 0.05,
+            input_nack_rate: 3e-3,
+            output_nack_rate: 0.0,
+            temperature_c: 72.0,
+            fault_degree: 0.75,
+        };
+        // Hand-computed mixed-radix index over bins [5,5,5,4,4,5].
+        let expected = ((((1 * 5 + 2) * 5 + 0) * 4 + 2) * 4 + 0) * 5 + 2;
+        assert_eq!(space.discretize(&f), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fault bin")]
+    fn zero_fault_bins_panics() {
+        let _ = StateSpace::paper_default().with_fault_bins(0);
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +355,7 @@ mod prop_tests {
                 input_nack_rate: inr,
                 output_nack_rate: onr,
                 temperature_c: t,
+                fault_degree: 0.0,
             };
             prop_assert!(space.discretize(&f) < space.num_states());
         }

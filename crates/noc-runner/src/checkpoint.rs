@@ -152,6 +152,27 @@ pub fn render_report(report: &ExperimentReport) -> String {
     .expect("write to string");
     writeln!(s, "mean_temperature_c {}", r.mean_temperature_c).expect("write to string");
     writeln!(s, "max_temperature_c {}", r.max_temperature_c).expect("write to string");
+    // Hard-fault counters render only when at least one is nonzero, so
+    // reports from fault-free campaigns stay byte-identical to the
+    // pre-hard-fault fixture format.
+    let any_fault = r.hard_fault_events != 0
+        || r.reroute_events != 0
+        || r.packets_lost_hard_fault != 0
+        || r.packets_refused_unreachable != 0
+        || r.unreachable_pairs != 0;
+    if any_fault {
+        writeln!(s, "hard_fault_events {}", r.hard_fault_events).expect("write to string");
+        writeln!(s, "reroute_events {}", r.reroute_events).expect("write to string");
+        writeln!(s, "packets_lost_hard_fault {}", r.packets_lost_hard_fault)
+            .expect("write to string");
+        writeln!(
+            s,
+            "packets_refused_unreachable {}",
+            r.packets_refused_unreachable
+        )
+        .expect("write to string");
+        writeln!(s, "unreachable_pairs {}", r.unreachable_pairs).expect("write to string");
+    }
     s
 }
 
@@ -192,7 +213,7 @@ pub fn parse_report(body: &str) -> Result<ExperimentReport, CheckpointError> {
     let scheme = scheme_from_name(scheme_raw)
         .ok_or_else(|| CheckpointError::Corrupt(format!("unknown scheme `{scheme_raw}`")))?;
     let workload = p.next_field("workload")?.to_string();
-    let report = ExperimentReport {
+    let mut report = ExperimentReport {
         scheme,
         workload,
         seed: p.parse("seed")?,
@@ -233,9 +254,32 @@ pub fn parse_report(body: &str) -> Result<ExperimentReport, CheckpointError> {
         },
         mean_temperature_c: p.parse("mean_temperature_c")?,
         max_temperature_c: p.parse("max_temperature_c")?,
+        hard_fault_events: 0,
+        reroute_events: 0,
+        packets_lost_hard_fault: 0,
+        packets_refused_unreachable: 0,
+        unreachable_pairs: 0,
     };
     match p.lines.next() {
         Some("end") => Ok(report),
+        Some(line) if line.starts_with("hard_fault_events ") => {
+            // The optional hard-fault block: all five counters, in
+            // order, present only when the run saw faults.
+            report.hard_fault_events =
+                line["hard_fault_events ".len()..].parse().map_err(|_| {
+                    CheckpointError::Corrupt("unparsable value for `hard_fault_events`".into())
+                })?;
+            report.reroute_events = p.parse("reroute_events")?;
+            report.packets_lost_hard_fault = p.parse("packets_lost_hard_fault")?;
+            report.packets_refused_unreachable = p.parse("packets_refused_unreachable")?;
+            report.unreachable_pairs = p.parse("unreachable_pairs")?;
+            match p.lines.next() {
+                Some("end") => Ok(report),
+                other => Err(CheckpointError::Corrupt(format!(
+                    "expected `end`, got {other:?}"
+                ))),
+            }
+        }
         other => Err(CheckpointError::Corrupt(format!(
             "expected `end`, got {other:?}"
         ))),
@@ -467,6 +511,11 @@ mod tests {
             mode_histogram: [10, 20, 30, 40],
             mean_temperature_c: 67.33333333333333,
             max_temperature_c: 81.0,
+            hard_fault_events: 0,
+            reroute_events: 0,
+            packets_lost_hard_fault: 0,
+            packets_refused_unreachable: 0,
+            unreachable_pairs: 0,
         }
     }
 
@@ -481,6 +530,48 @@ mod tests {
         let report = sample_report(7);
         let parsed = parse_report(&format!("{}end\n", render_report(&report))).expect("parses");
         assert_eq!(parsed, report, "floats survive shortest round-trip text");
+    }
+
+    #[test]
+    fn fault_free_report_renders_without_hard_fault_lines() {
+        let rendered = render_report(&sample_report(7));
+        assert!(
+            !rendered.contains("hard_fault_events"),
+            "zero-fault reports must stay byte-identical to the \
+             pre-hard-fault format:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn faulted_report_round_trips_through_the_optional_block() {
+        let mut report = sample_report(7);
+        report.hard_fault_events = 3;
+        report.reroute_events = 2;
+        report.packets_lost_hard_fault = 17;
+        report.packets_refused_unreachable = 5;
+        report.unreachable_pairs = 12;
+        let rendered = render_report(&report);
+        assert!(rendered.contains("hard_fault_events 3"));
+        let parsed = parse_report(&format!("{rendered}end\n")).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn truncated_hard_fault_block_is_corrupt() {
+        let mut report = sample_report(7);
+        report.hard_fault_events = 1;
+        report.unreachable_pairs = 4;
+        let rendered = render_report(&report);
+        // Drop the last line of the block (`unreachable_pairs`).
+        let cut = rendered
+            .lines()
+            .filter(|l| !l.starts_with("unreachable_pairs"))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert!(
+            parse_report(&format!("{cut}end\n")).is_err(),
+            "a partial hard-fault block must not parse"
+        );
     }
 
     #[test]

@@ -43,6 +43,11 @@ fn sample_report(seed: u64) -> ExperimentReport {
         mode_histogram: [10, 20, 30, 40],
         mean_temperature_c: 67.33333333333333,
         max_temperature_c: 81.0,
+        hard_fault_events: 0,
+        reroute_events: 0,
+        packets_lost_hard_fault: 0,
+        packets_refused_unreachable: 0,
+        unreachable_pairs: 0,
     }
 }
 

@@ -79,6 +79,85 @@ fn resume_from_partial_checkpoints_matches_uninterrupted_run() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// A campaign whose runs take hard faults mid-flight: a corner cut at
+/// cycle 1 guarantees every report carries the unreachable-pairs gauge
+/// (so checkpoints exercise the optional hard-fault block), and a
+/// random tail of failures lands inside the simulated windows.
+fn faulted_campaign() -> rlnoc_core::campaign::Campaign {
+    use noc_fault::hardfault::{HardFault, HardFaultEntry, HardFaultSchedule};
+    let mut campaign = tiny_campaign();
+    let mut entries = vec![
+        HardFaultEntry {
+            cycle: 1,
+            fault: HardFault::Link { node: 0, dir: 1 },
+        },
+        HardFaultEntry {
+            cycle: 1,
+            fault: HardFault::Link { node: 0, dir: 2 },
+        },
+    ];
+    entries.extend(HardFaultSchedule::random(4, 4, 2, 1, (500, 6_000), 23).entries);
+    campaign.hard_faults = Some(std::sync::Arc::new(HardFaultSchedule::explicit(
+        4, 4, entries,
+    )));
+    campaign
+}
+
+#[test]
+fn faulted_campaign_is_identical_across_worker_counts_and_resume() {
+    let campaign = faulted_campaign();
+    let uninterrupted = campaign.run();
+    assert!(
+        uninterrupted
+            .reports
+            .iter()
+            .all(|r| r.unreachable_pairs > 0),
+        "the corner cut must show in every report"
+    );
+    assert!(
+        uninterrupted
+            .reports
+            .iter()
+            .any(|r| r.hard_fault_events > 0),
+        "some scheme must take fault events inside its measured window"
+    );
+
+    for jobs in [1, 4, 8] {
+        let parallel = RunnerConfig {
+            jobs,
+            ..RunnerConfig::serial()
+        }
+        .run_campaign(&campaign);
+        assert_eq!(
+            parallel, uninterrupted,
+            "{jobs}-worker faulted campaign must match the serial run"
+        );
+    }
+
+    // Kill-and-resume: half the checkpoints exist, the rest re-run; the
+    // stored half round-trips the optional hard-fault report block.
+    let dir = temp_dir("faulted-resume");
+    let total = uninterrupted.reports.len();
+    let ckpt = CheckpointDir::open(&dir, campaign.fingerprint(), total).expect("open");
+    for (index, report) in uninterrupted.reports.iter().enumerate().take(total / 2) {
+        ckpt.store(index, report).expect("store");
+    }
+    for jobs in [1, 4, 8] {
+        let resumed = RunnerConfig {
+            jobs,
+            snapshot_dir: Some(dir.clone()),
+            resume: true,
+            telemetry: Telemetry::disabled(),
+        }
+        .run_campaign(&campaign);
+        assert_eq!(
+            resumed, uninterrupted,
+            "{jobs}-worker resume of the faulted campaign changes nothing"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 #[test]
 fn rl_policy_snapshots_are_saved_and_reloadable() {
     let mut campaign = tiny_campaign();

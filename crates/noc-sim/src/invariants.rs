@@ -18,6 +18,12 @@
 //!   names a sequence number the upstream retransmit buffer still holds
 //!   a pristine copy of (NACKs keep entries; only ACKs release them),
 //!   and no gate sits on a local injection port.
+//! * **Hard-fault hygiene** (when a hard-fault schedule is active) —
+//!   dead routers hold no arena flits or pending resends, no credit
+//!   return in the event wheel targets a dead link (dead-link credits
+//!   are deliberately lost, never replenished), and every entry of the
+//!   fault-adaptive reroute table points at a live link to a live
+//!   neighbor.
 //! * **Pipeline-stage counters** — the incremental `occupied_vcs` /
 //!   `rc_pending` / `needs_va` / `active_vcs` skip counters match a full
 //!   rescan (the release-build analogue of
@@ -82,6 +88,7 @@ impl<E: ErrorControl> Network<E> {
         self.verify_arena_reachability();
         self.verify_credit_conservation();
         self.verify_arq_windows();
+        self.verify_hard_faults();
         self.verify_stage_counters();
         self.verify_watchdog();
     }
@@ -175,6 +182,16 @@ impl<E: ErrorControl> Network<E> {
                 let Some(down) = self.neighbors.get(r.id, dir) else {
                     continue; // mesh edge: port unused
                 };
+                if self.faults.as_deref().is_some_and(|fs| {
+                    fs.node_dead[r.id.index()]
+                        || fs.node_dead[down.index()]
+                        || fs.link_dead[r.id.index()][dir.index()]
+                }) {
+                    // Dead link: its credits are deliberately lost (flits
+                    // evaporate without returns), so the sum runs short.
+                    // `verify_hard_faults` owns the dead-side properties.
+                    continue;
+                }
                 let in_port = dir.opposite().index();
                 for vcn in 0..v {
                     let credits = u32::from(r.outputs[dir.index()].vcs[vcn].credits);
@@ -214,6 +231,15 @@ impl<E: ErrorControl> Network<E> {
                         .neighbors
                         .get(r.id, dir)
                         .expect("gated input port faces a neighbor");
+                    if self.faults.as_deref().is_some_and(|fs| {
+                        fs.node_dead[r.id.index()]
+                            || fs.node_dead[up.index()]
+                            || fs.link_dead[r.id.index()][pi]
+                    }) {
+                        // A dead upstream's retransmit buffer was cleared;
+                        // the fault purge is responsible for these gates.
+                        continue;
+                    }
                     let out = &self.routers[up.index()].outputs[dir.opposite().index()];
                     assert!(
                         out.retx_buffer.iter().any(|(s, _)| s == seq),
@@ -221,6 +247,80 @@ impl<E: ErrorControl> Network<E> {
                          {up} no longer buffers it (premature release would deadlock the VC)",
                         self.cycle,
                         r.id,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hard-fault hygiene: dead routers are fully evacuated, dead-link
+    /// credits are never replenished, and the fault-adaptive reroute
+    /// table only ever points at live links to live neighbors.
+    fn verify_hard_faults(&self) {
+        let Some(fs) = self.faults.as_deref() else {
+            return; // no schedule installed: nothing to police
+        };
+        // 1. Dead routers hold no arena flits: the evacuation drained
+        //    every input FIFO and pending-resend queue and idled the VCs.
+        for (ni, r) in self.routers.iter().enumerate() {
+            if !fs.node_dead[ni] {
+                continue;
+            }
+            let fifo: usize = r
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter())
+                .map(|vc| vc.fifo.len())
+                .sum();
+            let resend: usize = r.outputs.iter().map(|o| o.retx_pending.len()).sum();
+            assert!(
+                fifo == 0 && resend == 0 && r.occupied_vcs == 0,
+                "dead router {} holds flits at cycle {}: {fifo} buffered, {resend} pending \
+                 resends, {} occupied VCs (evacuation must drain everything)",
+                r.id,
+                self.cycle,
+                r.occupied_vcs,
+            );
+        }
+        // 2. Credits on dead links are never replenished: no credit
+        //    return in flight may target a dead endpoint or channel.
+        for events in &self.wheel.slots {
+            for ev in events {
+                if let Event::Credit { node, port, vc } = *ev {
+                    assert!(
+                        !fs.node_dead[node.index()] && !fs.link_dead[node.index()][port.index()],
+                        "credit replenished on dead link at cycle {}: {}:{port} vc{vc} \
+                         (dead-link credits are lost by design)",
+                        self.cycle,
+                        node,
+                    );
+                }
+            }
+        }
+        // 3. Reroute table consistent with the live-neighbor set: every
+        //    routed hop crosses a live link into a live router.
+        if let Some(fr) = &fs.routes {
+            for cur in self.mesh.nodes() {
+                if fs.node_dead[cur.index()] {
+                    continue;
+                }
+                for dst in self.mesh.nodes() {
+                    let Some(dir) = fr.next_hop(cur, dst) else {
+                        continue;
+                    };
+                    if dir == Direction::Local {
+                        continue; // ejection at the destination itself
+                    }
+                    let live = !fs.link_dead[cur.index()][dir.index()]
+                        && self
+                            .neighbors
+                            .get(cur, dir)
+                            .is_some_and(|nb| !fs.node_dead[nb.index()]);
+                    assert!(
+                        live,
+                        "reroute table inconsistent with live-neighbor set at cycle {}: \
+                         {cur}→{dst} via {dir} crosses a dead link or router",
+                        self.cycle,
                     );
                 }
             }
@@ -387,6 +487,117 @@ mod tests {
     fn corrupted_stage_counter_is_detected() {
         let mut net = armed_net(PerfectLink::new());
         net.routers[0].rc_pending += 1;
+        net.step();
+    }
+
+    /// Armed network with the router at (1, 1) already dead: the common
+    /// fixture for the hard-fault corruption-injection tests below.
+    fn armed_faulted_net() -> Network<PerfectLink> {
+        let mut net = armed_net(PerfectLink::new());
+        let dead = net.mesh().node_at(1, 1);
+        net.set_hard_faults(vec![HardFaultEvent {
+            cycle: 1,
+            kind: HardFaultKind::Router { node: dead },
+        }]);
+        for _ in 0..4 {
+            net.step();
+        }
+        assert!(net.node_dead(dead), "fixture fault must have applied");
+        net
+    }
+
+    #[test]
+    fn hard_fault_traffic_upholds_every_invariant() {
+        let mut net = armed_net(ScriptedErrorControl::reject_every(5));
+        let mesh = net.mesh();
+        net.set_hard_faults(vec![
+            HardFaultEvent {
+                cycle: 20,
+                kind: HardFaultKind::Link {
+                    node: mesh.node_at(0, 0),
+                    dir: Direction::East,
+                },
+            },
+            HardFaultEvent {
+                cycle: 30,
+                kind: HardFaultKind::Router {
+                    node: mesh.node_at(2, 2),
+                },
+            },
+        ]);
+        offer_all_pairs(&mut net);
+        assert!(net.run_until_quiescent(20_000));
+        let stats = net.stats();
+        assert_eq!(stats.hard_fault_events, 2);
+        assert_eq!(
+            stats.packets_delivered + stats.packets_lost_hard_fault,
+            stats.packets_injected,
+            "conservation must hold under armed hard-fault checking"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dead router")]
+    fn flit_in_dead_router_is_detected() {
+        use crate::router::BufferedFlit;
+        let mut net = armed_faulted_net();
+        let dead = net.mesh().node_at(1, 1);
+        let packet = Packet {
+            id: PacketId(900),
+            src: NodeId(0),
+            dst: NodeId(1),
+            num_flits: 1,
+            class: PacketClass::Data,
+            injected_at: 0,
+            payload_seed: 1,
+        };
+        // Smuggle an arena flit into the evacuated router's input FIFO.
+        let flit = net.arena.alloc(packet.make_flit(0, 0, &Crc32::new()));
+        net.routers[dead.index()].inputs[Direction::East.index()][0]
+            .fifo
+            .push_back(BufferedFlit {
+                flit,
+                arrived_at: 0,
+            });
+        // Invoke the checker directly: a full step would trip the
+        // debug-build stage-counter assertion before it gets here.
+        net.verify_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "credit replenished on dead link")]
+    fn replenished_dead_link_credit_is_detected() {
+        let mut net = armed_faulted_net();
+        // (0, 1)'s East channel leads into the dead router: schedule a
+        // credit return onto it as if a flit had just drained there.
+        let west_neighbor = net.mesh().node_at(0, 1);
+        let now = net.cycle;
+        net.wheel.push(
+            now,
+            now + 1,
+            Event::Credit {
+                node: west_neighbor,
+                port: Direction::East,
+                vc: 0,
+            },
+        );
+        net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "reroute table inconsistent")]
+    fn stale_reroute_entry_is_detected() {
+        let mut net = armed_faulted_net();
+        let mesh = net.mesh();
+        let (cur, dst) = (mesh.node_at(0, 1), mesh.node_at(3, 3));
+        // Point a live pair's route straight into the dead router.
+        net.faults
+            .as_mut()
+            .expect("fixture installed a schedule")
+            .routes
+            .as_mut()
+            .expect("fixture applied a fault")
+            .corrupt_entry(cur, dst, Direction::East);
         net.step();
     }
 }

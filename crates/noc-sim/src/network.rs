@@ -32,13 +32,13 @@ use crate::config::NocConfig;
 use crate::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use crate::flit::{Flit, FlitArena, FlitRef, Packet, PacketClass, PacketId, PacketWindow};
 use crate::router::{PendingRetransmit, Router, VcState};
-use crate::routing::RouteTable;
+use crate::routing::{FaultRoutes, RouteTable};
 use crate::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use crate::topology::{Direction, LinkId, Mesh, NeighborTable, NodeId, NUM_PORTS};
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
-use rlnoc_telemetry::{Counter, Histogram, Telemetry, TimerHandle};
-use std::collections::VecDeque;
+use rlnoc_telemetry::{Counter, Gauge, Histogram, Telemetry, TimerHandle};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Per-cycle runtime invariant checks (child module so it can traverse
 /// the private event wheel); compiled only under the `verify` feature
@@ -146,6 +146,87 @@ struct InjectProgress {
     vc: u8,
 }
 
+/// What fails in a [`HardFaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardFaultKind {
+    /// The bidirectional channel between `node` and its neighbor in
+    /// `dir` fails permanently (both directions die together — the
+    /// physical wires share a bundle).
+    Link {
+        /// One endpoint of the failing channel.
+        node: NodeId,
+        /// The direction of the channel at `node` (never `Local`).
+        dir: Direction,
+    },
+    /// The whole router (and every link attached to it) fails
+    /// permanently. Its core can no longer inject or receive packets.
+    Router {
+        /// The failing router.
+        node: NodeId,
+    },
+}
+
+/// A permanent topology failure scheduled at a simulation cycle.
+///
+/// Applied at the start of the `step` for `cycle` — before event
+/// processing — so both the production and reference simulators observe
+/// the failure at exactly the same point in the phase order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardFaultEvent {
+    /// Absolute cycle at which the element dies.
+    pub cycle: u64,
+    /// The failing element.
+    pub kind: HardFaultKind,
+}
+
+/// Hard-fault bookkeeping: the pending schedule, liveness marks, the
+/// fault-adaptive route table (built at the first applied event), and
+/// the set of packets lost to faults ("doomed" — their surviving flits
+/// evaporate on arrival instead of being forwarded).
+#[derive(Debug)]
+struct FaultState {
+    events: Vec<HardFaultEvent>,
+    next_event: usize,
+    node_dead: Vec<bool>,
+    /// `link_dead[node][port]`: the channel at `node` in that direction
+    /// is dead. Kept symmetric with the peer's opposite entry.
+    link_dead: Vec<[bool; NUM_PORTS]>,
+    /// `Some` once the first fault event has been applied; the network
+    /// then routes via this table instead of X-Y.
+    routes: Option<FaultRoutes>,
+    /// Packets that lost at least one flit (or their source/destination
+    /// router) to a hard fault. Membership-only, ordered for
+    /// deterministic iteration.
+    doomed: BTreeSet<PacketId>,
+}
+
+impl FaultState {
+    fn new(events: Vec<HardFaultEvent>, n: usize) -> Self {
+        Self {
+            events,
+            next_event: 0,
+            node_dead: vec![false; n],
+            link_dead: vec![[false; NUM_PORTS]; n],
+            routes: None,
+            doomed: BTreeSet::new(),
+        }
+    }
+
+    /// Marks the channel `node → dir` (and its reverse) dead.
+    fn kill_link(&mut self, neighbors: &NeighborTable, node: NodeId, dir: Direction) {
+        self.link_dead[node.index()][dir.index()] = true;
+        if let Some(peer) = neighbors.get(node, dir) {
+            self.link_dead[peer.index()][dir.opposite().index()] = true;
+        }
+    }
+
+    /// Records `id` as lost; returns `true` when newly recorded and the
+    /// packet carries data (i.e. counts toward `packets_lost_faults`).
+    fn doom(&mut self, id: PacketId, is_data: bool) -> bool {
+        self.doomed.insert(id) && is_data
+    }
+}
+
 /// A cycle-accurate NoC simulation instance, generic over the
 /// [`ErrorControl`] implementation that governs link protection.
 ///
@@ -199,6 +280,13 @@ pub struct Network<E: ErrorControl> {
     stats: NetworkStats,
     epoch: Vec<RouterEpochStats>,
     counters: Vec<EventCounters>,
+    /// Hard-fault state; `None` (the default) leaves every fault-mode
+    /// branch cold so zero-fault runs are bit-identical to a build
+    /// without the subsystem.
+    faults: Option<Box<FaultState>>,
+    /// Scratch: packets doomed by the RC stage this cycle (destination
+    /// became unreachable), with their data/control classification.
+    rc_doomed: Vec<(PacketId, bool)>,
     tel: NetTelemetry,
     /// Watchdog state for the runtime invariant checker.
     #[cfg(feature = "verify")]
@@ -228,6 +316,10 @@ struct NetTelemetry {
     arq_nacks: Counter,
     arq_retransmits: Counter,
     buffered_flits: Histogram,
+    hardfault_events: Counter,
+    hardfault_reroutes: Counter,
+    hardfault_packets_lost: Counter,
+    hardfault_unreachable_pairs: Gauge,
 }
 
 impl NetTelemetry {
@@ -243,6 +335,10 @@ impl NetTelemetry {
             arq_nacks: telemetry.counter("sim.arq.nacks"),
             arq_retransmits: telemetry.counter("sim.arq.retransmit_sends"),
             buffered_flits: telemetry.histogram("sim.router.buffered_flits"),
+            hardfault_events: telemetry.counter("sim.hardfault.events"),
+            hardfault_reroutes: telemetry.counter("sim.hardfault.reroutes"),
+            hardfault_packets_lost: telemetry.counter("sim.hardfault.packets_lost"),
+            hardfault_unreachable_pairs: telemetry.gauge("sim.hardfault.unreachable_pairs"),
         }
     }
 }
@@ -284,6 +380,8 @@ impl<E: ErrorControl> Network<E> {
             stats: NetworkStats::default(),
             epoch: vec![RouterEpochStats::default(); n],
             counters: vec![EventCounters::default(); n],
+            faults: None,
+            rc_doomed: Vec::new(),
             tel: NetTelemetry::default(),
             #[cfg(feature = "verify")]
             verify: invariants::VerifyState::default(),
@@ -347,6 +445,14 @@ impl<E: ErrorControl> Network<E> {
         for c in &mut self.counters {
             c.reset();
         }
+        // `unreachable_pairs` is a gauge, not an accumulator: re-seed it
+        // from the live fault state so measurement-phase reports still
+        // describe the surviving topology.
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                self.stats.unreachable_pairs = fr.unreachable_pairs();
+            }
+        }
     }
 
     /// Cumulative per-router energy event counters.
@@ -374,9 +480,80 @@ impl<E: ErrorControl> Network<E> {
         &self.routers[node.index()]
     }
 
+    /// Installs a permanent hard-fault schedule. Each event is applied
+    /// at the start of its cycle's `step`; an empty schedule leaves the
+    /// network in the exact zero-fault fast path.
+    ///
+    /// Replaces any previously installed schedule; call before the
+    /// first `step` (events whose cycle already passed are applied at
+    /// the next step in one batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a node outside the mesh, a `Local`
+    /// direction, or a link beyond a mesh edge.
+    pub fn set_hard_faults(&mut self, mut events: Vec<HardFaultEvent>) {
+        for ev in &events {
+            match ev.kind {
+                HardFaultKind::Router { node } => {
+                    assert!(
+                        node.index() < self.mesh.num_nodes(),
+                        "fault node outside mesh"
+                    );
+                }
+                HardFaultKind::Link { node, dir } => {
+                    assert!(
+                        node.index() < self.mesh.num_nodes(),
+                        "fault node outside mesh"
+                    );
+                    assert!(
+                        self.mesh.neighbor(node, dir).is_some(),
+                        "hard fault on a nonexistent link {node}:{dir}"
+                    );
+                }
+            }
+        }
+        if events.is_empty() {
+            self.faults = None;
+            return;
+        }
+        events.sort_by_key(|e| e.cycle);
+        self.faults = Some(Box::new(FaultState::new(events, self.mesh.num_nodes())));
+    }
+
+    /// `true` once at least one hard-fault event has been applied (the
+    /// network is routing on the fault-adaptive table).
+    pub fn hard_faults_active(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.routes.is_some())
+    }
+
+    /// The fault-adaptive route table, once hard faults are active.
+    pub fn fault_routes(&self) -> Option<&FaultRoutes> {
+        self.faults.as_ref().and_then(|f| f.routes.as_ref())
+    }
+
+    /// Whether router `node` has failed.
+    pub fn node_dead(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.node_dead[node.index()])
+    }
+
+    /// Whether the channel leaving `node` in `dir` has failed.
+    pub fn link_dead(&self, node: NodeId, dir: Direction) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.link_dead[node.index()][dir.index()])
+    }
+
     /// Offers a data packet from `src` to `dst`, returning its id. The
     /// packet enters the source queue immediately and is injected
     /// flit-by-flit as the local port allows.
+    ///
+    /// Once hard faults are active, an offer between endpoints with no
+    /// live route is *refused*: it consumes an id (so id streams stay
+    /// aligned with the reference model) but injects nothing, counted
+    /// in `packets_refused_unreachable`.
     ///
     /// # Panics
     ///
@@ -387,6 +564,16 @@ impl<E: ErrorControl> Network<E> {
             src.index() < self.mesh.num_nodes() && dst.index() < self.mesh.num_nodes(),
             "node outside mesh"
         );
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                if !fr.reachable(src, dst) {
+                    let id = PacketId(self.next_packet_id);
+                    self.next_packet_id += 1;
+                    self.stats.packets_refused_unreachable += 1;
+                    return id;
+                }
+            }
+        }
         let id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         let packet = Packet {
@@ -406,6 +593,15 @@ impl<E: ErrorControl> Network<E> {
 
     /// Offers a retransmit-request control packet (destination → source).
     fn offer_control(&mut self, from: NodeId, to: NodeId, of: PacketId) {
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                if !fr.reachable(from, to) {
+                    // The source can no longer be reached; the request
+                    // (and with it the retransmission) is abandoned.
+                    return;
+                }
+            }
+        }
         let id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         let packet = Packet {
@@ -424,6 +620,15 @@ impl<E: ErrorControl> Network<E> {
     /// Advances the simulation by one clock cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        if let Some(fs) = &self.faults {
+            if fs
+                .events
+                .get(fs.next_event)
+                .is_some_and(|e| e.cycle <= cycle)
+            {
+                self.apply_hard_fault_batch(cycle);
+            }
+        }
         {
             let _span = self.tel.phase_events.start();
             self.process_events(cycle);
@@ -509,7 +714,38 @@ impl<E: ErrorControl> Network<E> {
                     vc,
                     flit,
                 } => {
-                    self.accept_flit(node, in_port, vc, flit, cycle);
+                    if self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|fs| fs.doomed.contains(&self.arena[flit].packet))
+                    {
+                        // Evaporate (the hop already ACKed at accept
+                        // time); return the buffer credit if the
+                        // upstream link still lives.
+                        if in_port != Direction::Local
+                            && !self
+                                .faults
+                                .as_ref()
+                                .is_some_and(|fs| fs.link_dead[node.index()][in_port.index()])
+                        {
+                            let up = self
+                                .neighbors
+                                .get(node, in_port)
+                                .expect("flit arrived from a neighbor");
+                            self.wheel.push(
+                                cycle,
+                                cycle + 1,
+                                Event::Credit {
+                                    node: up,
+                                    port: in_port.opposite(),
+                                    vc,
+                                },
+                            );
+                        }
+                        self.arena.free(flit);
+                    } else {
+                        self.accept_flit(node, in_port, vc, flit, cycle);
+                    }
                 }
                 Event::Eject { node, flit } => self.handle_eject(cycle, node, flit),
                 Event::Credit { node, port, vc } => {
@@ -565,6 +801,48 @@ impl<E: ErrorControl> Network<E> {
         let si = link.src.index();
         let in_port = link.dir.opposite();
         let ack_at = cycle + self.config.ack_latency as u64;
+
+        // Hard-fault evaporation: flits of a doomed packet drain out at
+        // arrival — the link-level contract (ACK + credit) completes so
+        // the sender's ARQ window and credit pool recover, but the flit
+        // goes no further. Arrivals only happen on live links: dead
+        // links had their in-flight events swept at fault application.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.doomed.contains(&self.arena[flit].packet))
+        {
+            if kind == TransferKind::HopRetransmit && seq.is_some() {
+                let ivc = &mut self.routers[di].inputs[in_port.index()][vc as usize];
+                if ivc.awaiting_retx == seq {
+                    ivc.awaiting_retx = None;
+                }
+            }
+            if let Some(seq) = seq {
+                self.counters[di].ack_signals += 1;
+                self.wheel.push(
+                    cycle,
+                    ack_at,
+                    Event::AckSignal {
+                        node: link.src,
+                        port: link.dir,
+                        seq,
+                        kind: AckKind::Ack,
+                    },
+                );
+            }
+            self.wheel.push(
+                cycle,
+                cycle + 1,
+                Event::Credit {
+                    node: link.src,
+                    port: link.dir,
+                    vc,
+                },
+            );
+            self.arena.free(flit);
+            return;
+        }
 
         // Go-back-N gate: while a rejected flit awaits retransmission on
         // this VC, auto-reject every non-matching arrival that carries a
@@ -766,6 +1044,14 @@ impl<E: ErrorControl> Network<E> {
     }
 
     fn handle_eject(&mut self, cycle: u64, node: NodeId, flit: FlitRef) {
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.doomed.contains(&self.arena[flit].packet))
+        {
+            self.arena.free(flit);
+            return;
+        }
         self.counters[node.index()].crc_checks += 1;
         let (packet_id, attempt, is_control) = {
             let f = &self.arena[flit];
@@ -845,7 +1131,10 @@ impl<E: ErrorControl> Network<E> {
                             }
                         }
                         // Attribute the latency to every router on the
-                        // packet's X-Y path (src and dst inclusive).
+                        // packet's routed path (src and dst inclusive).
+                        // Under hard faults the walk follows the current
+                        // fault-adaptive table and stops early if the
+                        // path was severed after delivery.
                         let mut r = head.src;
                         loop {
                             let e = &mut self.epoch[r.index()];
@@ -854,7 +1143,13 @@ impl<E: ErrorControl> Network<E> {
                             if r == head.dst {
                                 break;
                             }
-                            let dir = self.routes.next_hop(r, head.dst);
+                            let dir = match self.faults.as_ref().and_then(|f| f.routes.as_ref()) {
+                                Some(fr) => match fr.next_hop(r, head.dst) {
+                                    Some(d) if d != Direction::Local => d,
+                                    _ => break,
+                                },
+                                None => self.routes.next_hop(r, head.dst),
+                            };
                             r = self.neighbors.get(r, dir).expect("route stays in mesh");
                         }
                     }
@@ -930,6 +1225,7 @@ impl<E: ErrorControl> Network<E> {
             arena,
             neighbors,
             tel,
+            faults,
             ..
         } = self;
         let link_latency = config.link_latency as u64;
@@ -1008,7 +1304,10 @@ impl<E: ErrorControl> Network<E> {
                 router.sa_scratch.fill(false);
                 let mut any = false;
                 for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
-                    let VcState::Active { out_port, out_vc } = ivc.state else {
+                    let VcState::Active {
+                        out_port, out_vc, ..
+                    } = ivc.state
+                    else {
                         continue;
                     };
                     let Some(front) = ivc.fifo.front() else {
@@ -1040,7 +1339,9 @@ impl<E: ErrorControl> Network<E> {
                     continue;
                 }
                 if let Some(win) = router.sa_input_arbiters[in_p].grant(&router.sa_scratch) {
-                    let VcState::Active { out_port, out_vc } = router.inputs[in_p][win].state
+                    let VcState::Active {
+                        out_port, out_vc, ..
+                    } = router.inputs[in_p][win].state
                     else {
                         unreachable!("selected VC must be active");
                     };
@@ -1093,9 +1394,13 @@ impl<E: ErrorControl> Network<E> {
                     router.occupied_vcs -= 1;
                 }
 
-                // Return the freed buffer slot to the upstream router.
+                // Return the freed buffer slot to the upstream router —
+                // unless the upstream link died (dead links never see
+                // their credits replenished).
                 let in_dir = Direction::from_index(in_p);
-                if in_dir != Direction::Local {
+                if in_dir != Direction::Local
+                    && !faults.as_ref().is_some_and(|f| f.link_dead[ri][in_p])
+                {
                     let upstream = neighbors
                         .get(rid, in_dir)
                         .expect("flit arrived from a neighbor");
@@ -1181,19 +1486,427 @@ impl<E: ErrorControl> Network<E> {
             routers,
             routes,
             arena,
+            faults,
+            rc_doomed,
             ..
         } = self;
+        let fault_routes = faults.as_deref().and_then(|f| f.routes.as_ref());
         for router in routers.iter_mut() {
             if router.occupied_vcs == 0 {
                 continue; // no buffered head flit: RC has nothing to do
             }
-            router.rc_stage(cycle, routes, arena);
+            router.rc_stage(cycle, routes, fault_routes, arena, rc_doomed);
+        }
+        if !self.rc_doomed.is_empty() {
+            self.finish_rc_dooms(cycle);
         }
     }
 
     fn sample_phase(&mut self) {
         for (ri, router) in self.routers.iter().enumerate() {
             self.epoch[ri].sample_cycle(router.occupied_input_vcs() as u64);
+        }
+    }
+
+    // ----- hard faults ----------------------------------------------------
+
+    /// Applies every hard-fault event due at `cycle`: marks the dead
+    /// elements, recomputes the fault-adaptive route table, evacuates
+    /// state resident on dead elements, and purges the packets the
+    /// batch killed. Runs at the top of `step` — before event
+    /// processing — so both simulation engines observe the failure at
+    /// the same phase-order point.
+    fn apply_hard_fault_batch(&mut self, cycle: u64) {
+        let mut fs = self
+            .faults
+            .take()
+            .expect("caller checked a schedule exists");
+        let mut lost = 0u64;
+
+        // 1. Consume the due events.
+        let mut applied = 0u64;
+        while let Some(ev) = fs.events.get(fs.next_event) {
+            if ev.cycle > cycle {
+                break;
+            }
+            match ev.kind {
+                HardFaultKind::Router { node } => {
+                    fs.node_dead[node.index()] = true;
+                    for dir in Direction::COMPASS {
+                        if self.mesh.neighbor(node, dir).is_some() {
+                            fs.kill_link(&self.neighbors, node, dir);
+                        }
+                    }
+                }
+                HardFaultKind::Link { node, dir } => fs.kill_link(&self.neighbors, node, dir),
+            }
+            fs.next_event += 1;
+            applied += 1;
+        }
+
+        // 2. Recompute the routing tree on the surviving topology.
+        let node_alive: Vec<bool> = fs.node_dead.iter().map(|&d| !d).collect();
+        let routes = FaultRoutes::compute(self.mesh, &node_alive, |n, d| {
+            !fs.link_dead[n.index()][d.index()]
+        });
+        let unreachable = routes.unreachable_pairs();
+        fs.routes = Some(routes);
+
+        // 3. Wheel sweep: in-flight events on dead elements die in
+        // place. Killing an arrival dooms its packet — the wormhole has
+        // been severed.
+        {
+            let arena = &mut self.arena;
+            for slot in &mut self.wheel.slots {
+                slot.retain(|ev| {
+                    let dead_flit = match *ev {
+                        Event::Arrival { link, flit, .. } => {
+                            if fs.link_dead[link.src.index()][link.dir.index()] {
+                                Some(flit)
+                            } else {
+                                None
+                            }
+                        }
+                        Event::DirectDeliver { node, flit, .. } | Event::Eject { node, flit } => {
+                            if fs.node_dead[node.index()] {
+                                Some(flit)
+                            } else {
+                                None
+                            }
+                        }
+                        Event::Credit { node, port, .. } | Event::AckSignal { node, port, .. } => {
+                            return !(fs.node_dead[node.index()]
+                                || fs.link_dead[node.index()][port.index()]);
+                        }
+                    };
+                    match dead_flit {
+                        Some(flit) => {
+                            let f = &arena[flit];
+                            if fs.doom(f.packet, !f.class.is_control()) {
+                                lost += 1;
+                            }
+                            arena.free(flit);
+                            false
+                        }
+                        None => true,
+                    }
+                });
+            }
+        }
+
+        // 4. Evacuate dead routers and dead-link ports, and divert live
+        // VCs that were routed toward a link that just died.
+        {
+            let arena = &mut self.arena;
+            let mut dealloc: Vec<(usize, usize)> = Vec::new();
+            for router in self.routers.iter_mut() {
+                let ni = router.id.index();
+                if fs.node_dead[ni] {
+                    // Dead router: everything it holds is lost, and its
+                    // core can no longer source traffic.
+                    for port in router.inputs.iter_mut() {
+                        for ivc in port.iter_mut() {
+                            for bf in ivc.fifo.drain(..) {
+                                let f = &arena[bf.flit];
+                                if fs.doom(f.packet, !f.class.is_control()) {
+                                    lost += 1;
+                                }
+                                arena.free(bf.flit);
+                            }
+                            match ivc.state {
+                                VcState::NeedsVa { packet, .. }
+                                | VcState::Active { packet, .. } => {
+                                    // Flits of this packet already left
+                                    // through the crossbar; it can never
+                                    // complete (single-flit packets go
+                                    // Idle at the tail, so a non-idle VC
+                                    // always implies a multi-flit data
+                                    // packet once its FIFO is empty).
+                                    if fs.doom(packet, true) {
+                                        lost += 1;
+                                    }
+                                }
+                                VcState::Idle => {}
+                            }
+                            ivc.state = VcState::Idle;
+                            ivc.awaiting_retx = None;
+                        }
+                    }
+                    for out in router.outputs.iter_mut() {
+                        for pr in out.retx_pending.drain(..) {
+                            let f = &arena[pr.flit];
+                            if fs.doom(f.packet, !f.class.is_control()) {
+                                lost += 1;
+                            }
+                            arena.free(pr.flit);
+                        }
+                        out.retx_buffer.clear();
+                        for ovc in out.vcs.iter_mut() {
+                            ovc.allocated = false;
+                        }
+                    }
+                    router.recount_stage_counters();
+                    for (p, _) in self.source_queues[ni].drain(..) {
+                        if fs.doom(p.id, !p.class.is_control()) {
+                            lost += 1;
+                        }
+                    }
+                    if let Some(prog) = self.inject_progress[ni].take() {
+                        if fs.doom(prog.packet.id, !prog.packet.class.is_control()) {
+                            lost += 1;
+                        }
+                    }
+                    continue;
+                }
+
+                // Live router: flush ports attached to dead links.
+                for dir in Direction::COMPASS {
+                    let p = dir.index();
+                    if !fs.link_dead[ni][p] {
+                        continue;
+                    }
+                    for ivc in router.inputs[p].iter_mut() {
+                        for bf in ivc.fifo.drain(..) {
+                            let f = &arena[bf.flit];
+                            if fs.doom(f.packet, !f.class.is_control()) {
+                                lost += 1;
+                            }
+                            arena.free(bf.flit);
+                        }
+                        match ivc.state {
+                            VcState::NeedsVa { packet, .. } | VcState::Active { packet, .. } => {
+                                // The rest of the packet is stranded
+                                // upstream of the dead link.
+                                if fs.doom(packet, true) {
+                                    lost += 1;
+                                }
+                            }
+                            VcState::Idle => {}
+                        }
+                        if let VcState::Active {
+                            out_port, out_vc, ..
+                        } = ivc.state
+                        {
+                            dealloc.push((out_port.index(), out_vc as usize));
+                        }
+                        ivc.state = VcState::Idle;
+                        ivc.awaiting_retx = None;
+                    }
+                    for pr in router.outputs[p].retx_pending.drain(..) {
+                        let f = &arena[pr.flit];
+                        if fs.doom(f.packet, !f.class.is_control()) {
+                            lost += 1;
+                        }
+                        arena.free(pr.flit);
+                    }
+                    router.outputs[p].retx_buffer.clear();
+                }
+
+                // Self-healing divert: VCs routed toward a dead output
+                // link. A packet that has not yet sent a flit through
+                // the crossbar re-enters RC; a severed wormhole is lost.
+                for port in router.inputs.iter_mut() {
+                    for ivc in port.iter_mut() {
+                        match ivc.state {
+                            VcState::NeedsVa { out_port, .. }
+                                if fs.link_dead[ni][out_port.index()] =>
+                            {
+                                ivc.state = VcState::Idle;
+                            }
+                            VcState::Active {
+                                out_port,
+                                out_vc,
+                                packet,
+                            } if fs.link_dead[ni][out_port.index()] => {
+                                dealloc.push((out_port.index(), out_vc as usize));
+                                let head_waiting = ivc
+                                    .fifo
+                                    .front()
+                                    .is_some_and(|bf| arena[bf.flit].kind.is_head());
+                                if !head_waiting && fs.doom(packet, true) {
+                                    lost += 1;
+                                }
+                                ivc.state = VcState::Idle;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                for &(op, ov) in &dealloc {
+                    router.outputs[op].vcs[ov].allocated = false;
+                }
+                dealloc.clear();
+                router.recount_stage_counters();
+            }
+        }
+
+        // 5. Packets whose source or destination core died are lost, as
+        // are reassembly attempts collecting at a dead destination.
+        let stale: Vec<PacketId> = self
+            .pending_packets
+            .values()
+            .filter(|(p, _)| fs.node_dead[p.src.index()] || fs.node_dead[p.dst.index()])
+            .map(|(p, _)| p.id)
+            .collect();
+        for id in stale {
+            if fs.doom(id, true) {
+                lost += 1;
+            }
+        }
+        let stale: Vec<(PacketId, bool)> = self
+            .reassembly
+            .values()
+            .filter_map(|entries| {
+                let f = &self.arena[entries[0].flits[0]];
+                fs.node_dead[f.dst.index()].then_some((f.packet, !f.class.is_control()))
+            })
+            .collect();
+        for (id, is_data) in stale {
+            if fs.doom(id, is_data) {
+                lost += 1;
+            }
+        }
+
+        // 6. Purge everything the batch doomed, then publish counters.
+        self.purge_doomed_resident(&fs, cycle);
+        self.stats.hard_fault_events += applied;
+        self.tel.hardfault_events.add(applied);
+        self.stats.reroute_events += 1;
+        self.tel.hardfault_reroutes.inc();
+        self.stats.unreachable_pairs = unreachable;
+        self.tel.hardfault_unreachable_pairs.set(unreachable as f64);
+        self.stats.packets_lost_hard_fault += lost;
+        self.tel.hardfault_packets_lost.add(lost);
+        self.faults = Some(fs);
+    }
+
+    /// Called after the RC phase when head flits found their
+    /// destination unreachable on the surviving topology: dooms those
+    /// packets and purges their resident flits so the network stays
+    /// drainable.
+    fn finish_rc_dooms(&mut self, cycle: u64) {
+        let mut fs = self.faults.take().expect("RC dooms require fault state");
+        let mut dooms = std::mem::take(&mut self.rc_doomed);
+        let mut lost = 0u64;
+        for &(id, is_data) in &dooms {
+            if fs.doom(id, is_data) {
+                lost += 1;
+            }
+        }
+        dooms.clear();
+        self.rc_doomed = dooms;
+        self.purge_doomed_resident(&fs, cycle);
+        self.stats.packets_lost_hard_fault += lost;
+        self.tel.hardfault_packets_lost.add(lost);
+        self.faults = Some(fs);
+    }
+
+    /// Removes every resident trace of doomed packets — buffered flits
+    /// (returning credits on live links), VC ownership, injection
+    /// state, source-queue entries, and the pending/reassembly windows.
+    /// In-flight wheel events self-clean on arrival instead. The fault
+    /// state is passed detached because callers hold it taken out of
+    /// `self.faults`.
+    fn purge_doomed_resident(&mut self, fs: &FaultState, now: u64) {
+        let Self {
+            routers,
+            arena,
+            wheel,
+            neighbors,
+            source_queues,
+            inject_progress,
+            pending_packets,
+            reassembly,
+            reassembly_pool,
+            ..
+        } = self;
+        let mut dealloc: Vec<(usize, usize)> = Vec::new();
+        for router in routers.iter_mut() {
+            let rid = router.id;
+            let ni = rid.index();
+            for in_p in 0..NUM_PORTS {
+                let in_dir = Direction::from_index(in_p);
+                let upstream = if in_dir == Direction::Local {
+                    None
+                } else {
+                    neighbors.get(rid, in_dir)
+                };
+                let credits_live = !fs.node_dead[ni]
+                    && !fs.link_dead[ni][in_p]
+                    && upstream.is_some_and(|up| !fs.node_dead[up.index()]);
+                for (in_v, ivc) in router.inputs[in_p].iter_mut().enumerate() {
+                    if !ivc.fifo.is_empty() {
+                        ivc.fifo.retain(|bf| {
+                            let keep = !fs.doomed.contains(&arena[bf.flit].packet);
+                            if !keep {
+                                arena.free(bf.flit);
+                                if credits_live {
+                                    wheel.push(
+                                        now,
+                                        now + 1,
+                                        Event::Credit {
+                                            node: upstream.expect("live link has a peer"),
+                                            port: in_dir.opposite(),
+                                            vc: in_v as u8,
+                                        },
+                                    );
+                                }
+                            }
+                            keep
+                        });
+                    }
+                    match ivc.state {
+                        VcState::NeedsVa { packet, .. } if fs.doomed.contains(&packet) => {
+                            ivc.state = VcState::Idle;
+                        }
+                        VcState::Active {
+                            out_port,
+                            out_vc,
+                            packet,
+                        } if fs.doomed.contains(&packet) => {
+                            dealloc.push((out_port.index(), out_vc as usize));
+                            ivc.state = VcState::Idle;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for &(op, ov) in &dealloc {
+                router.outputs[op].vcs[ov].allocated = false;
+            }
+            dealloc.clear();
+            router.recount_stage_counters();
+        }
+        for (ni, prog) in inject_progress.iter_mut().enumerate() {
+            if prog
+                .as_ref()
+                .is_some_and(|p| fs.doomed.contains(&p.packet.id))
+            {
+                *prog = None;
+            }
+            source_queues[ni].retain(|(p, _)| !fs.doomed.contains(&p.id));
+        }
+        let stale: Vec<PacketId> = pending_packets
+            .values()
+            .filter(|(p, _)| fs.doomed.contains(&p.id))
+            .map(|(p, _)| p.id)
+            .collect();
+        for id in stale {
+            pending_packets.remove(id);
+        }
+        let stale: Vec<PacketId> = reassembly
+            .values()
+            .map(|entries| arena[entries[0].flits[0]].packet)
+            .filter(|id| fs.doomed.contains(id))
+            .collect();
+        for id in stale {
+            let entries = reassembly.remove(id).expect("collected above");
+            for mut e in entries {
+                for fr in e.flits.drain(..) {
+                    arena.free(fr);
+                }
+                reassembly_pool.push(e.flits);
+            }
         }
     }
 }
@@ -1510,5 +2223,253 @@ mod arq_tests {
         assert!(net.run_until_quiescent(60_000), "credit leak would wedge");
         assert_eq!(net.stats().packets_delivered, net.stats().packets_injected);
         let _ = mesh;
+    }
+}
+
+#[cfg(test)]
+mod hardfault_tests {
+    //! Hard-fault semantics: permanent link/router failures, doomed-
+    //! packet evaporation, self-healing rerouting, and loss accounting.
+
+    use super::*;
+    use crate::error_control::{PerfectLink, ScriptedErrorControl};
+
+    fn net_4x4() -> Network<PerfectLink> {
+        let config = NocConfig::builder().mesh(4, 4).build();
+        Network::new(config, PerfectLink::new(), 42)
+    }
+
+    fn link(cycle: u64, node: NodeId, dir: Direction) -> HardFaultEvent {
+        HardFaultEvent {
+            cycle,
+            kind: HardFaultKind::Link { node, dir },
+        }
+    }
+
+    fn router(cycle: u64, node: NodeId) -> HardFaultEvent {
+        HardFaultEvent {
+            cycle,
+            kind: HardFaultKind::Router { node },
+        }
+    }
+
+    #[test]
+    fn empty_schedule_leaves_fault_machinery_cold() {
+        let mut net = net_4x4();
+        net.set_hard_faults(Vec::new());
+        assert!(!net.hard_faults_active());
+        let mesh = net.mesh();
+        net.offer(mesh.node_at(0, 0), mesh.node_at(3, 3));
+        assert!(net.run_until_quiescent(500));
+        assert_eq!(net.stats().packets_delivered, 1);
+        assert_eq!(net.stats().hard_fault_events, 0);
+        assert_eq!(net.stats().reroute_events, 0);
+    }
+
+    #[test]
+    fn link_fault_before_traffic_reroutes_everything() {
+        let mut net = net_4x4();
+        let mesh = net.mesh();
+        net.set_hard_faults(vec![link(0, mesh.node_at(1, 1), Direction::East)]);
+        for i in 0..16u16 {
+            for j in 0..16u16 {
+                if i != j {
+                    net.offer(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        assert!(net.run_until_quiescent(30_000), "network must drain");
+        let s = net.stats();
+        assert_eq!(s.hard_fault_events, 1);
+        assert_eq!(s.reroute_events, 1);
+        assert_eq!(s.unreachable_pairs, 0, "one dead link cannot partition");
+        assert_eq!(s.packets_lost_hard_fault, 0, "fault predates all traffic");
+        assert_eq!(s.packets_delivered, s.packets_injected);
+        assert!(net.link_dead(mesh.node_at(1, 1), Direction::East));
+        assert!(net.link_dead(mesh.node_at(2, 1), Direction::West));
+    }
+
+    #[test]
+    fn router_fault_mid_flight_drains_with_exact_loss_accounting() {
+        let mut net = net_4x4();
+        let mesh = net.mesh();
+        let dead = mesh.node_at(1, 1);
+        net.set_hard_faults(vec![router(40, dead)]);
+        for i in 0..16u16 {
+            for j in 0..16u16 {
+                if i != j {
+                    net.offer(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        assert!(net.run_until_quiescent(60_000), "network must drain");
+        let s = net.stats();
+        assert_eq!(s.hard_fault_events, 1);
+        assert!(
+            s.packets_lost_hard_fault > 0,
+            "mid-flight death loses packets"
+        );
+        // With a perfect link layer every injected packet is either
+        // delivered or lost to the fault — never silently dropped.
+        assert_eq!(
+            s.packets_delivered + s.packets_lost_hard_fault,
+            s.packets_injected,
+            "loss accounting must be exact"
+        );
+        assert!(net.node_dead(dead));
+        assert_eq!(
+            s.unreachable_pairs, 0,
+            "mesh minus one router stays connected"
+        );
+    }
+
+    #[test]
+    fn mid_flight_link_fault_drains_with_exact_loss_accounting() {
+        let mut net = net_4x4();
+        let mesh = net.mesh();
+        net.set_hard_faults(vec![
+            link(25, mesh.node_at(0, 0), Direction::East),
+            link(35, mesh.node_at(1, 2), Direction::South),
+        ]);
+        for i in 0..16u16 {
+            for j in 0..16u16 {
+                if i != j {
+                    net.offer(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        assert!(net.run_until_quiescent(60_000), "network must drain");
+        let s = net.stats();
+        assert_eq!(s.hard_fault_events, 2);
+        assert_eq!(s.reroute_events, 2, "one recompute per fault batch");
+        assert_eq!(
+            s.packets_delivered + s.packets_lost_hard_fault,
+            s.packets_injected
+        );
+    }
+
+    #[test]
+    fn offers_to_unreachable_destinations_are_refused() {
+        // 4×1 line mesh cut in the middle: {0,1} | {2,3}.
+        let config = NocConfig::builder().mesh(4, 1).build();
+        let mut net = Network::new(config, PerfectLink::new(), 7);
+        net.set_hard_faults(vec![link(0, NodeId(1), Direction::East)]);
+        net.step(); // apply the fault batch
+        assert!(net.hard_faults_active());
+        assert_eq!(net.stats().unreachable_pairs, 8);
+        net.offer(NodeId(0), NodeId(3)); // refused: other side of the cut
+        net.offer(NodeId(0), NodeId(1)); // accepted: same side
+        assert!(net.run_until_quiescent(500));
+        let s = net.stats();
+        assert_eq!(s.packets_refused_unreachable, 1);
+        assert_eq!(s.packets_injected, 1);
+        assert_eq!(s.packets_delivered, 1);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let mut net = net_4x4();
+            let mesh = net.mesh();
+            net.set_hard_faults(vec![
+                router(30, mesh.node_at(2, 2)),
+                link(55, mesh.node_at(0, 1), Direction::South),
+            ]);
+            for i in 0..16u16 {
+                for j in 0..16u16 {
+                    if i != j {
+                        net.offer(NodeId(i), NodeId(j));
+                    }
+                }
+            }
+            assert!(net.run_until_quiescent(60_000));
+            net.stats().clone()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical inputs must give identical stats");
+    }
+
+    #[test]
+    fn arq_links_survive_mid_flight_router_death() {
+        // Hop ARQ + go-back-N churn + a router death: gates, retransmit
+        // buffers, and credits must all unwind without wedging.
+        let config = NocConfig::builder().mesh(4, 4).build();
+        let mut net = Network::new(config, ScriptedErrorControl::reject_every(5), 99);
+        let mesh = net.mesh();
+        net.set_hard_faults(vec![router(25, mesh.node_at(1, 2))]);
+        for round in 0..4u16 {
+            for i in 0..16u16 {
+                let dst = NodeId((i + 3 + round) % 16);
+                if NodeId(i) != dst {
+                    net.offer(NodeId(i), dst);
+                }
+            }
+        }
+        assert!(
+            net.run_until_quiescent(60_000),
+            "ARQ state must unwind around the dead router"
+        );
+        let s = net.stats();
+        assert!(s.packets_lost_hard_fault > 0);
+        assert_eq!(
+            s.packets_delivered + s.packets_lost_hard_fault,
+            s.packets_injected
+        );
+        assert_eq!(s.silent_corruptions, 0);
+    }
+
+    #[test]
+    fn reset_stats_preserves_unreachable_pairs_gauge() {
+        let config = NocConfig::builder().mesh(4, 1).build();
+        let mut net = Network::new(config, PerfectLink::new(), 7);
+        net.set_hard_faults(vec![link(0, NodeId(1), Direction::East)]);
+        net.step();
+        assert_eq!(net.stats().unreachable_pairs, 8);
+        net.reset_stats();
+        assert_eq!(
+            net.stats().unreachable_pairs,
+            8,
+            "gauge must survive the measurement-phase boundary"
+        );
+        assert_eq!(net.stats().hard_fault_events, 0, "accumulators reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent link")]
+    fn schedule_validation_rejects_edge_links() {
+        let mut net = net_4x4();
+        net.set_hard_faults(vec![link(0, NodeId(0), Direction::North)]);
+    }
+
+    #[test]
+    fn second_fault_batch_composes_with_first() {
+        // Two sequential router deaths carve the 4×4 mesh down; traffic
+        // offered between batches must still route around both holes.
+        let mut net = net_4x4();
+        let mesh = net.mesh();
+        net.set_hard_faults(vec![
+            router(10, mesh.node_at(1, 1)),
+            router(700, mesh.node_at(2, 2)),
+        ]);
+        for _ in 0..30 {
+            net.step();
+        }
+        // Between the batches: offer traffic that must skirt (1,1).
+        net.offer(mesh.node_at(0, 1), mesh.node_at(2, 1));
+        assert!(net.run_until_quiescent(60_000));
+        // Idle through the second batch, then route around both holes.
+        while net.cycle() <= 700 {
+            net.step();
+        }
+        net.offer(mesh.node_at(1, 2), mesh.node_at(3, 2));
+        assert!(net.run_until_quiescent(60_000));
+        let s = net.stats();
+        assert_eq!(s.hard_fault_events, 2);
+        assert_eq!(s.reroute_events, 2);
+        assert_eq!(
+            s.packets_delivered + s.packets_lost_hard_fault,
+            s.packets_injected
+        );
     }
 }

@@ -19,8 +19,8 @@
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::config::NocConfig;
-use crate::flit::{Flit, FlitArena, FlitRef};
-use crate::routing::RouteTable;
+use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
+use crate::routing::{FaultRoutes, RouteTable};
 use crate::topology::{Direction, NodeId, NUM_PORTS};
 use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
 use std::collections::VecDeque;
@@ -35,14 +35,25 @@ pub(crate) struct BufferedFlit {
 }
 
 /// Input VC pipeline state.
+///
+/// The `NeedsVa`/`Active` variants record which packet owns the VC so
+/// the hard-fault purge can release channels whose packet was doomed by
+/// a link/router failure without scanning FIFO contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum VcState {
     /// No packet assigned.
     Idle,
     /// Route computed; awaiting an output VC.
-    NeedsVa { out_port: Direction },
+    NeedsVa {
+        out_port: Direction,
+        packet: PacketId,
+    },
     /// Output VC held; flits flow through SA.
-    Active { out_port: Direction, out_vc: u8 },
+    Active {
+        out_port: Direction,
+        out_vc: u8,
+        packet: PacketId,
+    },
 }
 
 /// One input virtual channel.
@@ -260,8 +271,20 @@ impl Router {
 
     /// Route computation: idle input VCs whose head flit has completed its
     /// buffer-write stage compute their output port via the precomputed
-    /// route table.
-    pub(crate) fn rc_stage(&mut self, cycle: u64, routes: &RouteTable, arena: &FlitArena) {
+    /// route table — or, once hard faults are active, via the
+    /// fault-adaptive up*/down* table.
+    ///
+    /// A head flit whose destination is unreachable on the live topology
+    /// keeps its VC idle and reports its packet id into `doomed`; the
+    /// network purges every flit of that packet right after the RC phase.
+    pub(crate) fn rc_stage(
+        &mut self,
+        cycle: u64,
+        routes: &RouteTable,
+        fault: Option<&FaultRoutes>,
+        arena: &FlitArena,
+        doomed: &mut Vec<(PacketId, bool)>,
+    ) {
         self.debug_check_stage_counters();
         if self.rc_pending == 0 {
             return; // no idle VC holds a flit: nothing to route
@@ -283,12 +306,50 @@ impl Router {
                     "non-head flit {:?} at front of idle VC",
                     flit.kind
                 );
-                let out_port = routes.next_hop(self.id, flit.dst);
-                vc.state = VcState::NeedsVa { out_port };
+                let out_port = match fault {
+                    None => routes.next_hop(self.id, flit.dst),
+                    Some(f) => match f.next_hop(self.id, flit.dst) {
+                        Some(dir) => dir,
+                        None => {
+                            doomed.push((flit.packet, !flit.class.is_control()));
+                            continue;
+                        }
+                    },
+                };
+                vc.state = VcState::NeedsVa {
+                    out_port,
+                    packet: flit.packet,
+                };
                 self.rc_pending -= 1;
                 self.needs_va += 1;
             }
         }
+    }
+
+    /// Rebuilds the four incremental stage counters by rescanning every
+    /// input VC. Only used after a hard-fault purge rewrites FIFO and VC
+    /// state wholesale, where incremental maintenance is not worth the
+    /// complexity.
+    pub(crate) fn recount_stage_counters(&mut self) {
+        let mut occupied = 0u32;
+        let mut rc = 0u32;
+        let mut va = 0u32;
+        let mut active = 0u32;
+        for vc in self.inputs.iter().flat_map(|port| port.iter()) {
+            if vc.occupied() {
+                occupied += 1;
+            }
+            match vc.state {
+                VcState::Idle if !vc.fifo.is_empty() => rc += 1,
+                VcState::Idle => {}
+                VcState::NeedsVa { .. } => va += 1,
+                VcState::Active { .. } => active += 1,
+            }
+        }
+        self.occupied_vcs = occupied;
+        self.rc_pending = rc;
+        self.needs_va = va;
+        self.active_vcs = active;
     }
 
     /// Virtual-channel allocation: one grant per output port per cycle.
@@ -312,10 +373,8 @@ impl Router {
             let mut any = false;
             for (in_p, port) in self.inputs.iter().enumerate() {
                 for (in_v, vc) in port.iter().enumerate() {
-                    if vc.state
-                        == (VcState::NeedsVa {
-                            out_port: Direction::from_index(out_p),
-                        })
+                    if matches!(vc.state, VcState::NeedsVa { out_port, .. }
+                        if out_port.index() == out_p)
                     {
                         self.va_scratch[in_p * v + in_v] = true;
                         any = true;
@@ -329,9 +388,13 @@ impl Router {
                 .grant(&self.va_scratch)
                 .expect("a request was asserted");
             let (in_p, in_v) = (winner / v, winner % v);
+            let VcState::NeedsVa { packet, .. } = self.inputs[in_p][in_v].state else {
+                unreachable!("VA winner must be in NeedsVa");
+            };
             self.inputs[in_p][in_v].state = VcState::Active {
                 out_port: Direction::from_index(out_p),
                 out_vc: free_vc as u8,
+                packet,
             };
             self.needs_va -= 1;
             self.active_vcs += 1;
@@ -389,17 +452,20 @@ mod tests {
         let mut r = Router::new(mesh.node_at(0, 0), &config);
         let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0)));
         r.enqueue(Direction::Local.index(), 0, f, 10);
+        let mut doomed = Vec::new();
         // Same cycle: still in BW.
-        r.rc_stage(10, &routes, &arena);
+        r.rc_stage(10, &routes, None, &arena, &mut doomed);
         assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
         // Next cycle: RC fires, X-first routing goes east.
-        r.rc_stage(11, &routes, &arena);
+        r.rc_stage(11, &routes, None, &arena, &mut doomed);
         assert_eq!(
             r.inputs[Direction::Local.index()][0].state,
             VcState::NeedsVa {
-                out_port: Direction::East
+                out_port: Direction::East,
+                packet: PacketId(1)
             }
         );
+        assert!(doomed.is_empty());
     }
 
     #[test]
@@ -414,7 +480,7 @@ mod tests {
             let f = arena.alloc(head_flit(mesh.node_at(0, 0), mesh.node_at(3, 0)));
             r.enqueue(Direction::Local.index(), vc, f, 0);
         }
-        r.rc_stage(1, &routes, &arena);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
         let granted = r.va_stage();
         assert_eq!(granted, 1, "one VA grant per output port per cycle");
         let active = r.inputs[Direction::Local.index()]
@@ -450,7 +516,7 @@ mod tests {
         }
         let f = arena.alloc(head_flit(mesh.node_at(0, 1), mesh.node_at(3, 0)));
         r.enqueue(Direction::West.index(), 0, f, 0);
-        r.rc_stage(1, &routes, &arena);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
         let mut total = 0;
         for _ in 0..8 {
             total += r.va_stage();

@@ -129,6 +129,252 @@ impl RouteTable {
     }
 }
 
+/// Sentinel port index for "no route" entries in [`FaultRoutes`].
+const UNREACHABLE_PORT: u8 = 0xFF;
+
+/// Fault-adaptive next-hop table: full-graph up*/down* routing over the
+/// live sub-topology.
+///
+/// Once hard faults remove links or routers, X-Y routing is no longer
+/// sound (it would walk into dead regions), so the network switches to
+/// classic up*/down* routes. Every live node gets a rank `(BFS level,
+/// node id)` from a breadth-first traversal of its live connected
+/// component (root = smallest live id); every live link is oriented
+/// "up" toward its lower-ranked end. A route first climbs up-links
+/// ("up" phase, rank strictly decreasing) and then descends down-links
+/// ("down" phase, rank strictly increasing) — **all** live links are
+/// usable, not just tree edges, so capacity degrades gradually with the
+/// fault count instead of collapsing to a spanning tree. Because no
+/// route ever turns from a down traversal back onto an up traversal,
+/// the channel-dependency graph is acyclic (the classic up*/down*
+/// argument) and the scheme is deadlock-free without extra virtual
+/// channels; it doubles as its own escape layer.
+///
+/// The table is phase-oblivious (one port per `(current, dst)`), so it
+/// must be *suffix-consistent*: a node with any pure-down route to the
+/// destination always takes its shortest one (every later node then
+/// also has one), and a node without one climbs along the up-link that
+/// minimizes the remaining legal distance. Either phase is strictly
+/// monotone in rank, so routes never loop.
+///
+/// Construction is fully deterministic so the production and reference
+/// simulators can rebuild identical tables independently: BFS explores
+/// neighbors in port order (N, E, S, W) and distance ties break toward
+/// the smallest port index.
+#[derive(Debug, Clone)]
+pub struct FaultRoutes {
+    /// `table[current * n + dst]` is the output port index, or
+    /// [`UNREACHABLE_PORT`] when no live route exists.
+    table: Vec<u8>,
+    n: usize,
+    unreachable_pairs: u64,
+}
+
+impl FaultRoutes {
+    /// Builds the up*/down* table over the live sub-topology.
+    ///
+    /// `node_alive[i]` marks router `i` usable; `link_alive(node, dir)`
+    /// marks the channel leaving `node` in `dir` usable and must be
+    /// symmetric (`link_alive(u, d) == link_alive(v, d.opposite())` for
+    /// neighbors `u`, `v`). Links touching a dead router must also be
+    /// reported dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_alive.len() != mesh.num_nodes()`.
+    pub fn compute<F>(mesh: Mesh, node_alive: &[bool], link_alive: F) -> Self
+    where
+        F: Fn(NodeId, Direction) -> bool,
+    {
+        let n = mesh.num_nodes();
+        assert_eq!(node_alive.len(), n, "liveness vector must cover the mesh");
+        // BFS forest: component label and level (root distance) per node.
+        let mut level: Vec<u16> = vec![u16::MAX; n];
+        let mut comp: Vec<u16> = vec![u16::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in mesh.nodes() {
+            if !node_alive[root.index()] || comp[root.index()] != u16::MAX {
+                continue;
+            }
+            comp[root.index()] = root.0;
+            level[root.index()] = 0;
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                for dir in Direction::COMPASS {
+                    if !link_alive(u, dir) {
+                        continue;
+                    }
+                    let Some(v) = mesh.neighbor(u, dir) else {
+                        continue;
+                    };
+                    if node_alive[v.index()] && comp[v.index()] == u16::MAX {
+                        comp[v.index()] = root.0;
+                        level[v.index()] = level[u.index()] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+
+        // Rank orients every live link: its "up" end is the smaller
+        // `(level, id)`. Up traversals strictly decrease rank, down
+        // traversals strictly increase it.
+        let rank = |u: NodeId| (level[u.index()], u.0);
+        // Live nodes in increasing rank order, for the up-phase DP.
+        let mut by_rank: Vec<NodeId> = mesh.nodes().filter(|&u| node_alive[u.index()]).collect();
+        by_rank.sort_by_key(|&u| rank(u));
+
+        let mut table = vec![UNREACHABLE_PORT; n * n];
+        let mut dist_down: Vec<u32> = Vec::new();
+        let mut dist_any: Vec<u32> = Vec::new();
+        for dst in mesh.nodes() {
+            if !node_alive[dst.index()] {
+                continue;
+            }
+            // Pure-down distance to `dst`: BFS from `dst` across
+            // reversed down traversals (a hop u→x with rank(u) <
+            // rank(x) may end a pure-down route iff x already can).
+            dist_down.clear();
+            dist_down.resize(n, u32::MAX);
+            dist_down[dst.index()] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(x) = queue.pop_front() {
+                for dir in Direction::COMPASS {
+                    if !link_alive(x, dir) {
+                        continue;
+                    }
+                    let Some(u) = mesh.neighbor(x, dir) else {
+                        continue;
+                    };
+                    if node_alive[u.index()]
+                        && rank(u) < rank(x)
+                        && dist_down[u.index()] == u32::MAX
+                    {
+                        dist_down[u.index()] = dist_down[x.index()] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            // Legal (up* then down*) distance: a route either is pure
+            // down, or first climbs one up-link. Up-links strictly
+            // decrease rank, so increasing-rank order is a valid DP
+            // order.
+            dist_any.clear();
+            dist_any.resize(n, u32::MAX);
+            for &u in &by_rank {
+                if comp[u.index()] != comp[dst.index()] {
+                    continue;
+                }
+                let mut best = dist_down[u.index()];
+                for dir in Direction::COMPASS {
+                    if !link_alive(u, dir) {
+                        continue;
+                    }
+                    let Some(v) = mesh.neighbor(u, dir) else {
+                        continue;
+                    };
+                    if node_alive[v.index()] && rank(v) < rank(u) && dist_any[v.index()] != u32::MAX
+                    {
+                        best = best.min(dist_any[v.index()] + 1);
+                    }
+                }
+                dist_any[u.index()] = best;
+            }
+            // Next hops: prefer the shortest pure-down continuation
+            // (suffix-consistent — every node after it also has one);
+            // otherwise climb the up-link on a shortest legal route.
+            // Ties break toward the smallest port index.
+            for &u in &by_rank {
+                if u == dst || comp[u.index()] != comp[dst.index()] {
+                    continue;
+                }
+                let downhill = dist_down[u.index()] != u32::MAX;
+                for dir in Direction::COMPASS {
+                    if !link_alive(u, dir) {
+                        continue;
+                    }
+                    let Some(v) = mesh.neighbor(u, dir) else {
+                        continue;
+                    };
+                    if !node_alive[v.index()] {
+                        continue;
+                    }
+                    let good = if downhill {
+                        rank(v) > rank(u)
+                            && dist_down[v.index()] != u32::MAX
+                            && dist_down[v.index()] + 1 == dist_down[u.index()]
+                    } else {
+                        rank(v) < rank(u)
+                            && dist_any[v.index()] != u32::MAX
+                            && dist_any[v.index()] + 1 == dist_any[u.index()]
+                    };
+                    if good {
+                        table[u.index() * n + dst.index()] = dir.index() as u8;
+                        break;
+                    }
+                }
+                debug_assert_ne!(
+                    table[u.index() * n + dst.index()],
+                    UNREACHABLE_PORT,
+                    "connected pair {u}→{dst} must get a next hop"
+                );
+            }
+            table[dst.index() * n + dst.index()] = Direction::Local.index() as u8;
+        }
+
+        let mut unreachable_pairs = 0u64;
+        for u in mesh.nodes() {
+            for v in mesh.nodes() {
+                if u != v
+                    && node_alive[u.index()]
+                    && node_alive[v.index()]
+                    && comp[u.index()] != comp[v.index()]
+                {
+                    unreachable_pairs += 1;
+                }
+            }
+        }
+
+        Self {
+            table,
+            n,
+            unreachable_pairs,
+        }
+    }
+
+    /// The output port at `current` for a packet headed to `dst`, or
+    /// `None` when no live route exists (dead endpoint or partitioned
+    /// component). Returns `Local` when `current == dst`.
+    #[inline]
+    pub fn next_hop(&self, current: NodeId, dst: NodeId) -> Option<Direction> {
+        let p = self.table[current.index() * self.n + dst.index()];
+        if p == UNREACHABLE_PORT {
+            None
+        } else {
+            Some(Direction::from_index(p as usize))
+        }
+    }
+
+    /// Whether a live route from `a` to `b` exists (`true` for `a == b`
+    /// on a live node).
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.table[a.index() * self.n + b.index()] != UNREACHABLE_PORT
+    }
+
+    /// Number of ordered live node pairs with no route between them.
+    pub fn unreachable_pairs(&self) -> u64 {
+        self.unreachable_pairs
+    }
+
+    /// Test-only corruption hook: overwrite a table entry so the
+    /// verify-mode reroute-consistency checker can be proven to fire.
+    #[cfg(all(test, feature = "verify"))]
+    pub(crate) fn corrupt_entry(&mut self, current: NodeId, dst: NodeId, port: Direction) {
+        self.table[current.index() * self.n + dst.index()] = port.index() as u8;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +452,87 @@ mod tests {
                 assert_eq!(table.next_hop(cur, dst), xy_route(mesh, cur, dst));
             }
         }
+    }
+
+    /// Walks fault routes from `src` to `dst`, panicking on divergence.
+    fn walk_fault_route(mesh: Mesh, routes: &FaultRoutes, src: NodeId, dst: NodeId) -> usize {
+        let mut current = src;
+        let mut hops = 0;
+        while current != dst {
+            let dir = routes
+                .next_hop(current, dst)
+                .expect("reachable pair must have a route");
+            assert_ne!(dir, Direction::Local, "Local before reaching dst");
+            current = mesh.neighbor(current, dir).expect("route stays on mesh");
+            hops += 1;
+            assert!(hops <= mesh.num_nodes(), "route loops");
+        }
+        hops
+    }
+
+    #[test]
+    fn fault_routes_deliver_on_healthy_mesh() {
+        let mesh = Mesh::new(4, 4);
+        let alive = vec![true; mesh.num_nodes()];
+        let routes = FaultRoutes::compute(mesh, &alive, |_, _| true);
+        assert_eq!(routes.unreachable_pairs(), 0);
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                assert!(routes.reachable(src, dst));
+                walk_fault_route(mesh, &routes, src, dst);
+            }
+        }
+        for node in mesh.nodes() {
+            assert_eq!(routes.next_hop(node, node), Some(Direction::Local));
+        }
+    }
+
+    #[test]
+    fn fault_routes_avoid_dead_router() {
+        let mesh = Mesh::new(4, 4);
+        let dead = mesh.node_at(1, 1);
+        let mut alive = vec![true; mesh.num_nodes()];
+        alive[dead.index()] = false;
+        let link_ok = |node: NodeId, dir: Direction| {
+            mesh.neighbor(node, dir)
+                .is_some_and(|n| n != dead && node != dead)
+        };
+        let routes = FaultRoutes::compute(mesh, &alive, link_ok);
+        assert_eq!(
+            routes.unreachable_pairs(),
+            0,
+            "mesh minus one node stays connected"
+        );
+        for src in mesh.nodes().filter(|&n| n != dead) {
+            for dst in mesh.nodes().filter(|&n| n != dead) {
+                let mut current = src;
+                while current != dst {
+                    let dir = routes.next_hop(current, dst).unwrap();
+                    current = mesh.neighbor(current, dir).unwrap();
+                    assert_ne!(current, dead, "route walked through the dead router");
+                }
+            }
+            assert!(!routes.reachable(src, dead));
+            assert!(!routes.reachable(dead, src));
+        }
+    }
+
+    #[test]
+    fn fault_routes_report_partition() {
+        // 1×4 line mesh with the middle link cut: {0,1} | {2,3}.
+        let mesh = Mesh::new(4, 1);
+        let alive = vec![true; 4];
+        let cut = |node: NodeId, dir: Direction| {
+            !((node == NodeId(1) && dir == Direction::East)
+                || (node == NodeId(2) && dir == Direction::West))
+        };
+        let routes = FaultRoutes::compute(mesh, &alive, cut);
+        // 2 nodes on each side: 2·(2·2) ordered cross pairs.
+        assert_eq!(routes.unreachable_pairs(), 8);
+        assert!(routes.reachable(NodeId(0), NodeId(1)));
+        assert!(!routes.reachable(NodeId(0), NodeId(2)));
+        assert!(routes.next_hop(NodeId(1), NodeId(3)).is_none());
+        walk_fault_route(mesh, &routes, NodeId(2), NodeId(3));
     }
 
     #[test]

@@ -174,6 +174,20 @@ pub struct NetworkStats {
     pub latency: LatencyStats,
     /// Cycle of the most recent packet delivery (makespan probe).
     pub last_delivery_cycle: u64,
+    /// Hard-fault events applied (links/routers that died permanently).
+    pub hard_fault_events: u64,
+    /// Fault-adaptive route-table recomputations (one per fault batch).
+    pub reroute_events: u64,
+    /// Ordered live node pairs with no route on the surviving topology
+    /// (a gauge: the value after the most recent reroute).
+    pub unreachable_pairs: u64,
+    /// Data packets lost to hard faults: a flit died with a link/router,
+    /// the source or destination died, or the destination became
+    /// unreachable mid-flight. Counted once per packet.
+    pub packets_lost_hard_fault: u64,
+    /// Data packets refused at injection because source and destination
+    /// were already mutually unreachable.
+    pub packets_refused_unreachable: u64,
 }
 
 impl NetworkStats {

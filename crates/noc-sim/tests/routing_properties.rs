@@ -1,6 +1,7 @@
-//! Property tests for X-Y routing and end-to-end delivery.
+//! Property tests for X-Y routing, end-to-end delivery, and the
+//! fault-adaptive up*/down* reroute layer.
 //!
-//! Three guarantees the hot-path rewrite (precomputed [`RouteTable`],
+//! Guarantees the hot-path rewrite (precomputed [`RouteTable`],
 //! [`NeighborTable`], flit arena) must not bend:
 //!
 //! 1. X-Y routing delivers **every** offered packet, on any mesh size.
@@ -10,11 +11,22 @@
 //!    router that is not the destination, the computed output direction
 //!    points at an existing neighbor, and the precomputed tables agree
 //!    with the reference [`xy_route`] everywhere.
+//!
+//! And for [`FaultRoutes`] under **arbitrary** fault sets (including
+//! partitioning ones):
+//!
+//! 4. Every pair of live endpoints in the same live component gets a
+//!    route that actually reaches the destination.
+//! 5. No table entry ever points across a dead link, into a dead
+//!    router, or out of a dead router; separated pairs get no route.
+//! 6. The channel-dependency graph induced by every routed path is
+//!    acyclic — the up*/down* deadlock-freedom argument, checked
+//!    directly.
 
 use noc_sim::config::NocConfig;
 use noc_sim::error_control::PerfectLink;
 use noc_sim::network::Network;
-use noc_sim::routing::{xy_path, xy_route, RouteTable};
+use noc_sim::routing::{xy_path, xy_route, FaultRoutes, RouteTable};
 use noc_sim::topology::{Direction, Mesh, NeighborTable, NodeId};
 use noc_testutil::{manhattan, pick_node};
 use proptest::prelude::*;
@@ -124,5 +136,250 @@ proptest! {
             stats.latency.min(),
             min_hops
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-adaptive routing under arbitrary fault sets.
+
+/// A faulted topology: dead-router and dead-link masks, symmetric, with
+/// router deaths killing every incident link.
+struct FaultedTopology {
+    mesh: Mesh,
+    node_dead: Vec<bool>,
+    link_dead: Vec<[bool; 4]>,
+}
+
+impl FaultedTopology {
+    fn build(w: u16, h: u16, router_kills: &[u64], link_kills: &[u64]) -> Self {
+        let mesh = Mesh::new(w, h);
+        let n = mesh.num_nodes();
+        let mut t = Self {
+            mesh,
+            node_dead: vec![false; n],
+            link_dead: vec![[false; 4]; n],
+        };
+        for &raw in link_kills {
+            let node = NodeId((raw % n as u64) as u16);
+            let dir = Direction::from_index(((raw >> 32) % 4) as usize);
+            t.kill_link(node, dir);
+        }
+        for &raw in router_kills {
+            let node = NodeId((raw % n as u64) as u16);
+            t.node_dead[node.index()] = true;
+            for dir in Direction::COMPASS {
+                t.kill_link(node, dir);
+            }
+        }
+        t
+    }
+
+    fn kill_link(&mut self, node: NodeId, dir: Direction) {
+        if let Some(peer) = self.mesh.neighbor(node, dir) {
+            self.link_dead[node.index()][dir.index()] = true;
+            self.link_dead[peer.index()][dir.opposite().index()] = true;
+        }
+    }
+
+    fn link_alive(&self, node: NodeId, dir: Direction) -> bool {
+        !self.node_dead[node.index()]
+            && !self.link_dead[node.index()][dir.index()]
+            && self
+                .mesh
+                .neighbor(node, dir)
+                .is_some_and(|p| !self.node_dead[p.index()])
+    }
+
+    fn routes(&self) -> FaultRoutes {
+        let alive: Vec<bool> = self.node_dead.iter().map(|&d| !d).collect();
+        FaultRoutes::compute(self.mesh, &alive, |u, d| self.link_alive(u, d))
+    }
+
+    /// Live-component label per node (usize::MAX for dead), by BFS —
+    /// the independent reachability oracle the route table is checked
+    /// against.
+    fn components(&self) -> Vec<usize> {
+        let n = self.mesh.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in self.mesh.nodes() {
+            if self.node_dead[start.index()] || comp[start.index()] != usize::MAX {
+                continue;
+            }
+            comp[start.index()] = start.index();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for dir in Direction::COMPASS {
+                    if !self.link_alive(u, dir) {
+                        continue;
+                    }
+                    let v = self.mesh.neighbor(u, dir).expect("live link has a peer");
+                    if comp[v.index()] == usize::MAX {
+                        comp[v.index()] = start.index();
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        comp
+    }
+}
+
+/// Generator bounds shared by the fault-routing properties: meshes up
+/// to 6×6, a handful of router and link kills — enough to partition
+/// small meshes regularly.
+fn router_kills() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..3)
+}
+
+fn link_kills() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..10)
+}
+
+proptest! {
+    /// Reachable endpoints (live, same live component) are exactly the
+    /// routed ones, and walking the table from any such source arrives
+    /// at the destination: an up-phase hop strictly descends in rank
+    /// and a down-phase hop strictly ascends, so `2·n` hops is a safe
+    /// loop bound.
+    #[test]
+    fn fault_routes_deliver_between_reachable_endpoints(
+        w in 2u16..7,
+        h in 2u16..7,
+        routers in router_kills(),
+        links in link_kills(),
+    ) {
+        let t = FaultedTopology::build(w, h, &routers, &links);
+        let routes = t.routes();
+        let comp = t.components();
+        let n = t.mesh.num_nodes();
+        for src in t.mesh.nodes() {
+            for dst in t.mesh.nodes() {
+                let connected = comp[src.index()] != usize::MAX
+                    && comp[src.index()] == comp[dst.index()];
+                prop_assert_eq!(
+                    routes.reachable(src, dst),
+                    connected,
+                    "table reachability must match BFS for {:?}→{:?}",
+                    src,
+                    dst
+                );
+                if !connected || src == dst {
+                    continue;
+                }
+                let mut current = src;
+                let mut hops = 0;
+                while current != dst {
+                    let dir = routes
+                        .next_hop(current, dst)
+                        .expect("connected pair must have a hop");
+                    prop_assert!(dir != Direction::Local, "Local before dst");
+                    current = t.mesh.neighbor(current, dir).expect("hop stays on mesh");
+                    hops += 1;
+                    prop_assert!(hops <= 2 * n, "route loops: {:?}→{:?}", src, dst);
+                }
+            }
+        }
+    }
+
+    /// No route crosses a dead element: every table entry leaves a live
+    /// router over a live link into a live router, and dead endpoints
+    /// have no routes at all (in either direction).
+    #[test]
+    fn fault_routes_never_touch_dead_elements(
+        w in 2u16..7,
+        h in 2u16..7,
+        routers in router_kills(),
+        links in link_kills(),
+    ) {
+        let t = FaultedTopology::build(w, h, &routers, &links);
+        let routes = t.routes();
+        for u in t.mesh.nodes() {
+            for dst in t.mesh.nodes() {
+                let Some(dir) = routes.next_hop(u, dst) else { continue };
+                prop_assert!(
+                    !t.node_dead[u.index()] && !t.node_dead[dst.index()],
+                    "dead endpoint routed: {:?}→{:?}",
+                    u,
+                    dst
+                );
+                if dir == Direction::Local {
+                    prop_assert_eq!(u, dst, "Local only at the destination");
+                    continue;
+                }
+                prop_assert!(
+                    t.link_alive(u, dir),
+                    "route {:?}→{:?} via {:?} crosses a dead link or router",
+                    u,
+                    dst,
+                    dir
+                );
+            }
+        }
+    }
+
+    /// The channel-dependency graph of all routed paths is acyclic —
+    /// every walk only ever holds a channel while requesting the next
+    /// channel of the same path, so an acyclic CDG rules out routing
+    /// deadlock (the up*/down* argument, verified rather than assumed).
+    #[test]
+    fn fault_routes_channel_dependency_graph_is_acyclic(
+        w in 2u16..7,
+        h in 2u16..7,
+        routers in router_kills(),
+        links in link_kills(),
+    ) {
+        let t = FaultedTopology::build(w, h, &routers, &links);
+        let routes = t.routes();
+        let n = t.mesh.num_nodes();
+        // Channel id = outgoing (node, dir); dependency c1 → c2 when
+        // some routed path traverses c1 and then immediately c2.
+        let mut deps = vec![std::collections::BTreeSet::new(); n * 4];
+        for src in t.mesh.nodes() {
+            for dst in t.mesh.nodes() {
+                if src == dst || !routes.reachable(src, dst) {
+                    continue;
+                }
+                let mut current = src;
+                let mut prev_channel: Option<usize> = None;
+                while current != dst {
+                    let dir = routes.next_hop(current, dst).expect("reachable pair");
+                    let channel = current.index() * 4 + dir.index();
+                    if let Some(p) = prev_channel {
+                        deps[p].insert(channel);
+                    }
+                    prev_channel = Some(channel);
+                    current = t.mesh.neighbor(current, dir).expect("hop stays on mesh");
+                }
+            }
+        }
+        // Iterative three-color DFS over the dependency graph.
+        let mut color = vec![0u8; n * 4]; // 0 white, 1 gray, 2 black
+        for start in 0..n * 4 {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((c, done)) = stack.pop() {
+                if done {
+                    color[c] = 2;
+                    continue;
+                }
+                if color[c] == 2 {
+                    continue;
+                }
+                color[c] = 1;
+                stack.push((c, true));
+                for &next in &deps[c] {
+                    prop_assert!(
+                        color[next] != 1,
+                        "channel-dependency cycle through channel {next}"
+                    );
+                    if color[next] == 0 {
+                        stack.push((next, false));
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@ use crate::refproto::RefProtocol;
 use noc_fault::timing::TimingErrorModel;
 use noc_fault::variation::VariationMap;
 use noc_sim::config::NocConfig;
-use noc_sim::network::Network;
+use noc_sim::network::{HardFaultEvent, Network};
 use noc_sim::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use noc_sim::topology::NodeId;
 use rlnoc_core::backend::SimBackend;
@@ -39,6 +39,10 @@ impl SimBackend for ReferenceBackend {
     fn set_telemetry(&mut self, _telemetry: &Telemetry) {
         // Telemetry is observation-only by contract; the reference
         // engine simply observes nothing.
+    }
+
+    fn set_hard_faults(&mut self, events: Vec<HardFaultEvent>) {
+        self.net.set_hard_faults(events);
     }
 
     fn cycle(&self) -> u64 {
@@ -129,6 +133,10 @@ impl SimBackend for StaleTemperatureBackend {
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         SimBackend::set_telemetry(&mut self.net, telemetry);
+    }
+
+    fn set_hard_faults(&mut self, events: Vec<HardFaultEvent>) {
+        SimBackend::set_hard_faults(&mut self.net, events);
     }
 
     fn cycle(&self) -> u64 {

@@ -15,10 +15,11 @@ use noc_coding::crc::Crc32;
 use noc_sim::config::NocConfig;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use noc_sim::flit::{splitmix64, Flit, Packet, PacketClass, PacketId};
-use noc_sim::routing::xy_path;
+use noc_sim::network::{HardFaultEvent, HardFaultKind};
+use noc_sim::routing::{xy_route, FaultRoutes};
 use noc_sim::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use noc_sim::topology::{Direction, LinkId, Mesh, NodeId, NUM_PORTS};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Event-wheel horizon in cycles; all scheduled events must land within
 /// this many cycles of the present.
@@ -100,6 +101,54 @@ struct InjectProgress {
     vc: u8,
 }
 
+/// Hard-fault bookkeeping, mirroring the optimized engine's state: the
+/// pending schedule, liveness marks, the fault-adaptive route table
+/// (built at the first applied event), and the set of packets lost to
+/// faults ("doomed" — their surviving flits evaporate on arrival
+/// instead of being forwarded).
+#[derive(Debug)]
+struct RefFaultState {
+    events: Vec<HardFaultEvent>,
+    next_event: usize,
+    node_dead: Vec<bool>,
+    /// `link_dead[node][port]`: the channel at `node` in that direction
+    /// is dead. Kept symmetric with the peer's opposite entry.
+    link_dead: Vec<[bool; NUM_PORTS]>,
+    /// `Some` once the first fault event has been applied; the network
+    /// then routes via this table instead of X-Y.
+    routes: Option<FaultRoutes>,
+    /// Packets that lost at least one flit (or their source/destination
+    /// router) to a hard fault.
+    doomed: BTreeSet<PacketId>,
+}
+
+impl RefFaultState {
+    fn new(events: Vec<HardFaultEvent>, n: usize) -> Self {
+        Self {
+            events,
+            next_event: 0,
+            node_dead: vec![false; n],
+            link_dead: vec![[false; NUM_PORTS]; n],
+            routes: None,
+            doomed: BTreeSet::new(),
+        }
+    }
+
+    /// Marks the channel `node → dir` (and its reverse) dead.
+    fn kill_link(&mut self, mesh: Mesh, node: NodeId, dir: Direction) {
+        self.link_dead[node.index()][dir.index()] = true;
+        if let Some(peer) = mesh.neighbor(node, dir) {
+            self.link_dead[peer.index()][dir.opposite().index()] = true;
+        }
+    }
+
+    /// Records `id` as lost; returns `true` when newly recorded and the
+    /// packet carries data (i.e. counts toward `packets_lost_faults`).
+    fn doom(&mut self, id: PacketId, is_data: bool) -> bool {
+        self.doomed.insert(id) && is_data
+    }
+}
+
 /// The reference simulation engine, generic over the same
 /// [`ErrorControl`] extension point as the optimized kernel.
 #[derive(Debug)]
@@ -124,6 +173,11 @@ pub struct RefNetwork<E: ErrorControl> {
     stats: NetworkStats,
     epoch: Vec<RouterEpochStats>,
     counters: Vec<EventCounters>,
+    /// Hard-fault bookkeeping; `None` while the topology is intact.
+    faults: Option<Box<RefFaultState>>,
+    /// Packets doomed during the current RC phase (destination became
+    /// unreachable); drained right after the phase.
+    rc_doomed: Vec<(PacketId, bool)>,
 }
 
 impl<E: ErrorControl> RefNetwork<E> {
@@ -158,7 +212,47 @@ impl<E: ErrorControl> RefNetwork<E> {
             stats: NetworkStats::default(),
             epoch: vec![RouterEpochStats::default(); n],
             counters: vec![EventCounters::default(); n],
+            faults: None,
+            rc_doomed: Vec::new(),
         }
+    }
+
+    /// Installs a permanent hard-fault schedule. Mirrors the optimized
+    /// engine exactly: events are sorted by cycle and each batch takes
+    /// effect at the start of its cycle's `step`, before event
+    /// processing. An empty schedule leaves the zero-fault path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a node outside the mesh or a link that
+    /// does not exist.
+    pub fn set_hard_faults(&mut self, mut events: Vec<HardFaultEvent>) {
+        for ev in &events {
+            match ev.kind {
+                HardFaultKind::Router { node } => {
+                    assert!(
+                        node.index() < self.mesh.num_nodes(),
+                        "fault node outside mesh"
+                    );
+                }
+                HardFaultKind::Link { node, dir } => {
+                    assert!(
+                        node.index() < self.mesh.num_nodes(),
+                        "fault node outside mesh"
+                    );
+                    assert!(
+                        self.mesh.neighbor(node, dir).is_some(),
+                        "hard fault on a nonexistent link {node}:{dir}"
+                    );
+                }
+            }
+        }
+        if events.is_empty() {
+            self.faults = None;
+            return;
+        }
+        events.sort_by_key(|e| e.cycle);
+        self.faults = Some(Box::new(RefFaultState::new(events, self.mesh.num_nodes())));
     }
 
     /// The mesh topology.
@@ -195,6 +289,14 @@ impl<E: ErrorControl> RefNetwork<E> {
         for c in &mut self.counters {
             c.reset();
         }
+        // `unreachable_pairs` is a gauge, not an accumulator: re-seed it
+        // from the live fault state so measurement-phase reports still
+        // describe the surviving topology.
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                self.stats.unreachable_pairs = fr.unreachable_pairs();
+            }
+        }
     }
 
     /// Cumulative per-router energy event counters.
@@ -214,6 +316,11 @@ impl<E: ErrorControl> RefNetwork<E> {
 
     /// Offers a data packet from `src` to `dst`, returning its id.
     ///
+    /// Once hard faults are active, an offer between endpoints with no
+    /// live route is *refused*: it consumes an id (keeping id streams
+    /// aligned with the optimized engine) but injects nothing, counted
+    /// in `packets_refused_unreachable`.
+    ///
     /// # Panics
     ///
     /// Panics if `src == dst` or either node is outside the mesh.
@@ -223,6 +330,16 @@ impl<E: ErrorControl> RefNetwork<E> {
             src.index() < self.mesh.num_nodes() && dst.index() < self.mesh.num_nodes(),
             "node outside mesh"
         );
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                if !fr.reachable(src, dst) {
+                    let id = PacketId(self.next_packet_id);
+                    self.next_packet_id += 1;
+                    self.stats.packets_refused_unreachable += 1;
+                    return id;
+                }
+            }
+        }
         let id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         let packet = Packet {
@@ -242,6 +359,15 @@ impl<E: ErrorControl> RefNetwork<E> {
 
     /// Offers a retransmit-request control packet (destination → source).
     fn offer_control(&mut self, from: NodeId, to: NodeId, of: PacketId) {
+        if let Some(fs) = &self.faults {
+            if let Some(fr) = &fs.routes {
+                if !fr.reachable(from, to) {
+                    // The source can no longer be reached; the request
+                    // (and with it the retransmission) is abandoned.
+                    return;
+                }
+            }
+        }
         let id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         let packet = Packet {
@@ -260,6 +386,15 @@ impl<E: ErrorControl> RefNetwork<E> {
     /// Advances the simulation by one clock cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        if let Some(fs) = &self.faults {
+            if fs
+                .events
+                .get(fs.next_event)
+                .is_some_and(|e| e.cycle <= cycle)
+            {
+                self.apply_hard_fault_batch(cycle);
+            }
+        }
         self.process_events(cycle);
         self.inject_phase(cycle);
         self.sa_st_phase(cycle);
@@ -302,7 +437,37 @@ impl<E: ErrorControl> RefNetwork<E> {
                     vc,
                     flit,
                 } => {
-                    self.accept_flit(node, in_port, vc, flit, cycle);
+                    if self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|fs| fs.doomed.contains(&flit.packet))
+                    {
+                        // Evaporate (the hop already ACKed at accept
+                        // time); return the buffer credit if the
+                        // upstream link still lives.
+                        if in_port != Direction::Local
+                            && !self
+                                .faults
+                                .as_ref()
+                                .is_some_and(|fs| fs.link_dead[node.index()][in_port.index()])
+                        {
+                            let up = self
+                                .mesh
+                                .neighbor(node, in_port)
+                                .expect("flit arrived from a neighbor");
+                            self.wheel.push(
+                                cycle,
+                                cycle + 1,
+                                Event::Credit {
+                                    node: up,
+                                    port: in_port.opposite(),
+                                    vc,
+                                },
+                            );
+                        }
+                    } else {
+                        self.accept_flit(node, in_port, vc, flit, cycle);
+                    }
                 }
                 Event::Eject { node, flit } => self.handle_eject(cycle, node, flit),
                 Event::Credit { node, port, vc } => {
@@ -350,6 +515,47 @@ impl<E: ErrorControl> RefNetwork<E> {
         let si = link.src.index();
         let in_port = link.dir.opposite();
         let ack_at = cycle + self.config.ack_latency as u64;
+
+        // Hard-fault evaporation: flits of a doomed packet drain out at
+        // arrival — the link-level contract (ACK + credit) completes so
+        // the sender's ARQ window and credit pool recover, but the flit
+        // goes no further. Arrivals only happen on live links: dead
+        // links had their in-flight events swept at fault application.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.doomed.contains(&flit.packet))
+        {
+            if kind == TransferKind::HopRetransmit && seq.is_some() {
+                let ivc = &mut self.routers[di].inputs[in_port.index()][vc as usize];
+                if ivc.awaiting_retx == seq {
+                    ivc.awaiting_retx = None;
+                }
+            }
+            if let Some(seq) = seq {
+                self.counters[di].ack_signals += 1;
+                self.wheel.push(
+                    cycle,
+                    ack_at,
+                    Event::AckSignal {
+                        node: link.src,
+                        port: link.dir,
+                        seq,
+                        kind: AckKind::Ack,
+                    },
+                );
+            }
+            self.wheel.push(
+                cycle,
+                cycle + 1,
+                Event::Credit {
+                    node: link.src,
+                    port: link.dir,
+                    vc,
+                },
+            );
+            return;
+        }
 
         // Go-back-N gate: while a rejected flit awaits retransmission on
         // this VC, auto-reject every non-matching arrival that carries a
@@ -534,6 +740,13 @@ impl<E: ErrorControl> RefNetwork<E> {
     }
 
     fn handle_eject(&mut self, cycle: u64, node: NodeId, flit: Flit) {
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.doomed.contains(&flit.packet))
+        {
+            return;
+        }
         self.counters[node.index()].crc_checks += 1;
         let expected = if flit.class.is_control() {
             1
@@ -583,10 +796,27 @@ impl<E: ErrorControl> RefNetwork<E> {
                                 self.stats.silent_corruptions += 1;
                             }
                         }
-                        for r in xy_path(self.mesh, head.src, head.dst) {
+                        // Attribute the latency sample along the route
+                        // the packet actually took: X-Y while the
+                        // topology is intact, the fault-adaptive table
+                        // once faults are active (the walk stops early
+                        // if the surviving route dead-ends).
+                        let mut r = head.src;
+                        loop {
                             let e = &mut self.epoch[r.index()];
                             e.latency_sum += latency;
                             e.latency_count += 1;
+                            if r == head.dst {
+                                break;
+                            }
+                            let dir = match self.faults.as_ref().and_then(|f| f.routes.as_ref()) {
+                                Some(fr) => match fr.next_hop(r, head.dst) {
+                                    Some(d) if d != Direction::Local => d,
+                                    _ => break,
+                                },
+                                None => xy_route(self.mesh, r, head.dst),
+                            };
+                            r = self.mesh.neighbor(r, dir).expect("route stays in mesh");
                         }
                     }
                     EjectOutcome::RequestRetransmit => {
@@ -729,7 +959,10 @@ impl<E: ErrorControl> RefNetwork<E> {
             for (in_p, sel) in selected.iter_mut().enumerate() {
                 let mut requests = vec![false; v];
                 for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
-                    let VcState::Active { out_port, out_vc } = ivc.state else {
+                    let VcState::Active {
+                        out_port, out_vc, ..
+                    } = ivc.state
+                    else {
                         continue;
                     };
                     let Some(front) = ivc.fifo.front() else {
@@ -757,7 +990,9 @@ impl<E: ErrorControl> RefNetwork<E> {
                     requests[in_v] = true;
                 }
                 if let Some(win) = router.sa_input_arbiters[in_p].grant(&requests) {
-                    let VcState::Active { out_port, out_vc } = router.inputs[in_p][win].state
+                    let VcState::Active {
+                        out_port, out_vc, ..
+                    } = router.inputs[in_p][win].state
                     else {
                         unreachable!("selected VC must be active");
                     };
@@ -879,8 +1114,19 @@ impl<E: ErrorControl> RefNetwork<E> {
     }
 
     fn rc_phase(&mut self, cycle: u64) {
-        for router in &mut self.routers {
-            router.rc_stage(cycle, self.mesh);
+        let Self {
+            routers,
+            mesh,
+            faults,
+            rc_doomed,
+            ..
+        } = self;
+        let fault_routes = faults.as_deref().and_then(|f| f.routes.as_ref());
+        for router in routers.iter_mut() {
+            router.rc_stage(cycle, *mesh, fault_routes, rc_doomed);
+        }
+        if !self.rc_doomed.is_empty() {
+            self.finish_rc_dooms(cycle);
         }
     }
 
@@ -890,5 +1136,350 @@ impl<E: ErrorControl> RefNetwork<E> {
             e.cycles += 1;
             e.occupied_vc_cycles += router.occupied_input_vcs() as u64;
         }
+    }
+
+    // ----- hard faults ----------------------------------------------------
+
+    /// Applies every hard-fault event due at `cycle`: marks the dead
+    /// elements, recomputes the fault-adaptive route table, evacuates
+    /// state resident on dead elements, and purges the packets the
+    /// batch killed. Runs at the top of `step` — before event
+    /// processing — so both simulation engines observe the failure at
+    /// the same phase-order point.
+    fn apply_hard_fault_batch(&mut self, cycle: u64) {
+        let mut fs = self
+            .faults
+            .take()
+            .expect("caller checked a schedule exists");
+        let mut lost = 0u64;
+
+        // 1. Consume the due events.
+        let mut applied = 0u64;
+        while let Some(ev) = fs.events.get(fs.next_event) {
+            if ev.cycle > cycle {
+                break;
+            }
+            match ev.kind {
+                HardFaultKind::Router { node } => {
+                    fs.node_dead[node.index()] = true;
+                    for dir in Direction::COMPASS {
+                        if self.mesh.neighbor(node, dir).is_some() {
+                            fs.kill_link(self.mesh, node, dir);
+                        }
+                    }
+                }
+                HardFaultKind::Link { node, dir } => fs.kill_link(self.mesh, node, dir),
+            }
+            fs.next_event += 1;
+            applied += 1;
+        }
+
+        // 2. Recompute the routing tree on the surviving topology.
+        let node_alive: Vec<bool> = fs.node_dead.iter().map(|&d| !d).collect();
+        let routes = FaultRoutes::compute(self.mesh, &node_alive, |n, d| {
+            !fs.link_dead[n.index()][d.index()]
+        });
+        let unreachable = routes.unreachable_pairs();
+        fs.routes = Some(routes);
+
+        // 3. Wheel sweep: in-flight events on dead elements die in
+        // place. Killing an arrival dooms its packet — the wormhole has
+        // been severed.
+        for slot in &mut self.wheel.slots {
+            slot.retain(|ev| {
+                let dead_packet = match ev {
+                    Event::Arrival { link, flit, .. } => {
+                        if fs.link_dead[link.src.index()][link.dir.index()] {
+                            Some((flit.packet, !flit.class.is_control()))
+                        } else {
+                            None
+                        }
+                    }
+                    Event::DirectDeliver { node, flit, .. } | Event::Eject { node, flit } => {
+                        if fs.node_dead[node.index()] {
+                            Some((flit.packet, !flit.class.is_control()))
+                        } else {
+                            None
+                        }
+                    }
+                    Event::Credit { node, port, .. } | Event::AckSignal { node, port, .. } => {
+                        return !(fs.node_dead[node.index()]
+                            || fs.link_dead[node.index()][port.index()]);
+                    }
+                };
+                match dead_packet {
+                    Some((id, is_data)) => {
+                        if fs.doom(id, is_data) {
+                            lost += 1;
+                        }
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
+
+        // 4. Evacuate dead routers and dead-link ports, and divert live
+        // VCs that were routed toward a link that just died.
+        let mut dealloc: Vec<(usize, usize)> = Vec::new();
+        for router in self.routers.iter_mut() {
+            let ni = router.id.index();
+            if fs.node_dead[ni] {
+                // Dead router: everything it holds is lost, and its
+                // core can no longer source traffic.
+                for port in router.inputs.iter_mut() {
+                    for ivc in port.iter_mut() {
+                        for bf in ivc.fifo.drain(..) {
+                            if fs.doom(bf.flit.packet, !bf.flit.class.is_control()) {
+                                lost += 1;
+                            }
+                        }
+                        match ivc.state {
+                            VcState::NeedsVa { packet, .. } | VcState::Active { packet, .. } => {
+                                // Flits of this packet already left
+                                // through the crossbar; it can never
+                                // complete.
+                                if fs.doom(packet, true) {
+                                    lost += 1;
+                                }
+                            }
+                            VcState::Idle => {}
+                        }
+                        ivc.state = VcState::Idle;
+                        ivc.awaiting_retx = None;
+                    }
+                }
+                for out in router.outputs.iter_mut() {
+                    for pr in out.retx_pending.drain(..) {
+                        if fs.doom(pr.flit.packet, !pr.flit.class.is_control()) {
+                            lost += 1;
+                        }
+                    }
+                    out.retx_buffer.clear();
+                    for ovc in out.vcs.iter_mut() {
+                        ovc.allocated = false;
+                    }
+                }
+                for (p, _) in self.source_queues[ni].drain(..) {
+                    if fs.doom(p.id, !p.class.is_control()) {
+                        lost += 1;
+                    }
+                }
+                if let Some(prog) = self.inject_progress[ni].take() {
+                    if fs.doom(prog.packet.id, !prog.packet.class.is_control()) {
+                        lost += 1;
+                    }
+                }
+                continue;
+            }
+
+            // Live router: flush ports attached to dead links.
+            for dir in Direction::COMPASS {
+                let p = dir.index();
+                if !fs.link_dead[ni][p] {
+                    continue;
+                }
+                for ivc in router.inputs[p].iter_mut() {
+                    for bf in ivc.fifo.drain(..) {
+                        if fs.doom(bf.flit.packet, !bf.flit.class.is_control()) {
+                            lost += 1;
+                        }
+                    }
+                    match ivc.state {
+                        VcState::NeedsVa { packet, .. } | VcState::Active { packet, .. } => {
+                            // The rest of the packet is stranded
+                            // upstream of the dead link.
+                            if fs.doom(packet, true) {
+                                lost += 1;
+                            }
+                        }
+                        VcState::Idle => {}
+                    }
+                    if let VcState::Active {
+                        out_port, out_vc, ..
+                    } = ivc.state
+                    {
+                        dealloc.push((out_port.index(), out_vc as usize));
+                    }
+                    ivc.state = VcState::Idle;
+                    ivc.awaiting_retx = None;
+                }
+                for pr in router.outputs[p].retx_pending.drain(..) {
+                    if fs.doom(pr.flit.packet, !pr.flit.class.is_control()) {
+                        lost += 1;
+                    }
+                }
+                router.outputs[p].retx_buffer.clear();
+            }
+
+            // Self-healing divert: VCs routed toward a dead output
+            // link. A packet that has not yet sent a flit through
+            // the crossbar re-enters RC; a severed wormhole is lost.
+            for port in router.inputs.iter_mut() {
+                for ivc in port.iter_mut() {
+                    match ivc.state {
+                        VcState::NeedsVa { out_port, .. } if fs.link_dead[ni][out_port.index()] => {
+                            ivc.state = VcState::Idle;
+                        }
+                        VcState::Active {
+                            out_port,
+                            out_vc,
+                            packet,
+                        } if fs.link_dead[ni][out_port.index()] => {
+                            dealloc.push((out_port.index(), out_vc as usize));
+                            let head_waiting =
+                                ivc.fifo.front().is_some_and(|bf| bf.flit.kind.is_head());
+                            if !head_waiting && fs.doom(packet, true) {
+                                lost += 1;
+                            }
+                            ivc.state = VcState::Idle;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for &(op, ov) in &dealloc {
+                router.outputs[op].vcs[ov].allocated = false;
+            }
+            dealloc.clear();
+        }
+
+        // 5. Packets whose source or destination core died are lost, as
+        // are reassembly attempts collecting at a dead destination.
+        let stale: Vec<PacketId> = self
+            .pending_packets
+            .values()
+            .filter(|(p, _)| fs.node_dead[p.src.index()] || fs.node_dead[p.dst.index()])
+            .map(|(p, _)| p.id)
+            .collect();
+        for id in stale {
+            if fs.doom(id, true) {
+                lost += 1;
+            }
+        }
+        let stale: Vec<(PacketId, bool)> = self
+            .reassembly
+            .values()
+            .filter_map(|flits| {
+                let f = flits.first()?;
+                fs.node_dead[f.dst.index()].then_some((f.packet, !f.class.is_control()))
+            })
+            .collect();
+        for (id, is_data) in stale {
+            if fs.doom(id, is_data) {
+                lost += 1;
+            }
+        }
+
+        // 6. Purge everything the batch doomed, then publish counters.
+        self.purge_doomed_resident(&fs, cycle);
+        self.stats.hard_fault_events += applied;
+        self.stats.reroute_events += 1;
+        self.stats.unreachable_pairs = unreachable;
+        self.stats.packets_lost_hard_fault += lost;
+        self.faults = Some(fs);
+    }
+
+    /// Called after the RC phase when head flits found their
+    /// destination unreachable on the surviving topology: dooms those
+    /// packets and purges their resident flits so the network stays
+    /// drainable.
+    fn finish_rc_dooms(&mut self, cycle: u64) {
+        let mut fs = self.faults.take().expect("RC dooms require fault state");
+        let mut dooms = std::mem::take(&mut self.rc_doomed);
+        let mut lost = 0u64;
+        for &(id, is_data) in &dooms {
+            if fs.doom(id, is_data) {
+                lost += 1;
+            }
+        }
+        dooms.clear();
+        self.rc_doomed = dooms;
+        self.purge_doomed_resident(&fs, cycle);
+        self.stats.packets_lost_hard_fault += lost;
+        self.faults = Some(fs);
+    }
+
+    /// Removes every resident trace of doomed packets — buffered flits
+    /// (returning credits on live links), VC ownership, injection
+    /// state, source-queue entries, and the pending/reassembly windows.
+    /// In-flight wheel events self-clean on arrival instead. The fault
+    /// state is passed detached because callers hold it taken out of
+    /// `self.faults`.
+    fn purge_doomed_resident(&mut self, fs: &RefFaultState, now: u64) {
+        let Self {
+            routers,
+            wheel,
+            mesh,
+            source_queues,
+            inject_progress,
+            pending_packets,
+            reassembly,
+            ..
+        } = self;
+        let mut dealloc: Vec<(usize, usize)> = Vec::new();
+        for router in routers.iter_mut() {
+            let rid = router.id;
+            let ni = rid.index();
+            for in_p in 0..NUM_PORTS {
+                let in_dir = Direction::from_index(in_p);
+                let upstream = if in_dir == Direction::Local {
+                    None
+                } else {
+                    mesh.neighbor(rid, in_dir)
+                };
+                let credits_live = !fs.node_dead[ni]
+                    && !fs.link_dead[ni][in_p]
+                    && upstream.is_some_and(|up| !fs.node_dead[up.index()]);
+                for (in_v, ivc) in router.inputs[in_p].iter_mut().enumerate() {
+                    if !ivc.fifo.is_empty() {
+                        ivc.fifo.retain(|bf| {
+                            let keep = !fs.doomed.contains(&bf.flit.packet);
+                            if !keep && credits_live {
+                                wheel.push(
+                                    now,
+                                    now + 1,
+                                    Event::Credit {
+                                        node: upstream.expect("live link has a peer"),
+                                        port: in_dir.opposite(),
+                                        vc: in_v as u8,
+                                    },
+                                );
+                            }
+                            keep
+                        });
+                    }
+                    match ivc.state {
+                        VcState::NeedsVa { packet, .. } if fs.doomed.contains(&packet) => {
+                            ivc.state = VcState::Idle;
+                        }
+                        VcState::Active {
+                            out_port,
+                            out_vc,
+                            packet,
+                        } if fs.doomed.contains(&packet) => {
+                            dealloc.push((out_port.index(), out_vc as usize));
+                            ivc.state = VcState::Idle;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for &(op, ov) in &dealloc {
+                router.outputs[op].vcs[ov].allocated = false;
+            }
+            dealloc.clear();
+        }
+        for (ni, prog) in inject_progress.iter_mut().enumerate() {
+            if prog
+                .as_ref()
+                .is_some_and(|p| fs.doomed.contains(&p.packet.id))
+            {
+                *prog = None;
+            }
+            source_queues[ni].retain(|(p, _)| !fs.doomed.contains(&p.id));
+        }
+        pending_packets.retain(|id, _| !fs.doomed.contains(id));
+        reassembly.retain(|(id, _), _| !fs.doomed.contains(id));
     }
 }

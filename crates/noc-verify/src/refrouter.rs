@@ -10,8 +10,8 @@
 use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
 use noc_sim::arbiter::RoundRobinArbiter;
 use noc_sim::config::NocConfig;
-use noc_sim::flit::Flit;
-use noc_sim::routing::xy_route;
+use noc_sim::flit::{Flit, PacketId};
+use noc_sim::routing::{xy_route, FaultRoutes};
 use noc_sim::topology::{Direction, Mesh, NodeId, NUM_PORTS};
 use std::collections::VecDeque;
 
@@ -29,9 +29,16 @@ pub(crate) enum VcState {
     /// No packet assigned.
     Idle,
     /// Route computed; awaiting an output VC.
-    NeedsVa { out_port: Direction },
+    NeedsVa {
+        out_port: Direction,
+        packet: PacketId,
+    },
     /// Output VC held; flits flow through SA.
-    Active { out_port: Direction, out_vc: u8 },
+    Active {
+        out_port: Direction,
+        out_vc: u8,
+        packet: PacketId,
+    },
 }
 
 /// One input virtual channel.
@@ -157,8 +164,19 @@ impl RefRouter {
     }
 
     /// Route computation: idle input VCs whose head flit has completed its
-    /// buffer-write stage compute their output port.
-    pub(crate) fn rc_stage(&mut self, cycle: u64, mesh: Mesh) {
+    /// buffer-write stage compute their output port — via X-Y routing, or,
+    /// once hard faults are active, via the fault-adaptive up*/down* table.
+    ///
+    /// A head flit whose destination is unreachable on the live topology
+    /// keeps its VC idle and reports its packet id into `doomed`; the
+    /// network purges every flit of that packet right after the RC phase.
+    pub(crate) fn rc_stage(
+        &mut self,
+        cycle: u64,
+        mesh: Mesh,
+        fault: Option<&FaultRoutes>,
+        doomed: &mut Vec<(PacketId, bool)>,
+    ) {
         for port in &mut self.inputs {
             for vc in port.iter_mut() {
                 if vc.state != VcState::Idle {
@@ -175,8 +193,20 @@ impl RefRouter {
                     "non-head flit {:?} at front of idle VC",
                     front.flit.kind
                 );
-                let out_port = xy_route(mesh, self.id, front.flit.dst);
-                vc.state = VcState::NeedsVa { out_port };
+                let out_port = match fault {
+                    None => xy_route(mesh, self.id, front.flit.dst),
+                    Some(f) => match f.next_hop(self.id, front.flit.dst) {
+                        Some(dir) => dir,
+                        None => {
+                            doomed.push((front.flit.packet, !front.flit.class.is_control()));
+                            continue;
+                        }
+                    },
+                };
+                vc.state = VcState::NeedsVa {
+                    out_port,
+                    packet: front.flit.packet,
+                };
             }
         }
     }
@@ -197,10 +227,8 @@ impl RefRouter {
             let mut any = false;
             for (in_p, port) in self.inputs.iter().enumerate() {
                 for (in_v, vc) in port.iter().enumerate() {
-                    if vc.state
-                        == (VcState::NeedsVa {
-                            out_port: Direction::from_index(out_p),
-                        })
+                    if matches!(vc.state, VcState::NeedsVa { out_port, .. }
+                        if out_port.index() == out_p)
                     {
                         requests[in_p * v + in_v] = true;
                         any = true;
@@ -214,9 +242,13 @@ impl RefRouter {
                 .grant(&requests)
                 .expect("a request was asserted");
             let (in_p, in_v) = (winner / v, winner % v);
+            let VcState::NeedsVa { packet, .. } = self.inputs[in_p][in_v].state else {
+                unreachable!("VA winner must be in NeedsVa");
+            };
             self.inputs[in_p][in_v].state = VcState::Active {
                 out_port: Direction::from_index(out_p),
                 out_vc: free_vc as u8,
+                packet,
             };
             self.outputs[out_p].vcs[free_vc].allocated = true;
             allocations += 1;

@@ -31,6 +31,43 @@ fn optimized_and_reference_agree_on_smoke_batch() {
     }
 }
 
+/// The default `verify_fuzz` stream (seed `0x5EED_F022`, 200 cases)
+/// must exercise the hard-fault machinery: pin that it contains both
+/// hard-fault and fault-free cases, so nobody can accidentally narrow
+/// the generator and silently stop differential-testing faults.
+#[test]
+fn default_fuzz_stream_contains_hard_fault_and_fault_free_cases() {
+    const DEFAULT_SEED: u64 = 0x5EED_F022;
+    const DEFAULT_CASES: u64 = 200;
+    let faulted = (0..DEFAULT_CASES)
+        .filter(|&i| FuzzCase::generate(DEFAULT_SEED, i).hard_faults.is_some())
+        .count();
+    assert!(
+        faulted > 0,
+        "the default fuzz stream must contain hard-fault cases"
+    );
+    assert!(
+        faulted < DEFAULT_CASES as usize,
+        "the default fuzz stream must also keep fault-free cases"
+    );
+}
+
+/// A generated hard-fault case must agree between engines — the quick
+/// in-tree version of what the fuzz binary runs at scale.
+#[test]
+fn optimized_and_reference_agree_on_a_hard_fault_case() {
+    let case = (0..64)
+        .map(|i| FuzzCase::generate(SEED, i))
+        .find(|c| c.hard_faults.is_some())
+        .expect("the stream must yield a hard-fault case quickly");
+    let out = run_case(&case);
+    assert!(
+        out.agrees(),
+        "hard-fault case diverged:\n{case}\ndiffs: {:?}",
+        out.diffs
+    );
+}
+
 fn mutant_diverges(case: &FuzzCase) -> bool {
     !run_case_with::<Optimized, StaleTemperatureBackend>(case).agrees()
 }
