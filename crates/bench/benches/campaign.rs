@@ -1,0 +1,78 @@
+//! Macro benchmark of the batched lockstep campaign engine: K=8
+//! replicate lanes of one 8×8 cell run serially (each lane rebuilds its
+//! tables and recomputes every post-fault reroute) versus as one
+//! `Experiment::run_batch` lockstep group (route/neighbor tables built
+//! once, each up*/down* reroute computed once and shared through the
+//! `FaultRouteCache`).
+//!
+//! The cell is fault-churn heavy — a long schedule of link failures
+//! spread across the simulated window — because that is the regime the
+//! batched engine exists for: degradation sweeps where per-event
+//! reroute computation, not per-cycle packet motion, dominates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_fault::hardfault::HardFaultSchedule;
+use noc_sim::config::NocConfig;
+use noc_sim::traffic::TrafficPattern;
+use rlnoc_core::benchmarks::{PhaseSpec, WorkloadProfile};
+use rlnoc_core::{ErrorControlScheme, Experiment};
+use std::sync::Arc;
+
+const LANES: u64 = 8;
+
+/// Sparse uniform load: enough traffic that the reroute tables are
+/// exercised, little enough that fault-event processing dominates.
+fn sparse_workload(duration: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "sparse",
+        phases: vec![PhaseSpec {
+            cycles: duration,
+            injection_rate: 0.002,
+            pattern: TrafficPattern::UniformRandom,
+        }],
+        duration_cycles: duration,
+    }
+}
+
+/// The K=8 replicate lanes of one fault-churn cell, seeded the way
+/// `Campaign::tasks` derives replicate seeds.
+fn lanes() -> Vec<Experiment> {
+    let schedule = Arc::new(HardFaultSchedule::random(8, 8, 40, 0, (100, 1_300), 31));
+    (0..LANES)
+        .map(|i| {
+            Experiment::builder()
+                .scheme(ErrorControlScheme::StaticCrc)
+                .workload(sparse_workload(1_200))
+                .noc(NocConfig::builder().mesh(8, 8).build())
+                .warmup_cycles(100)
+                .measure_cycles(1_200)
+                .drain_limit(20_000)
+                .hard_faults(schedule.clone())
+                .seed(rand::seed_stream(41, i))
+                .build()
+                .expect("valid bench lane")
+        })
+        .collect()
+}
+
+fn bench_campaign_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_batched");
+    group.bench_function("serial_8x8_k8", |b| {
+        b.iter_batched(
+            lanes,
+            |ls| ls.into_iter().map(Experiment::run).collect::<Vec<_>>(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("lockstep_8x8_k8", |b| {
+        b.iter_batched(lanes, Experiment::run_batch, BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_campaign_batched
+}
+criterion_main!(benches);

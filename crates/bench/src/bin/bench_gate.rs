@@ -6,7 +6,8 @@
 //! reference and exits non-zero when any benchmark median regressed by
 //! more than its class tolerance:
 //!
-//! * **macro** (`network_cycle*`, whole-network cycles): default 20%,
+//! * **macro** (`network_cycle*` whole-network cycles and
+//!   `campaign_batched*` lockstep campaign groups): default 20%,
 //!   override with `BENCH_GATE_TOLERANCE=0.30` etc.
 //! * **micro** (everything else — nanosecond kernels like
 //!   `crc32_flit_checksum` or `secded64_encode`): default 30% to
@@ -22,8 +23,9 @@
 
 use std::process::ExitCode;
 
-/// Prefix selecting the whole-network cycle benchmarks (macro class).
-const MACRO_PREFIX: &str = "network_cycle";
+/// Prefixes selecting the macro-class benchmarks: whole-network cycle
+/// loops and batched-campaign lockstep groups.
+const MACRO_PREFIXES: [&str; 2] = ["network_cycle", "campaign_batched"];
 
 /// Parses the flat `{"name": median_ns, ...}` object the in-tree
 /// Criterion shim writes for `CRITERION_JSON`. Hand-rolled (the
@@ -90,7 +92,7 @@ fn main() -> ExitCode {
     );
     let mut failed = false;
     for (name, base) in &baseline {
-        let (class, tolerance) = if name.starts_with(MACRO_PREFIX) {
+        let (class, tolerance) = if MACRO_PREFIXES.iter().any(|p| name.starts_with(p)) {
             ("macro", macro_tolerance)
         } else {
             ("micro", micro_tolerance)

@@ -406,6 +406,56 @@ impl Secded64 {
             bits: self.bits ^ (1u128 << bit),
         }
     }
+
+    /// Encodes a batch of independent data words — one per replicate
+    /// lane of a batched simulation — in word-parallel groups of four.
+    ///
+    /// The byte-sliced parity-table XOR chains of different lanes share
+    /// no state, so grouping four lanes lets their table loads overlap
+    /// instead of serializing. Lane `i` of `out` is exactly
+    /// `encode(data[i])`; a ragged tail falls back to the scalar
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` and `out` differ in length.
+    pub fn encode_batch(data: &[u64], out: &mut [Self]) {
+        assert_eq!(data.len(), out.len(), "one codeword slot per lane");
+        let mut data4 = data.chunks_exact(4);
+        let mut out4 = out.chunks_exact_mut(4);
+        for (d, o) in (&mut data4).zip(&mut out4) {
+            let cw = [
+                Self::encode(d[0]),
+                Self::encode(d[1]),
+                Self::encode(d[2]),
+                Self::encode(d[3]),
+            ];
+            o.copy_from_slice(&cw);
+        }
+        for (&d, o) in data4.remainder().iter().zip(out4.into_remainder()) {
+            *o = Self::encode(d);
+        }
+    }
+
+    /// Decodes a batch of independent codewords in word-parallel groups
+    /// of four; the counterpart of [`encode_batch`](Self::encode_batch).
+    /// Lane `i` of `out` is exactly `words[i].decode()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` and `out` differ in length.
+    pub fn decode_batch(words: &[Self], out: &mut [DecodeOutcome]) {
+        assert_eq!(words.len(), out.len(), "one outcome slot per lane");
+        let mut words4 = words.chunks_exact(4);
+        let mut out4 = out.chunks_exact_mut(4);
+        for (w, o) in (&mut words4).zip(&mut out4) {
+            let r = [w[0].decode(), w[1].decode(), w[2].decode(), w[3].decode()];
+            o.copy_from_slice(&r);
+        }
+        for (w, o) in words4.remainder().iter().zip(out4.into_remainder()) {
+            *o = w.decode();
+        }
+    }
 }
 
 /// A Hamming(39,32) SECDED codeword protecting one 32-bit word.

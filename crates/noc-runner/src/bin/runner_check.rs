@@ -3,8 +3,11 @@
 //! Runs a reduced campaign three ways and demands identical results:
 //!
 //! 1. serially through `Campaign::run`,
-//! 2. in parallel through the runner (`RLNOC_JOBS` workers, default 2),
-//! 3. resumed from a half-populated checkpoint directory (simulating a
+//! 2. in parallel through the runner (`RLNOC_JOBS` workers, default 2,
+//!    honoring `RLNOC_BATCH`),
+//! 3. batched through `BatchSim` (8 lockstep lanes per replicate
+//!    group),
+//! 4. resumed from a half-populated checkpoint directory (simulating a
 //!    campaign killed midway).
 //!
 //! Exits non-zero on any mismatch, so CI fails when a change breaks the
@@ -27,11 +30,14 @@ fn check_campaign() -> Campaign {
 
 fn main() -> ExitCode {
     let campaign = check_campaign();
-    let jobs = RunnerConfig::from_env().jobs.max(2);
+    let env = RunnerConfig::from_env();
+    let jobs = env.jobs.max(2);
+    let batch = env.batch;
     println!(
-        "runner_check: {} tasks, {} workers",
+        "runner_check: {} tasks, {} workers, batch {}",
         campaign.tasks().len(),
-        jobs
+        jobs,
+        batch
     );
 
     let serial = campaign.run();
@@ -41,17 +47,32 @@ fn main() -> ExitCode {
         jobs,
         snapshot_dir: None,
         resume: false,
+        batch,
         telemetry: telemetry.clone(),
     }
     .run_campaign(&campaign);
     if parallel != serial {
-        eprintln!("FAIL: parallel ({jobs} workers) result differs from serial run");
+        eprintln!("FAIL: parallel ({jobs} workers, batch {batch}) result differs from serial run");
         return ExitCode::FAILURE;
     }
     println!(
         "parallel == serial ({} tasks completed)",
         telemetry.counter("runner.tasks_completed").get()
     );
+
+    // BatchSim leg: replicate groups run as lockstep lanes, whatever
+    // the environment asked for.
+    let batched = RunnerConfig {
+        jobs,
+        batch: 8,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    if batched != serial {
+        eprintln!("FAIL: batched (8-lane) result differs from serial run");
+        return ExitCode::FAILURE;
+    }
+    println!("batched == serial (8-lane lockstep groups)");
 
     // Kill/resume: pre-populate half the checkpoints from the serial
     // run, then resume — only the other half may execute, and the merged
@@ -78,6 +99,7 @@ fn main() -> ExitCode {
         jobs,
         snapshot_dir: Some(dir.clone()),
         resume: true,
+        batch,
         telemetry: resume_telemetry.clone(),
     }
     .run_campaign(&campaign);

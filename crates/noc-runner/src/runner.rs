@@ -32,6 +32,12 @@ pub struct RunnerConfig {
     /// Reload valid checkpoints from `snapshot_dir` instead of
     /// re-running their tasks. Ignored without a snapshot directory.
     pub resume: bool,
+    /// `BatchSim` lane width: replicates of one (workload, scheme)
+    /// cell run as a single lockstep batched task of up to this many
+    /// lanes (1 = scalar execution, the historical behavior). Purely an
+    /// execution strategy — results, checkpoints, and fingerprints are
+    /// byte-identical for every width.
+    pub batch: usize,
     /// Runner-level telemetry (queue depth, per-worker task counts, one
     /// run summary per campaign). Independent of the campaign's own
     /// handle, which instruments the simulations themselves.
@@ -46,6 +52,7 @@ impl RunnerConfig {
             jobs: 1,
             snapshot_dir: None,
             resume: false,
+            batch: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -54,6 +61,8 @@ impl RunnerConfig {
     ///
     /// * `RLNOC_JOBS` — worker threads; `0` or unset = serial, `max` =
     ///   all available cores.
+    /// * `RLNOC_BATCH` — `BatchSim` lane width; `0`/`1` or unset =
+    ///   scalar execution.
     /// * `SNAPSHOT_DIR` — checkpoint/policy-snapshot directory.
     /// * `RESUME` — `1`/`true` to reload checkpoints from
     ///   `SNAPSHOT_DIR`.
@@ -72,10 +81,16 @@ impl RunnerConfig {
         let resume = std::env::var("RESUME")
             .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
             .unwrap_or(false);
+        let batch = std::env::var("RLNOC_BATCH")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1)
+            .max(1);
         Self {
             jobs,
             snapshot_dir,
             resume,
+            batch,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -159,12 +174,28 @@ impl RunnerConfig {
         // keeps the workers balanced at the tail of the queue.
         pending.sort_by_key(|t| (std::cmp::Reverse(t.scheme.is_learning()), t.index));
 
-        let fresh = pool::run_indexed(pending, self.jobs, &self.telemetry, |_, task| {
-            let report = execute_task(campaign, &task, ckpt.as_deref());
-            on_task(&task, &report);
-            (task.index, report)
+        // Replicates of one (workload, scheme) cell batch into lockstep
+        // groups of up to `batch` lanes; ragged tails become smaller
+        // groups and singletons fall back to the scalar path.
+        let groups = batch_groups(pending, self.batch);
+        let completed = self.telemetry.counter("runner.tasks_completed");
+        let fresh = pool::run_indexed(groups, self.jobs, &self.telemetry, |_, group| {
+            let reports = execute_batch(campaign, &group, ckpt.as_deref());
+            // The pool counts one completion per queue item (= group);
+            // top up so the counter stays per-task.
+            if group.len() > 1 {
+                completed.add((group.len() - 1) as u64);
+            }
+            group
+                .iter()
+                .zip(reports)
+                .map(|(task, report)| {
+                    on_task(task, &report);
+                    (task.index, report)
+                })
+                .collect::<Vec<_>>()
         });
-        for (index, report) in fresh {
+        for (index, report) in fresh.into_iter().flatten() {
             slots[index] = Some(report);
         }
         self.telemetry.finish_run(run_id, 0);
@@ -196,17 +227,81 @@ pub fn execute_task(
     ckpt: Option<&CheckpointDir>,
 ) -> ExperimentReport {
     let (report, artifacts) = campaign.experiment(task).run_inspect();
-    if let Some(ckpt) = ckpt {
-        ckpt.store(task.index, &report)
-            .expect("checkpoint write must succeed");
-        if let Some(policy) = artifacts.controllers.policy_snapshot() {
-            let path = ckpt.path().join(format!("task-{:04}.policy", task.index));
-            policy
-                .save_to_path(&path)
-                .expect("policy snapshot write must succeed");
+    persist_task(task, &report, &artifacts, ckpt);
+    report
+}
+
+/// Checkpoints one finished task's report and any learned policy.
+fn persist_task(
+    task: &CampaignTask,
+    report: &ExperimentReport,
+    artifacts: &rlnoc_core::experiment::RunArtifacts,
+    ckpt: Option<&CheckpointDir>,
+) {
+    let Some(ckpt) = ckpt else { return };
+    ckpt.store(task.index, report)
+        .expect("checkpoint write must succeed");
+    if let Some(policy) = artifacts.controllers.policy_snapshot() {
+        let path = ckpt.path().join(format!("task-{:04}.policy", task.index));
+        policy
+            .save_to_path(&path)
+            .expect("policy snapshot write must succeed");
+    }
+}
+
+/// Executes a group of replicate lanes from one campaign cell as a
+/// single `BatchSim` task, with the exact persistence semantics of
+/// [`execute_task`] applied per lane. Singleton groups take the scalar
+/// path — the ragged-tail fallback.
+///
+/// # Panics
+///
+/// As [`execute_task`].
+pub fn execute_batch(
+    campaign: &Campaign,
+    group: &[CampaignTask],
+    ckpt: Option<&CheckpointDir>,
+) -> Vec<ExperimentReport> {
+    if group.len() == 1 {
+        return vec![execute_task(campaign, &group[0], ckpt)];
+    }
+    let lanes = group.iter().map(|task| campaign.experiment(task)).collect();
+    rlnoc_core::Experiment::run_batch_inspect(lanes)
+        .into_iter()
+        .zip(group)
+        .map(|((report, artifacts), task)| {
+            persist_task(task, &report, &artifacts, ckpt);
+            report
+        })
+        .collect()
+}
+
+/// Partitions scheduled tasks into `BatchSim` groups: replicates of one
+/// (workload, scheme) cell — which differ only by derived seed — are
+/// the lanes eligible to share a lockstep batch. Cells appear in the
+/// scheduling order of their first task, so the learning-first ordering
+/// of the input survives grouping.
+fn batch_groups(pending: Vec<CampaignTask>, batch: usize) -> Vec<Vec<CampaignTask>> {
+    if batch <= 1 {
+        return pending.into_iter().map(|task| vec![task]).collect();
+    }
+    let mut cells: Vec<((usize, rlnoc_core::ErrorControlScheme), Vec<CampaignTask>)> = Vec::new();
+    for task in pending {
+        let key = (task.workload, task.scheme);
+        match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, lanes)) => lanes.push(task),
+            None => cells.push((key, vec![task])),
         }
     }
-    report
+    cells
+        .into_iter()
+        .flat_map(|(_, lanes)| {
+            lanes
+                .chunks(batch)
+                .map(<[CampaignTask]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ fn resume_from_partial_checkpoints_matches_uninterrupted_run() {
         snapshot_dir: Some(dir.clone()),
         resume: true,
         telemetry: telemetry.clone(),
+        ..RunnerConfig::serial()
     }
     .run_campaign(&campaign);
     assert_eq!(resumed, uninterrupted, "resume changes nothing");
@@ -67,6 +68,7 @@ fn resume_from_partial_checkpoints_matches_uninterrupted_run() {
         snapshot_dir: Some(dir.clone()),
         resume: true,
         telemetry: telemetry2.clone(),
+        ..RunnerConfig::serial()
     }
     .run_campaign(&campaign);
     assert_eq!(again, uninterrupted);
@@ -148,6 +150,7 @@ fn faulted_campaign_is_identical_across_worker_counts_and_resume() {
             snapshot_dir: Some(dir.clone()),
             resume: true,
             telemetry: Telemetry::disabled(),
+            ..RunnerConfig::serial()
         }
         .run_campaign(&campaign);
         assert_eq!(
@@ -155,6 +158,140 @@ fn faulted_campaign_is_identical_across_worker_counts_and_resume() {
             "{jobs}-worker resume of the faulted campaign changes nothing"
         );
     }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The degradation sweep's campaign shape — hard faults striking
+/// mid-flight, replicated cells — through the batched engine: lockstep
+/// lanes sharing one fault-reroute cache must stay byte-identical to
+/// the serial run, and a batched resume from partial checkpoints must
+/// change nothing.
+#[test]
+fn faulted_replicated_campaign_matches_serial_under_batching_and_resume() {
+    use rlnoc_core::ErrorControlScheme;
+    let mut campaign = faulted_campaign();
+    campaign.replicates = 2;
+    campaign.schemes.retain(|s| {
+        matches!(
+            s,
+            ErrorControlScheme::StaticCrc | ErrorControlScheme::ProposedRl
+        )
+    });
+    let serial = campaign.run();
+    assert!(
+        serial.reports.iter().any(|r| r.hard_fault_events > 0),
+        "some lane must take fault events inside its measured window"
+    );
+
+    let batched = RunnerConfig {
+        jobs: 4,
+        batch: 8,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        batched, serial,
+        "batched faulted replicate groups must match the serial run"
+    );
+
+    // Kill-and-resume with batching still on: stored lanes restore,
+    // the remainder re-runs through the batched engine.
+    let dir = temp_dir("faulted-batched-resume");
+    let total = serial.reports.len();
+    let ckpt = CheckpointDir::open(&dir, campaign.fingerprint(), total).expect("open");
+    for (index, report) in serial.reports.iter().enumerate().take(total / 2) {
+        ckpt.store(index, report).expect("store");
+    }
+    let resumed = RunnerConfig {
+        jobs: 4,
+        batch: 8,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: Telemetry::disabled(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        resumed, serial,
+        "batched resume of the faulted campaign changes nothing"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The BatchSim contract end to end: replicate lanes grouped into
+/// lockstep batches (ragged tails included) produce byte-identical
+/// campaign results, write the same per-lane checkpoints and policy
+/// snapshots as scalar execution, and stay per-task in the telemetry
+/// accounting.
+#[test]
+fn batched_replicate_groups_match_serial_and_checkpoint_per_lane() {
+    use rlnoc_core::ErrorControlScheme;
+    let mut campaign = tiny_campaign();
+    campaign.replicates = 3;
+    campaign.schemes.retain(|s| {
+        matches!(
+            s,
+            ErrorControlScheme::StaticCrc | ErrorControlScheme::ProposedRl
+        )
+    });
+    let serial = campaign.run();
+    let total = serial.reports.len();
+    assert_eq!(total, 6, "2 schemes x 1 workload x 3 replicates");
+
+    // Width 2 over 3 replicates: one full group plus a ragged singleton
+    // per cell, across worker threads.
+    let ragged = RunnerConfig {
+        jobs: 2,
+        batch: 2,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(ragged, serial, "ragged batches must match the serial run");
+
+    // Width 8 swallows each cell whole and persists per lane.
+    let dir = temp_dir("batched-ckpt");
+    let telemetry = Telemetry::enabled();
+    let batched = RunnerConfig {
+        jobs: 2,
+        batch: 8,
+        snapshot_dir: Some(dir.clone()),
+        resume: false,
+        telemetry: telemetry.clone(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(batched, serial, "full-width batches must match serial");
+    assert_eq!(
+        telemetry.counter("runner.tasks_completed").get(),
+        total as u64,
+        "completion accounting stays per-lane under batching"
+    );
+    let namespace = dir.join(CheckpointDir::namespace(campaign.fingerprint()));
+    for task in campaign.tasks() {
+        if matches!(task.scheme, ErrorControlScheme::ProposedRl) {
+            let policy = namespace.join(format!("task-{:04}.policy", task.index));
+            assert!(
+                policy.exists(),
+                "every batched RL lane leaves its own policy snapshot"
+            );
+        }
+    }
+
+    // A scalar resume restores every batched checkpoint untouched.
+    let telemetry2 = Telemetry::enabled();
+    let resumed = RunnerConfig {
+        jobs: 1,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: telemetry2.clone(),
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(resumed, serial, "resume from batched checkpoints");
+    assert_eq!(
+        telemetry2.counter("runner.tasks_resumed").get(),
+        total as u64
+    );
+    assert_eq!(telemetry2.counter("runner.tasks_completed").get(), 0);
+
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
@@ -171,6 +308,7 @@ fn rl_policy_snapshots_are_saved_and_reloadable() {
         snapshot_dir: Some(dir.clone()),
         resume: false,
         telemetry: Telemetry::disabled(),
+        ..RunnerConfig::serial()
     }
     .run_campaign(&campaign);
     assert_eq!(result.reports.len(), 1);
@@ -215,6 +353,7 @@ fn foreign_campaign_in_the_same_directory_no_longer_conflicts() {
         snapshot_dir: Some(dir.clone()),
         resume: true,
         telemetry: Telemetry::disabled(),
+        ..RunnerConfig::serial()
     }
     .run_campaign(&campaign);
     assert_eq!(result, campaign.run(), "foreign namespace is not disturbed");

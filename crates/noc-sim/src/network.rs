@@ -38,7 +38,8 @@ use crate::topology::{Direction, LinkId, Mesh, NeighborTable, NodeId, NUM_PORTS}
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
 use rlnoc_telemetry::{Counter, Gauge, Histogram, Telemetry, TimerHandle};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// Per-cycle runtime invariant checks (child module so it can traverse
 /// the private event wheel); compiled only under the `verify` feature
@@ -192,8 +193,10 @@ struct FaultState {
     /// is dead. Kept symmetric with the peer's opposite entry.
     link_dead: Vec<[bool; NUM_PORTS]>,
     /// `Some` once the first fault event has been applied; the network
-    /// then routes via this table instead of X-Y.
-    routes: Option<FaultRoutes>,
+    /// then routes via this table instead of X-Y. Behind an `Arc` so
+    /// lockstep replicate lanes sharing one fault schedule share one
+    /// table (see [`SharedTables`]).
+    routes: Option<Arc<FaultRoutes>>,
     /// Packets that lost at least one flit (or their source/destination
     /// router) to a hard fault. Membership-only, ordered for
     /// deterministic iteration.
@@ -227,6 +230,107 @@ impl FaultState {
     }
 }
 
+/// Memo of fault-adaptive route tables, shared by lockstep replicate
+/// lanes that run the *same* hard-fault schedule on the *same* mesh.
+///
+/// The dead-element sets after each applied event batch are a pure
+/// function of the schedule (never of packet dynamics), and
+/// [`FaultRoutes::compute`] is deterministic on those sets — so lanes
+/// reaching the same applied-event count need the same table. The cache
+/// is keyed by that count; the first lane to take a fault batch pays the
+/// up*/down* recomputation and every other lane reuses the `Arc`.
+///
+/// Sharing one cache across networks with *different* schedules or
+/// meshes would serve wrong tables; [`SharedTables`] therefore owns the
+/// cache and batch construction hands one only to lanes of one
+/// replicate group. Under the `verify` feature with `RLNOC_VERIFY=1`
+/// every cache hit is re-derived from scratch and compared, so a
+/// poisoned or mismatched entry panics instead of silently steering.
+#[derive(Debug, Clone, Default)]
+pub struct FaultRouteCache {
+    inner: Arc<Mutex<BTreeMap<usize, Arc<FaultRoutes>>>>,
+}
+
+impl FaultRouteCache {
+    /// Returns the memoized table for `applied_events`, computing and
+    /// publishing it on first request.
+    fn get_or_compute(
+        &self,
+        applied_events: usize,
+        compute: impl FnOnce() -> FaultRoutes,
+    ) -> Arc<FaultRoutes> {
+        let mut map = self.inner.lock().expect("fault-route cache poisoned");
+        if let Some(hit) = map.get(&applied_events) {
+            let hit = Arc::clone(hit);
+            drop(map);
+            #[cfg(feature = "verify")]
+            if invariants::armed() {
+                assert!(
+                    compute() == *hit,
+                    "shared fault-route cache entry for {applied_events} applied \
+                     events diverges from recomputation"
+                );
+            }
+            return hit;
+        }
+        let fresh = Arc::new(compute());
+        map.insert(applied_events, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Test hook: plants a (presumably wrong) table under
+    /// `applied_events` so corruption-injection tests can prove the
+    /// armed coherence check has teeth.
+    #[cfg(feature = "verify")]
+    #[doc(hidden)]
+    pub fn poison_for_test(&self, applied_events: usize, routes: FaultRoutes) {
+        self.inner
+            .lock()
+            .expect("fault-route cache poisoned")
+            .insert(applied_events, Arc::new(routes));
+    }
+}
+
+/// Immutable lookup state that replicate lanes of a batched simulation
+/// share instead of rebuilding per lane: the X-Y route table, the
+/// neighbor table, and the [`FaultRouteCache`].
+///
+/// All lanes must run the same mesh; lanes handed the same instance must
+/// additionally run the same hard-fault schedule (see
+/// [`FaultRouteCache`]). Construction via [`Network::with_shared`] is
+/// behaviorally identical to [`Network::new`] — the tables are the same
+/// values, merely shared — so per-lane results stay byte-identical to
+/// independently built networks.
+#[derive(Debug, Clone)]
+pub struct SharedTables {
+    mesh: Mesh,
+    routes: Arc<RouteTable>,
+    neighbors: Arc<NeighborTable>,
+    fault_routes: FaultRouteCache,
+}
+
+impl SharedTables {
+    /// Precomputes the shared tables for `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        Self {
+            mesh,
+            routes: Arc::new(RouteTable::new(mesh)),
+            neighbors: Arc::new(NeighborTable::new(mesh)),
+            fault_routes: FaultRouteCache::default(),
+        }
+    }
+
+    /// The mesh these tables were built for.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The shared fault-adaptive route-table memo.
+    pub fn fault_routes(&self) -> &FaultRouteCache {
+        &self.fault_routes
+    }
+}
+
 /// A cycle-accurate NoC simulation instance, generic over the
 /// [`ErrorControl`] implementation that governs link protection.
 ///
@@ -256,9 +360,13 @@ pub struct Network<E: ErrorControl> {
     cycle: u64,
     wheel: Wheel,
     /// Precomputed X-Y next-hop lookup (RC stage, latency attribution).
-    routes: RouteTable,
+    /// Shared (`Arc`) so batched replicate lanes build it once.
+    routes: Arc<RouteTable>,
     /// Precomputed node × direction neighbor lookup (link endpoints).
-    neighbors: NeighborTable,
+    neighbors: Arc<NeighborTable>,
+    /// Shared fault-adaptive route memo for batched lanes; `None` on an
+    /// independently built network (each fault batch computes its own).
+    fault_cache: Option<FaultRouteCache>,
     /// Slab of in-flight flit bodies; everything else moves handles.
     arena: FlitArena,
     source_queues: Vec<VecDeque<(Packet, u8)>>,
@@ -352,6 +460,49 @@ impl<E: ErrorControl> Network<E> {
     ///
     /// Panics if `config` fails [`NocConfig::validate`].
     pub fn new(config: NocConfig, protocol: E, seed: u64) -> Self {
+        let mesh = config.mesh;
+        Self::build(
+            config,
+            protocol,
+            seed,
+            Arc::new(RouteTable::new(mesh)),
+            Arc::new(NeighborTable::new(mesh)),
+            None,
+        )
+    }
+
+    /// Like [`Network::new`], but reusing precomputed [`SharedTables`]
+    /// instead of rebuilding the route/neighbor lookups — the
+    /// construction path for lockstep replicate lanes. Behaviorally
+    /// identical to [`Network::new`] on the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`NocConfig::validate`] or `shared` was
+    /// built for a different mesh.
+    pub fn with_shared(config: NocConfig, protocol: E, seed: u64, shared: &SharedTables) -> Self {
+        assert_eq!(
+            shared.mesh, config.mesh,
+            "shared tables built for a different mesh"
+        );
+        Self::build(
+            config,
+            protocol,
+            seed,
+            Arc::clone(&shared.routes),
+            Arc::clone(&shared.neighbors),
+            Some(shared.fault_routes.clone()),
+        )
+    }
+
+    fn build(
+        config: NocConfig,
+        protocol: E,
+        seed: u64,
+        routes: Arc<RouteTable>,
+        neighbors: Arc<NeighborTable>,
+        fault_cache: Option<FaultRouteCache>,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("{e}");
         }
@@ -365,8 +516,9 @@ impl<E: ErrorControl> Network<E> {
             crc: Crc32::new(),
             cycle: 0,
             wheel: Wheel::new(),
-            routes: RouteTable::new(mesh),
-            neighbors: NeighborTable::new(mesh),
+            routes,
+            neighbors,
+            fault_cache,
             arena: FlitArena::new(),
             source_queues: vec![VecDeque::new(); n],
             inject_progress: vec![None; n],
@@ -529,7 +681,7 @@ impl<E: ErrorControl> Network<E> {
 
     /// The fault-adaptive route table, once hard faults are active.
     pub fn fault_routes(&self) -> Option<&FaultRoutes> {
-        self.faults.as_ref().and_then(|f| f.routes.as_ref())
+        self.faults.as_ref().and_then(|f| f.routes.as_deref())
     }
 
     /// Whether router `node` has failed.
@@ -1490,7 +1642,7 @@ impl<E: ErrorControl> Network<E> {
             rc_doomed,
             ..
         } = self;
-        let fault_routes = faults.as_deref().and_then(|f| f.routes.as_ref());
+        let fault_routes = faults.as_deref().and_then(|f| f.routes.as_deref());
         for router in routers.iter_mut() {
             if router.occupied_vcs == 0 {
                 continue; // no buffered head flit: RC has nothing to do
@@ -1544,11 +1696,20 @@ impl<E: ErrorControl> Network<E> {
             applied += 1;
         }
 
-        // 2. Recompute the routing tree on the surviving topology.
+        // 2. Recompute the routing tree on the surviving topology. The
+        // dead sets here are a pure function of the schedule, so lanes
+        // sharing a schedule (and hence a cache) reuse one table; the
+        // applied-event count identifies the batch.
         let node_alive: Vec<bool> = fs.node_dead.iter().map(|&d| !d).collect();
-        let routes = FaultRoutes::compute(self.mesh, &node_alive, |n, d| {
-            !fs.link_dead[n.index()][d.index()]
-        });
+        let compute = || {
+            FaultRoutes::compute(self.mesh, &node_alive, |n, d| {
+                !fs.link_dead[n.index()][d.index()]
+            })
+        };
+        let routes = match &self.fault_cache {
+            Some(cache) => cache.get_or_compute(fs.next_event, compute),
+            None => Arc::new(compute()),
+        };
         let unreachable = routes.unreachable_pairs();
         fs.routes = Some(routes);
 

@@ -161,7 +161,7 @@ const UNREACHABLE_PORT: u8 = 0xFF;
 /// simulators can rebuild identical tables independently: BFS explores
 /// neighbors in port order (N, E, S, W) and distance ties break toward
 /// the smallest port index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRoutes {
     /// `table[current * n + dst]` is the output port index, or
     /// [`UNREACHABLE_PORT`] when no live route exists.

@@ -1,0 +1,213 @@
+//! The lane-equivalence test wall for the `BatchSim` batched lockstep
+//! engine.
+//!
+//! Every test here pins the same contract from a different angle: a
+//! lane of a batched run is byte-identical — the full
+//! [`ExperimentReport`], every field — to running that experiment alone
+//! on the serial backend. Lanes share immutable tables (routes,
+//! neighbors, post-fault reroutes) through
+//! [`noc_sim::network::SharedTables`], so these tests are what makes
+//! "shared" provably mean "read-only".
+
+use noc_fault::hardfault::HardFaultSchedule;
+use noc_sim::config::NocConfig;
+use rlnoc_core::experiment::ExperimentReport;
+use rlnoc_core::{ErrorControlScheme, Experiment, WorkloadProfile};
+use std::sync::Arc;
+
+/// One replicate lane of a campaign cell. `cell_seed` picks the cell,
+/// `lane` derives the replicate seed the way `Campaign::tasks` does.
+fn lane(
+    scheme: ErrorControlScheme,
+    workload: WorkloadProfile,
+    cell_seed: u64,
+    lane: u64,
+    faults: Option<Arc<HardFaultSchedule>>,
+) -> Experiment {
+    let mut builder = Experiment::builder()
+        .scheme(scheme)
+        .workload(workload)
+        .noc(NocConfig::builder().mesh(4, 4).build())
+        .pretrain_cycles(3_000)
+        .warmup_cycles(500)
+        .measure_cycles(3_000)
+        .drain_limit(30_000)
+        .seed(rand::seed_stream(cell_seed, lane));
+    if let Some(schedule) = faults {
+        builder = builder.hard_faults(schedule);
+    }
+    builder.build().expect("valid lane configuration")
+}
+
+fn serial_reports(lanes: &[Experiment]) -> Vec<ExperimentReport> {
+    lanes.iter().cloned().map(Experiment::run).collect()
+}
+
+#[test]
+fn every_lane_is_byte_identical_to_serial_for_k_1_2_4_8() {
+    for k in [1usize, 2, 4, 8] {
+        let lanes: Vec<Experiment> = (0..k as u64)
+            .map(|i| {
+                lane(
+                    ErrorControlScheme::ProposedRl,
+                    WorkloadProfile::blackscholes(),
+                    7,
+                    i,
+                    None,
+                )
+            })
+            .collect();
+        let serial = serial_reports(&lanes);
+        let batched = Experiment::run_batch(lanes);
+        assert_eq!(serial, batched, "K={k} lanes must match serial exactly");
+    }
+}
+
+#[test]
+fn ragged_lane_counts_match_serial() {
+    // Odd counts that never fill a power-of-two batch: the engine must
+    // not care how many lanes it is given.
+    for k in [3u64, 5, 7] {
+        let lanes: Vec<Experiment> = (0..k)
+            .map(|i| {
+                lane(
+                    ErrorControlScheme::StaticArqEcc,
+                    WorkloadProfile::canneal(),
+                    11,
+                    i,
+                    None,
+                )
+            })
+            .collect();
+        let serial = serial_reports(&lanes);
+        let batched = Experiment::run_batch(lanes);
+        assert_eq!(serial, batched, "ragged K={k} lanes must match serial");
+    }
+}
+
+#[test]
+fn results_are_invariant_under_lane_permutation() {
+    let build = |order: &[u64]| -> Vec<Experiment> {
+        order
+            .iter()
+            .map(|&i| {
+                lane(
+                    ErrorControlScheme::ProposedRl,
+                    WorkloadProfile::blackscholes(),
+                    13,
+                    i,
+                    None,
+                )
+            })
+            .collect()
+    };
+    let forward = Experiment::run_batch(build(&[0, 1, 2, 3]));
+    let shuffled = Experiment::run_batch(build(&[2, 0, 3, 1]));
+    for (slot, &src) in [2usize, 0, 3, 1].iter().enumerate() {
+        assert_eq!(
+            shuffled[slot], forward[src],
+            "lane order is an execution detail, not an input"
+        );
+    }
+}
+
+#[test]
+fn hard_faulted_lanes_share_reroute_tables_and_still_match_serial() {
+    // All lanes carry the same schedule, so the batched engine computes
+    // each post-fault reroute table once and shares it; the serial runs
+    // recompute per lane. Identical reports prove the cache is
+    // coherent.
+    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 3, 1, (100, 5_000), 23));
+    let lanes: Vec<Experiment> = (0..4u64)
+        .map(|i| {
+            lane(
+                ErrorControlScheme::ProposedRl,
+                WorkloadProfile::blackscholes(),
+                17,
+                i,
+                Some(schedule.clone()),
+            )
+        })
+        .collect();
+    let serial = serial_reports(&lanes);
+    assert!(
+        serial.iter().any(|r| r.hard_fault_events > 0),
+        "the schedule must actually fire inside the simulated window"
+    );
+    let batched = Experiment::run_batch(lanes);
+    assert_eq!(serial, batched, "shared reroute tables must be invisible");
+}
+
+#[test]
+fn mixed_cells_in_one_batch_match_serial() {
+    // A batch is allowed to mix cells (different schemes, workloads,
+    // and fault schedules): sharing degrades per cell, results do not.
+    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 2, 0, (100, 4_000), 29));
+    let lanes = vec![
+        lane(
+            ErrorControlScheme::StaticCrc,
+            WorkloadProfile::blackscholes(),
+            19,
+            0,
+            None,
+        ),
+        lane(
+            ErrorControlScheme::ProposedRl,
+            WorkloadProfile::canneal(),
+            19,
+            1,
+            Some(schedule.clone()),
+        ),
+        lane(
+            ErrorControlScheme::DecisionTree,
+            WorkloadProfile::blackscholes(),
+            19,
+            2,
+            Some(schedule),
+        ),
+    ];
+    let serial = serial_reports(&lanes);
+    let batched = Experiment::run_batch(lanes);
+    assert_eq!(serial, batched);
+}
+
+/// Deterministic fuzz over random (scheme, seed, fault) cells. Each
+/// case runs 2 serial + 2 batched experiments; the case count is kept
+/// small enough for the tier-1 budget and every case is reproducible
+/// from the fixed root seed.
+#[test]
+fn fuzzed_cells_match_serial() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xBA7C_E001);
+    for case in 0..6u64 {
+        let scheme = ErrorControlScheme::ALL[rng.gen_range(0..4usize)];
+        let cell_seed: u64 = rng.gen_range(0..1_000u64);
+        let faults = rng.gen_range(0..2u32).eq(&1).then(|| {
+            Arc::new(HardFaultSchedule::random(
+                4,
+                4,
+                2,
+                0,
+                (100, 4_000),
+                cell_seed,
+            ))
+        });
+        let lanes: Vec<Experiment> = (0..2u64)
+            .map(|i| {
+                lane(
+                    scheme,
+                    WorkloadProfile::blackscholes(),
+                    cell_seed,
+                    i,
+                    faults.clone(),
+                )
+            })
+            .collect();
+        let serial = serial_reports(&lanes);
+        let batched = Experiment::run_batch(lanes);
+        assert_eq!(
+            serial, batched,
+            "fuzz case {case} ({scheme} seed {cell_seed}) diverged"
+        );
+    }
+}

@@ -3,7 +3,9 @@
 //! Generates `FuzzCase`s from a SplitMix64 case stream, runs each on the
 //! optimized kernel and the reference model in parallel, and fails loudly
 //! on the first report divergence — after shrinking it to a minimal
-//! replayable case file.
+//! replayable case file. Every eighth case additionally re-runs as a
+//! batched `BatchSim` replicate group (widths cycling 2/4/8) and every
+//! lane is diffed against its serial run.
 //!
 //! ```text
 //! verify_fuzz [--seed N] [--cases N] [--budget 60s] [--jobs N]
@@ -23,7 +25,7 @@
 
 use rlnoc_core::fuzzcase::FuzzCase;
 use rlnoc_telemetry::Telemetry;
-use rlnoc_verify::diff::{run_case, shrink_divergence};
+use rlnoc_verify::diff::{batch_sample_width, run_case, run_case_batched, shrink_divergence};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -93,7 +95,17 @@ fn run_batch(
     let telemetry = Telemetry::disabled();
     let indices: Vec<u64> = range.collect();
     let outcomes = rlnoc_runner::pool::run_indexed(indices, jobs, &telemetry, |_, i| {
-        run_case(&FuzzCase::generate(seed, i))
+        let case = FuzzCase::generate(seed, i);
+        let outcome = run_case(&case);
+        if !outcome.agrees() {
+            return outcome;
+        }
+        // Sampled cases additionally re-run as a batched replicate
+        // group, folding the BatchSim engine into the default stream.
+        match batch_sample_width(i) {
+            Some(lanes) => run_case_batched(&case, lanes),
+            None => outcome,
+        }
     });
     outcomes.into_iter().find(|o| !o.agrees())
 }
