@@ -55,6 +55,26 @@ fn lanes() -> Vec<Experiment> {
         .collect()
 }
 
+/// K fault-free replicate lanes: the sim-dominated regime where the
+/// shared `FaultRouteCache` buys nothing and all lockstep gains must
+/// come from the fused SoA cycle kernel itself.
+fn fault_free_lanes(k: u64) -> Vec<Experiment> {
+    (0..k)
+        .map(|i| {
+            Experiment::builder()
+                .scheme(ErrorControlScheme::StaticCrc)
+                .workload(sparse_workload(1_200))
+                .noc(NocConfig::builder().mesh(8, 8).build())
+                .warmup_cycles(100)
+                .measure_cycles(1_200)
+                .drain_limit(20_000)
+                .seed(rand::seed_stream(41, i))
+                .build()
+                .expect("valid bench lane")
+        })
+        .collect()
+}
+
 fn bench_campaign_batched(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_batched");
     group.bench_function("serial_8x8_k8", |b| {
@@ -66,6 +86,22 @@ fn bench_campaign_batched(c: &mut Criterion) {
     });
     group.bench_function("lockstep_8x8_k8", |b| {
         b.iter_batched(lanes, Experiment::run_batch, BatchSize::LargeInput)
+    });
+    // Width sweep over the fault-free regime: tracks the per-lane cost
+    // of the fused cycle kernel without any reroute amortization.
+    group.bench_function("fault_free_k8", |b| {
+        b.iter_batched(
+            || fault_free_lanes(8),
+            Experiment::run_batch,
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("fault_free_k16", |b| {
+        b.iter_batched(
+            || fault_free_lanes(16),
+            Experiment::run_batch,
+            BatchSize::LargeInput,
+        )
     });
     group.finish();
 }

@@ -80,6 +80,29 @@ fn bench_secded(c: &mut Criterion) {
     });
 }
 
+fn bench_fault_draw(c: &mut Criterion) {
+    use noc_fault::injector::{ErrorThreshold, FaultInjector};
+    use noc_fault::timing::TimingErrorModel;
+    let model = TimingErrorModel::default();
+    let threshold = ErrorThreshold::from_probability(0.01);
+    let mut scalar = FaultInjector::new(7);
+    c.bench_function("fault_draw_threshold", |b| {
+        b.iter(|| scalar.sample_flips_at(&model, black_box(threshold)))
+    });
+    // Eight replicate lanes through the batched threshold-compare
+    // kernel — one RNG word + integer compare per lane, flip-weight
+    // draws only on the rare accepted lanes.
+    let mut lanes: Vec<FaultInjector> = (0..8).map(FaultInjector::new).collect();
+    let thresholds = [threshold; 8];
+    c.bench_function("fault_draw_batch8", |b| {
+        let mut out = [0u8; 8];
+        b.iter(|| {
+            FaultInjector::sample_flips_batch(&mut lanes, &model, black_box(&thresholds), &mut out);
+            out[7]
+        })
+    });
+}
+
 fn bench_rl_step(c: &mut Criterion) {
     let space = StateSpace::paper_default();
     let mut agent = QLearningAgent::new(space.num_states(), AgentConfig::paper_default(), 1);
@@ -140,6 +163,7 @@ criterion_group! {
     targets =
     bench_crc,
     bench_secded,
+    bench_fault_draw,
     bench_rl_step,
     bench_dt_predict,
     bench_arbiter

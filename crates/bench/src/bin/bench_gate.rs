@@ -27,6 +27,18 @@ use std::process::ExitCode;
 /// loops and batched-campaign lockstep groups.
 const MACRO_PREFIXES: [&str; 2] = ["network_cycle", "campaign_batched"];
 
+/// Word-parallel batch kernels that must genuinely amortize over their
+/// scalar counterparts: `(batch cell, scalar cell, lanes, min ratio)`.
+/// The gate requires `lanes * scalar_ns / batch_ns >= min_ratio` in the
+/// *current* measurement, so a refactor that quietly serializes a batch
+/// kernel back to scalar speed fails CI even if its absolute time still
+/// sits inside the regression tolerance. Floors sit well under the
+/// measured ratios (~1.4x encode, ~2x decode) to absorb runner jitter.
+const BATCH_RATIOS: [(&str, &str, f64, f64); 2] = [
+    ("secded64_encode_batch8", "secded64_encode", 8.0, 1.10),
+    ("secded64_decode_batch8", "secded64_decode_clean", 8.0, 1.30),
+];
+
 /// Parses the flat `{"name": median_ns, ...}` object the in-tree
 /// Criterion shim writes for `CRITERION_JSON`. Hand-rolled (the
 /// workspace's serde is an API shim without a JSON backend) but
@@ -113,6 +125,28 @@ fn main() -> ExitCode {
             None => {
                 failed = true;
                 println!("  [FAIL] ({class}) {name}: missing from {current_path}");
+            }
+        }
+    }
+
+    for (batch, scalar, lanes, min_ratio) in BATCH_RATIOS {
+        match (lookup(&current, batch), lookup(&current, scalar)) {
+            (Some(b), Some(s)) if b > 0.0 => {
+                let ratio = lanes * s / b;
+                let verdict = if ratio < min_ratio {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  [{verdict:4}] (batch) {batch}: {ratio:.2}x over {lanes:.0} x \
+                     {scalar} (floor {min_ratio:.2}x)"
+                );
+            }
+            _ => {
+                failed = true;
+                println!("  [FAIL] (batch) {batch} / {scalar}: missing from {current_path}");
             }
         }
     }

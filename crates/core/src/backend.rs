@@ -70,7 +70,18 @@ pub trait SimBackend {
     fn reset_stats(&mut self);
 
     /// Per-router statistics for the current control epoch.
+    ///
+    /// Callers that need exact `cycles` values must call
+    /// [`finish_epoch`](Self::finish_epoch) first: backends may defer
+    /// per-cycle bookkeeping that is uniform across routers (the
+    /// optimized kernel batches the per-router `cycles` bump) until
+    /// flushed at an epoch boundary.
     fn epoch_stats(&self) -> &[RouterEpochStats];
+
+    /// Flushes any deferred per-cycle epoch bookkeeping so
+    /// [`epoch_stats`](Self::epoch_stats) is exact. Backends that
+    /// sample eagerly need not override the default no-op.
+    fn finish_epoch(&mut self) {}
 
     /// Resets per-router epoch statistics.
     fn reset_epoch_stats(&mut self);
@@ -175,7 +186,11 @@ impl SimBackend for Network<FaultTolerantProtocol> {
     }
 
     fn epoch_stats(&self) -> &[RouterEpochStats] {
-        Network::epoch_stats(self)
+        Network::epoch_stats_raw(self)
+    }
+
+    fn finish_epoch(&mut self) {
+        Network::finish_epoch(self);
     }
 
     fn reset_epoch_stats(&mut self) {

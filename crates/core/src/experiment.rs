@@ -1281,6 +1281,7 @@ impl<B: SimBackend> Runner<B> {
     /// thermal step → energy accounting.
     fn control_epoch(&mut self, pretrain: bool) {
         let n = self.cfg.noc.mesh.num_nodes();
+        self.net.finish_epoch();
         let epoch_stats = self.net.epoch_stats();
         let elapsed = epoch_stats[0].cycles;
         if elapsed == 0 {

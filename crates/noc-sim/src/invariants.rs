@@ -90,6 +90,7 @@ impl<E: ErrorControl> Network<E> {
         self.verify_arq_windows();
         self.verify_hard_faults();
         self.verify_stage_counters();
+        self.verify_worklists();
         self.verify_watchdog();
     }
 
@@ -98,12 +99,7 @@ impl<E: ErrorControl> Network<E> {
         let mut fifo = 0usize;
         let mut resend = 0usize;
         for r in &self.routers {
-            fifo += r
-                .inputs
-                .iter()
-                .flat_map(|port| port.iter())
-                .map(|vc| vc.fifo.len())
-                .sum::<usize>();
+            fifo += r.inputs.iter().map(|vc| vc.fifo.len()).sum::<usize>();
             resend += r
                 .outputs
                 .iter()
@@ -195,7 +191,7 @@ impl<E: ErrorControl> Network<E> {
                 let in_port = dir.opposite().index();
                 for vcn in 0..v {
                     let credits = u32::from(r.outputs[dir.index()].vcs[vcn].credits);
-                    let fifo = self.routers[down.index()].inputs[in_port][vcn].fifo.len() as u32;
+                    let fifo = self.routers[down.index()].input(in_port, vcn).fifo.len() as u32;
                     let flight = in_flight[slot(r.id.index(), dir.index(), vcn)];
                     assert_eq!(
                         credits + fifo + flight,
@@ -216,9 +212,9 @@ impl<E: ErrorControl> Network<E> {
     /// whose pristine copy the upstream retransmit buffer still holds.
     fn verify_arq_windows(&self) {
         for r in &self.routers {
-            for (pi, port) in r.inputs.iter().enumerate() {
+            for pi in 0..NUM_PORTS {
                 let dir = Direction::from_index(pi);
-                for (vci, ivc) in port.iter().enumerate() {
+                for (vci, ivc) in r.port_vcs(pi).iter().enumerate() {
                     let Some(seq) = ivc.awaiting_retx else {
                         continue;
                     };
@@ -266,12 +262,7 @@ impl<E: ErrorControl> Network<E> {
             if !fs.node_dead[ni] {
                 continue;
             }
-            let fifo: usize = r
-                .inputs
-                .iter()
-                .flat_map(|port| port.iter())
-                .map(|vc| vc.fifo.len())
-                .sum();
+            let fifo: usize = r.inputs.iter().map(|vc| vc.fifo.len()).sum();
             let resend: usize = r.outputs.iter().map(|o| o.retx_pending.len()).sum();
             assert!(
                 fifo == 0 && resend == 0 && r.occupied_vcs == 0,
@@ -332,7 +323,7 @@ impl<E: ErrorControl> Network<E> {
     fn verify_stage_counters(&self) {
         for r in &self.routers {
             let (mut occupied, mut rc, mut va, mut active) = (0u32, 0u32, 0u32, 0u32);
-            for vc in r.inputs.iter().flat_map(|port| port.iter()) {
+            for vc in r.inputs.iter() {
                 if vc.occupied() {
                     occupied += 1;
                 }
@@ -350,6 +341,47 @@ impl<E: ErrorControl> Network<E> {
                  (occupied, rc, va, active)",
                 r.id,
                 self.cycle,
+            );
+        }
+    }
+
+    /// Worklist exactness: at the end of a step, pipeline worklist
+    /// membership must equal its predicate (an occupied input VC or a
+    /// pending priority resend) for every router, and injection
+    /// worklist membership must equal an open injection or a non-empty
+    /// source queue. A missing member silently freezes a router — the
+    /// fused kernel only visits worklist members — while a stale member
+    /// would survive the sampling pass's retirement scan only through a
+    /// maintenance bug.
+    fn verify_worklists(&self) {
+        for (ri, r) in self.routers.iter().enumerate() {
+            let should = r.occupied_vcs > 0 || r.outputs.iter().any(|o| !o.retx_pending.is_empty());
+            assert_eq!(
+                self.active.contains(ri),
+                should,
+                "pipeline worklist diverged from predicate at {} (cycle {}): \
+                 member {} but occupied_vcs {} / pending resends {}",
+                r.id,
+                self.cycle,
+                self.active.contains(ri),
+                r.occupied_vcs,
+                r.outputs
+                    .iter()
+                    .map(|o| o.retx_pending.len())
+                    .sum::<usize>(),
+            );
+        }
+        for ni in 0..self.routers.len() {
+            let should = self.inject_progress[ni].is_some() || !self.source_queues[ni].is_empty();
+            assert_eq!(
+                self.inject_active.contains(ni),
+                should,
+                "injection worklist diverged from predicate at node {ni} (cycle {}): \
+                 member {} but open injection {} / queued {}",
+                self.cycle,
+                self.inject_active.contains(ni),
+                self.inject_progress[ni].is_some(),
+                self.source_queues[ni].len(),
             );
         }
     }
@@ -477,8 +509,9 @@ mod tests {
     fn orphaned_arq_gate_is_detected() {
         let mut net = armed_net(ScriptedErrorControl::reliable());
         // Gate an input VC on a sequence number the upstream never sent.
-        net.routers[0].inputs[Direction::East.index()][0].awaiting_retx =
-            Some(SequenceNumber::new(41));
+        net.routers[0]
+            .input_mut(Direction::East.index(), 0)
+            .awaiting_retx = Some(SequenceNumber::new(41));
         net.step();
     }
 
@@ -488,6 +521,44 @@ mod tests {
         let mut net = armed_net(PerfectLink::new());
         net.routers[0].rc_pending += 1;
         net.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline worklist diverged")]
+    fn dropped_worklist_member_is_detected() {
+        let mut net = armed_net(PerfectLink::new());
+        let mesh = net.mesh();
+        net.offer(mesh.node_at(0, 0), mesh.node_at(3, 3));
+        // Let the packet buffer somewhere mid-mesh, then knock its
+        // router off the worklist: the fused kernel would never visit
+        // it again, silently freezing the packet in place.
+        for _ in 0..6 {
+            net.step();
+        }
+        let stuck = (0..net.routers.len())
+            .find(|&ri| net.routers[ri].occupied_vcs > 0)
+            .expect("a router must hold the in-flight packet");
+        net.active.remove(stuck);
+        net.verify_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "injection worklist diverged")]
+    fn dropped_injection_member_is_detected() {
+        let mut net = armed_net(PerfectLink::new());
+        let mesh = net.mesh();
+        // Saturate node 0's injection port so its source queue stays
+        // non-empty, then hide the node from the injection worklist.
+        for _ in 0..8 {
+            net.offer(mesh.node_at(0, 0), mesh.node_at(3, 3));
+        }
+        net.step();
+        assert!(
+            net.inject_progress[0].is_some() || !net.source_queues[0].is_empty(),
+            "fixture must leave injection work at node 0"
+        );
+        net.inject_active.remove(0);
+        net.verify_invariants();
     }
 
     /// Armed network with the router at (1, 1) already dead: the common
@@ -553,7 +624,8 @@ mod tests {
         };
         // Smuggle an arena flit into the evacuated router's input FIFO.
         let flit = net.arena.alloc(packet.make_flit(0, 0, &Crc32::new()));
-        net.routers[dead.index()].inputs[Direction::East.index()][0]
+        net.routers[dead.index()]
+            .input_mut(Direction::East.index(), 0)
             .fifo
             .push_back(BufferedFlit {
                 flit,

@@ -65,6 +65,7 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
+mod worklist;
 
 pub use config::NocConfig;
 pub use error_control::{

@@ -35,6 +35,7 @@ use crate::router::{PendingRetransmit, Router, VcState};
 use crate::routing::{FaultRoutes, RouteTable};
 use crate::stats::{EventCounters, NetworkStats, RouterEpochStats};
 use crate::topology::{Direction, LinkId, Mesh, NeighborTable, NodeId, NUM_PORTS};
+use crate::worklist::ActiveSet;
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
 use rlnoc_telemetry::{Counter, Gauge, Histogram, Telemetry, TimerHandle};
@@ -395,6 +396,20 @@ pub struct Network<E: ErrorControl> {
     /// Scratch: packets doomed by the RC stage this cycle (destination
     /// became unreachable), with their data/control classification.
     rc_doomed: Vec<(PacketId, bool)>,
+    /// Pipeline worklist: routers with at least one occupied input VC or
+    /// a pending priority resend. Maintained incrementally at every
+    /// buffer write and resend enqueue, retired in the sampling pass,
+    /// rebuilt after hard-fault purges. Routers outside the set provably
+    /// have no SA/VA/RC work (see the phase skip conditions).
+    active: ActiveSet,
+    /// Injection worklist: nodes with an open flit-by-flit injection or
+    /// a non-empty source queue.
+    inject_active: ActiveSet,
+    /// Epoch cycles not yet flushed into the per-router records. The
+    /// per-cycle `cycles` increment is uniform across routers, so the
+    /// sampling pass bumps this single counter instead of touching all
+    /// `n` records; [`Network::finish_epoch`] flushes before any read.
+    epoch_pending_cycles: u64,
     tel: NetTelemetry,
     /// Watchdog state for the runtime invariant checker.
     #[cfg(feature = "verify")]
@@ -420,7 +435,9 @@ struct NetTelemetry {
     phase_va: TimerHandle,
     phase_rc: TimerHandle,
     phase_sample: TimerHandle,
+    hardfault_apply: TimerHandle,
     cycles: Counter,
+    active_router_cycles: Counter,
     arq_nacks: Counter,
     arq_retransmits: Counter,
     buffered_flits: Histogram,
@@ -439,7 +456,9 @@ impl NetTelemetry {
             phase_va: telemetry.timer("sim.phase.va"),
             phase_rc: telemetry.timer("sim.phase.rc"),
             phase_sample: telemetry.timer("sim.phase.sample"),
+            hardfault_apply: telemetry.timer("sim.hardfault.apply"),
             cycles: telemetry.counter("sim.cycles"),
+            active_router_cycles: telemetry.counter("sim.worklist.active_router_cycles"),
             arq_nacks: telemetry.counter("sim.arq.nacks"),
             arq_retransmits: telemetry.counter("sim.arq.retransmit_sends"),
             buffered_flits: telemetry.histogram("sim.router.buffered_flits"),
@@ -534,6 +553,9 @@ impl<E: ErrorControl> Network<E> {
             counters: vec![EventCounters::default(); n],
             faults: None,
             rc_doomed: Vec::new(),
+            active: ActiveSet::new(n),
+            inject_active: ActiveSet::new(n),
+            epoch_pending_cycles: 0,
             tel: NetTelemetry::default(),
             #[cfg(feature = "verify")]
             verify: invariants::VerifyState::default(),
@@ -569,9 +591,33 @@ impl<E: ErrorControl> Network<E> {
         &self.stats
     }
 
-    /// Per-router statistics for the current control epoch.
-    pub fn epoch_stats(&self) -> &[RouterEpochStats] {
+    /// Per-router statistics for the current control epoch. Flushes the
+    /// deferred cycle count first, so the returned records are complete.
+    pub fn epoch_stats(&mut self) -> &[RouterEpochStats] {
+        self.finish_epoch();
         &self.epoch
+    }
+
+    /// Per-router epoch records *without* flushing deferred cycle
+    /// accounting. Callers must run [`Network::finish_epoch`] first;
+    /// exists so trait-level `&self` accessors keep working.
+    pub fn epoch_stats_raw(&self) -> &[RouterEpochStats] {
+        &self.epoch
+    }
+
+    /// Flushes deferred epoch accounting into the per-router records.
+    /// The sampling pass accumulates the uniform per-cycle `cycles`
+    /// increment in one network-level counter; this folds it back in.
+    /// Idempotent and cheap when nothing is pending.
+    pub fn finish_epoch(&mut self) {
+        if self.epoch_pending_cycles == 0 {
+            return;
+        }
+        let pending = self.epoch_pending_cycles;
+        self.epoch_pending_cycles = 0;
+        for e in &mut self.epoch {
+            e.cycles += pending;
+        }
     }
 
     /// Resets per-router epoch statistics (call at each control epoch).
@@ -584,6 +630,7 @@ impl<E: ErrorControl> Network<E> {
                 self.tel.buffered_flits.record(r.buffered_flits());
             }
         }
+        self.epoch_pending_cycles = 0;
         for e in &mut self.epoch {
             e.reset();
         }
@@ -738,6 +785,7 @@ impl<E: ErrorControl> Network<E> {
             payload_seed: crate::flit::splitmix64(self.payload_seed ^ id.0),
         };
         self.source_queues[src.index()].push_back((packet, 0));
+        self.inject_active.insert(src.index());
         self.pending_packets.insert(id, (packet, 0));
         self.stats.packets_injected += 1;
         id
@@ -766,10 +814,20 @@ impl<E: ErrorControl> Network<E> {
             payload_seed: crate::flit::splitmix64(self.payload_seed ^ id.0),
         };
         self.source_queues[from.index()].push_back((packet, 0));
+        self.inject_active.insert(from.index());
         self.stats.control_packets += 1;
     }
 
     /// Advances the simulation by one clock cycle.
+    ///
+    /// With per-phase span timers disabled (the default), the SA/VA/RC
+    /// phases run as one fused pass over the active-router worklist:
+    /// each live router executes SA/ST → VA → RC back to back while its
+    /// state is hot. With timers enabled, the same per-router phase
+    /// functions run as six separately spanned loops so the exported
+    /// per-phase histograms keep their v1 meaning. The two shapes are
+    /// observably identical (see the fused-pass ordering argument on
+    /// [`Network::fused_pipeline`]).
     pub fn step(&mut self) {
         let cycle = self.cycle;
         if let Some(fs) = &self.faults {
@@ -778,31 +836,39 @@ impl<E: ErrorControl> Network<E> {
                 .get(fs.next_event)
                 .is_some_and(|e| e.cycle <= cycle)
             {
+                let _span = self.tel.hardfault_apply.start();
                 self.apply_hard_fault_batch(cycle);
             }
         }
-        {
-            let _span = self.tel.phase_events.start();
+        if self.tel.phase_sa_st.is_enabled() {
+            {
+                let _span = self.tel.phase_events.start();
+                self.process_events(cycle);
+            }
+            {
+                let _span = self.tel.phase_inject.start();
+                self.inject_phase(cycle);
+            }
+            {
+                let _span = self.tel.phase_sa_st.start();
+                self.sa_st_phase(cycle);
+            }
+            {
+                let _span = self.tel.phase_va.start();
+                self.va_phase();
+            }
+            {
+                let _span = self.tel.phase_rc.start();
+                self.rc_phase(cycle);
+            }
+            {
+                let _span = self.tel.phase_sample.start();
+                self.sample_phase();
+            }
+        } else {
             self.process_events(cycle);
-        }
-        {
-            let _span = self.tel.phase_inject.start();
             self.inject_phase(cycle);
-        }
-        {
-            let _span = self.tel.phase_sa_st.start();
-            self.sa_st_phase(cycle);
-        }
-        {
-            let _span = self.tel.phase_va.start();
-            self.va_phase();
-        }
-        {
-            let _span = self.tel.phase_rc.start();
-            self.rc_phase(cycle);
-        }
-        {
-            let _span = self.tel.phase_sample.start();
+            self.fused_pipeline(cycle);
             self.sample_phase();
         }
         self.tel.cycles.inc();
@@ -824,17 +890,29 @@ impl<E: ErrorControl> Network<E> {
     }
 
     /// `true` when no packet or flit remains anywhere in the system.
+    ///
+    /// Between steps both worklists equal their membership predicates
+    /// (armed runs check this every cycle), so empty worklists certify
+    /// that no router buffers a flit or owes a resend and no node has
+    /// injection work — the drain loop's per-cycle quiescence probe
+    /// costs a few word compares instead of a full state scan.
     pub fn is_quiescent(&self) -> bool {
-        let quiet = self.wheel.is_empty()
-            && self.source_queues.iter().all(VecDeque::is_empty)
-            && self.inject_progress.iter().all(Option::is_none)
-            && self.reassembly.is_empty()
-            && self.routers.iter().all(|r| {
-                r.inputs
-                    .iter()
-                    .all(|port| port.iter().all(|vc| vc.fifo.is_empty()))
-                    && r.outputs.iter().all(|p| p.retx_pending.is_empty())
-            });
+        let quiet = self.active.is_empty()
+            && self.inject_active.is_empty()
+            && self.wheel.is_empty()
+            && self.reassembly.is_empty();
+        debug_assert_eq!(
+            quiet,
+            self.wheel.is_empty()
+                && self.source_queues.iter().all(VecDeque::is_empty)
+                && self.inject_progress.iter().all(Option::is_none)
+                && self.reassembly.is_empty()
+                && self.routers.iter().all(|r| {
+                    r.inputs.iter().all(|vc| vc.fifo.is_empty())
+                        && r.outputs.iter().all(|p| p.retx_pending.is_empty())
+                }),
+            "worklist quiescence probe diverged from the full state scan"
+        );
         // Every live arena slot is owned by exactly one FIFO entry,
         // scheduled event, resend queue, or reassembly entry — all empty
         // here, so a non-zero live count would be a handle leak.
@@ -927,6 +1005,9 @@ impl<E: ErrorControl> Network<E> {
                         self.routers[node.index()].outputs[port.index()]
                             .retx_pending
                             .push_back(PendingRetransmit { flit, out_vc, seq });
+                        // A pending resend is SA/ST work even on an
+                        // otherwise-empty router.
+                        self.active.insert(node.index());
                     }
                 }
             }
@@ -965,7 +1046,7 @@ impl<E: ErrorControl> Network<E> {
             .is_some_and(|fs| fs.doomed.contains(&self.arena[flit].packet))
         {
             if kind == TransferKind::HopRetransmit && seq.is_some() {
-                let ivc = &mut self.routers[di].inputs[in_port.index()][vc as usize];
+                let ivc = self.routers[di].input_mut(in_port.index(), vc as usize);
                 if ivc.awaiting_retx == seq {
                     ivc.awaiting_retx = None;
                 }
@@ -999,7 +1080,9 @@ impl<E: ErrorControl> Network<E> {
         // Go-back-N gate: while a rejected flit awaits retransmission on
         // this VC, auto-reject every non-matching arrival that carries a
         // sequence number (order preservation).
-        let gate = self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx;
+        let gate = self.routers[di]
+            .input(in_port.index(), vc as usize)
+            .awaiting_retx;
         if let Some(gate_seq) = gate {
             let matches = kind == TransferKind::HopRetransmit && seq == Some(gate_seq);
             if !matches {
@@ -1079,7 +1162,9 @@ impl<E: ErrorControl> Network<E> {
                     self.stats.ecc_corrections += 1;
                 }
                 if kind == TransferKind::HopRetransmit {
-                    self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx = None;
+                    self.routers[di]
+                        .input_mut(in_port.index(), vc as usize)
+                        .awaiting_retx = None;
                 }
                 self.accept_flit(dst, in_port, vc, flit, cycle);
                 if let Some(seq) = seq {
@@ -1148,7 +1233,9 @@ impl<E: ErrorControl> Network<E> {
                 // The rejected body is dropped; the retransmission will be
                 // re-materialized from the sender's buffered copy.
                 self.arena.free(flit);
-                self.routers[di].inputs[in_port.index()][vc as usize].awaiting_retx = Some(seq);
+                self.routers[di]
+                    .input_mut(in_port.index(), vc as usize)
+                    .awaiting_retx = Some(seq);
                 self.stats.hop_nacks += 1;
                 self.tel.arq_nacks.inc();
                 self.epoch[di].nacks_out += 1;
@@ -1186,13 +1273,15 @@ impl<E: ErrorControl> Network<E> {
         self.counters[ni].buffer_writes += 1;
         self.epoch[ni].flits_in[in_port.index()] += 1;
         debug_assert!(
-            self.routers[ni].inputs[in_port.index()][vc as usize]
+            self.routers[ni]
+                .input(in_port.index(), vc as usize)
                 .fifo
                 .len()
                 < self.config.vc_depth as usize,
             "input VC overflow at {node}:{in_port}:{vc}"
         );
         self.routers[ni].enqueue(in_port.index(), vc as usize, flit, cycle);
+        self.active.insert(ni);
     }
 
     fn handle_eject(&mut self, cycle: u64, node: NodeId, flit: FlitRef) {
@@ -1259,6 +1348,7 @@ impl<E: ErrorControl> Network<E> {
                     *attempts = attempts.saturating_add(1);
                     let resend = (*packet, *attempts);
                     self.source_queues[node.index()].push_front(resend);
+                    self.inject_active.insert(node.index());
                     self.stats.packet_retransmissions += 1;
                 }
             }
@@ -1319,53 +1409,86 @@ impl<E: ErrorControl> Network<E> {
         let local = Direction::Local.index();
         let vdepth = self.config.vc_depth as usize;
         let vcs = self.config.vcs_per_port;
-        for ni in 0..self.routers.len() {
-            if self.inject_progress[ni].is_none() {
-                if let Some((packet, attempt)) = self.source_queues[ni].pop_front() {
-                    // Rotate the starting VC; prefer one with space now.
-                    let start = self.next_inject_vc[ni];
-                    let mut vc = start;
-                    for off in 0..vcs {
-                        let cand = (start + off) % vcs;
-                        if self.routers[ni].inputs[local][cand as usize].fifo.len() < vdepth {
-                            vc = cand;
-                            break;
+        // Worklist scan, ascending node order — identical visit order to
+        // the old dense loop on the nodes that have work; nodes outside
+        // the set have no open injection and an empty queue, for which
+        // the loop body was a no-op. Arena allocation order (and with it
+        // every flit handle) is therefore unchanged.
+        for wi in 0..self.inject_active.num_words() {
+            let mut word = self.inject_active.word(wi);
+            while word != 0 {
+                let ni = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.inject_progress[ni].is_none() {
+                    if let Some((packet, attempt)) = self.source_queues[ni].pop_front() {
+                        // Rotate the starting VC; prefer one with space now.
+                        let start = self.next_inject_vc[ni];
+                        let mut vc = start;
+                        for off in 0..vcs {
+                            let cand = (start + off) % vcs;
+                            if self.routers[ni].input(local, cand as usize).fifo.len() < vdepth {
+                                vc = cand;
+                                break;
+                            }
                         }
+                        self.next_inject_vc[ni] = (vc + 1) % vcs;
+                        self.inject_progress[ni] = Some(InjectProgress {
+                            packet,
+                            attempt,
+                            next_flit: 0,
+                            vc,
+                        });
                     }
-                    self.next_inject_vc[ni] = (vc + 1) % vcs;
-                    self.inject_progress[ni] = Some(InjectProgress {
-                        packet,
-                        attempt,
-                        next_flit: 0,
-                        vc,
-                    });
                 }
-            }
-            let Some(prog) = &mut self.inject_progress[ni] else {
-                continue;
-            };
-            if self.routers[ni].inputs[local][prog.vc as usize].fifo.len() >= vdepth {
-                continue; // local port back-pressured this cycle
-            }
-            let flit = prog
-                .packet
-                .make_flit(prog.next_flit, prog.attempt, &self.crc);
-            let flit = self.arena.alloc(flit);
-            self.routers[ni].enqueue(local, prog.vc as usize, flit, cycle);
-            self.counters[ni].crc_encodes += 1;
-            self.counters[ni].buffer_writes += 1;
-            self.epoch[ni].flits_in[local] += 1;
-            if prog.attempt == 0 {
-                self.epoch[ni].core_activity_flits += 1;
-            }
-            prog.next_flit += 1;
-            if prog.next_flit == prog.packet.num_flits {
-                self.inject_progress[ni] = None;
+                let Some(prog) = &mut self.inject_progress[ni] else {
+                    // Queue drained with nothing in flight: retire.
+                    self.inject_active.remove(ni);
+                    continue;
+                };
+                if self.routers[ni].input(local, prog.vc as usize).fifo.len() >= vdepth {
+                    continue; // local port back-pressured this cycle
+                }
+                let flit = prog
+                    .packet
+                    .make_flit(prog.next_flit, prog.attempt, &self.crc);
+                let flit = self.arena.alloc(flit);
+                self.routers[ni].enqueue(local, prog.vc as usize, flit, cycle);
+                self.active.insert(ni);
+                self.counters[ni].crc_encodes += 1;
+                self.counters[ni].buffer_writes += 1;
+                self.epoch[ni].flits_in[local] += 1;
+                if prog.attempt == 0 {
+                    self.epoch[ni].core_activity_flits += 1;
+                }
+                prog.next_flit += 1;
+                if prog.next_flit == prog.packet.num_flits {
+                    self.inject_progress[ni] = None;
+                    if self.source_queues[ni].is_empty() {
+                        self.inject_active.remove(ni);
+                    }
+                }
             }
         }
     }
 
+    /// Split-path SA/ST driver (telemetry spans enabled): one pass over
+    /// the worklist. Routers outside the worklist have no occupied VC
+    /// and no pending resend, which implies `active_vcs == 0` — exactly
+    /// the routers the old dense loop skipped.
     fn sa_st_phase(&mut self, cycle: u64) {
+        for wi in 0..self.active.num_words() {
+            let mut word = self.active.word(wi);
+            while word != 0 {
+                let ri = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.sa_st_router(ri, cycle);
+            }
+        }
+    }
+
+    /// SA/ST for one router: priority resends, then separable
+    /// input-first/output switch arbitration and traversal.
+    fn sa_st_router(&mut self, ri: usize, cycle: u64) {
         let Self {
             routers,
             protocol,
@@ -1381,8 +1504,8 @@ impl<E: ErrorControl> Network<E> {
             ..
         } = self;
         let link_latency = config.link_latency as u64;
-
-        for router in routers.iter_mut() {
+        let router = &mut routers[ri];
+        {
             // A router with no VC in Active state and no pending resend
             // has no SA/ST work: no switch request can be asserted, so
             // skipping it is exact — arbiters are untouched since grants
@@ -1390,10 +1513,10 @@ impl<E: ErrorControl> Network<E> {
             // advanced when something is sent.
             router.debug_check_stage_counters();
             if router.active_vcs == 0 && router.outputs.iter().all(|o| o.retx_pending.is_empty()) {
-                continue;
+                return;
             }
             let rid = router.id;
-            let ri = rid.index();
+            let v = router.vcs_per_port;
             let mut port_used = [false; NUM_PORTS];
 
             // Phase A: priority resends of NACKed flits. A port with a
@@ -1450,18 +1573,27 @@ impl<E: ErrorControl> Network<E> {
                 router.outputs[out_p].next_free = cycle + 1 + delay + u64::from(pre);
             }
 
-            // Phase B: input-first selection.
+            // Phase B: input-first selection. Ports past the last
+            // Active VC are skipped: they can assert no request, so the
+            // input arbiters and `selected` entries they would produce
+            // are identical to not visiting them at all.
             let mut selected: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
+            let mut any_selected = false;
+            let mut remaining_active = router.active_vcs;
             for (in_p, sel) in selected.iter_mut().enumerate() {
+                if remaining_active == 0 {
+                    break;
+                }
                 router.sa_scratch.fill(false);
                 let mut any = false;
-                for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
+                for (in_v, ivc) in router.inputs[in_p * v..(in_p + 1) * v].iter().enumerate() {
                     let VcState::Active {
                         out_port, out_vc, ..
                     } = ivc.state
                     else {
                         continue;
                     };
+                    remaining_active -= 1;
                     let Some(front) = ivc.fifo.front() else {
                         continue;
                     };
@@ -1493,12 +1625,16 @@ impl<E: ErrorControl> Network<E> {
                 if let Some(win) = router.sa_input_arbiters[in_p].grant(&router.sa_scratch) {
                     let VcState::Active {
                         out_port, out_vc, ..
-                    } = router.inputs[in_p][win].state
+                    } = router.inputs[in_p * v + win].state
                     else {
                         unreachable!("selected VC must be active");
                     };
                     *sel = Some((win, out_port.index(), out_vc));
+                    any_selected = true;
                 }
+            }
+            if !any_selected {
+                return; // no winner anywhere: Phase C cannot fire
             }
 
             // Phase C: output arbitration + switch traversal.
@@ -1525,7 +1661,7 @@ impl<E: ErrorControl> Network<E> {
                 let (in_v, _, out_vc) = selected[in_p].expect("request implies selection");
 
                 counters[ri].sa_grants += 1;
-                let bf = router.inputs[in_p][in_v]
+                let bf = router.inputs[in_p * v + in_v]
                     .fifo
                     .pop_front()
                     .expect("granted VC holds a flit");
@@ -1534,15 +1670,15 @@ impl<E: ErrorControl> Network<E> {
                 epoch[ri].flits_out[out_p] += 1;
                 let is_tail = arena[bf.flit].kind.is_tail();
                 if is_tail {
-                    router.inputs[in_p][in_v].state = VcState::Idle;
+                    router.inputs[in_p * v + in_v].state = VcState::Idle;
                     router.active_vcs -= 1;
-                    if !router.inputs[in_p][in_v].fifo.is_empty() {
+                    if !router.inputs[in_p * v + in_v].fifo.is_empty() {
                         // The next packet's head is already buffered; it
                         // becomes an RC candidate immediately.
                         router.rc_pending += 1;
                     }
                 }
-                if !router.inputs[in_p][in_v].occupied() {
+                if !router.inputs[in_p * v + in_v].occupied() {
                     router.occupied_vcs -= 1;
                 }
 
@@ -1624,16 +1760,42 @@ impl<E: ErrorControl> Network<E> {
     }
 
     fn va_phase(&mut self) {
-        for (ri, router) in self.routers.iter_mut().enumerate() {
-            if router.occupied_vcs == 0 {
-                continue; // no VC holds a packet: VA has nothing to do
+        for wi in 0..self.active.num_words() {
+            let mut word = self.active.word(wi);
+            while word != 0 {
+                let ri = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.va_router(ri);
             }
-            let grants = router.va_stage();
-            self.counters[ri].va_allocations += grants;
         }
     }
 
+    #[inline]
+    fn va_router(&mut self, ri: usize) {
+        let router = &mut self.routers[ri];
+        if router.occupied_vcs == 0 {
+            return; // no VC holds a packet: VA has nothing to do
+        }
+        let grants = router.va_stage();
+        self.counters[ri].va_allocations += grants;
+    }
+
     fn rc_phase(&mut self, cycle: u64) {
+        for wi in 0..self.active.num_words() {
+            let mut word = self.active.word(wi);
+            while word != 0 {
+                let ri = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.rc_router(ri, cycle);
+            }
+        }
+        if !self.rc_doomed.is_empty() {
+            self.finish_rc_dooms(cycle);
+        }
+    }
+
+    #[inline]
+    fn rc_router(&mut self, ri: usize, cycle: u64) {
         let Self {
             routers,
             routes,
@@ -1643,11 +1805,35 @@ impl<E: ErrorControl> Network<E> {
             ..
         } = self;
         let fault_routes = faults.as_deref().and_then(|f| f.routes.as_deref());
-        for router in routers.iter_mut() {
-            if router.occupied_vcs == 0 {
-                continue; // no buffered head flit: RC has nothing to do
+        let router = &mut routers[ri];
+        if router.occupied_vcs == 0 {
+            return; // no buffered head flit: RC has nothing to do
+        }
+        router.rc_stage(cycle, routes, fault_routes, arena, rc_doomed);
+    }
+
+    /// The fused per-cycle pipeline kernel: one pass over the active
+    /// worklist running SA/ST → VA → RC for each live router before
+    /// moving to the next.
+    ///
+    /// Equivalent to the phase-major loops because the three stages of
+    /// router `i` read and write only router-`i` state — cross-router
+    /// effects travel exclusively through the event wheel, and of the
+    /// three stages only SA/ST pushes events, so the wheel's push order
+    /// under router-major fusion matches the phase-major order exactly.
+    /// Doom resolution (`finish_rc_dooms`) still runs after every
+    /// router's RC, as in the split shape, because it purges state
+    /// across arbitrary routers.
+    fn fused_pipeline(&mut self, cycle: u64) {
+        for wi in 0..self.active.num_words() {
+            let mut word = self.active.word(wi);
+            while word != 0 {
+                let ri = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.sa_st_router(ri, cycle);
+                self.va_router(ri);
+                self.rc_router(ri, cycle);
             }
-            router.rc_stage(cycle, routes, fault_routes, arena, rc_doomed);
         }
         if !self.rc_doomed.is_empty() {
             self.finish_rc_dooms(cycle);
@@ -1655,8 +1841,47 @@ impl<E: ErrorControl> Network<E> {
     }
 
     fn sample_phase(&mut self) {
+        // Idle routers (not on the worklist) hold zero occupied VCs, so
+        // their per-cycle sample is exactly zero; defer their `cycles`
+        // bump to `finish_epoch` and only touch live routers here.
+        self.epoch_pending_cycles += 1;
+        if self.tel.active_router_cycles.is_enabled() {
+            let members: u32 = (0..self.active.num_words())
+                .map(|wi| self.active.word(wi).count_ones())
+                .sum();
+            self.tel.active_router_cycles.add(u64::from(members));
+        }
+        for wi in 0..self.active.num_words() {
+            let mut word = self.active.word(wi);
+            while word != 0 {
+                let ri = (wi << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                let router = &self.routers[ri];
+                let occ = router.occupied_input_vcs();
+                self.epoch[ri].occupied_vc_cycles += occ as u64;
+                if occ == 0 && router.outputs.iter().all(|o| o.retx_pending.is_empty()) {
+                    self.active.remove(ri);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds both worklists from their membership predicates. Called
+    /// after hard-fault purges, which rewrite router and source-queue
+    /// state wholesale rather than through the incremental insert sites.
+    fn rebuild_worklists(&mut self) {
         for (ri, router) in self.routers.iter().enumerate() {
-            self.epoch[ri].sample_cycle(router.occupied_input_vcs() as u64);
+            self.active.set(
+                ri,
+                router.occupied_vcs > 0
+                    || router.outputs.iter().any(|o| !o.retx_pending.is_empty()),
+            );
+        }
+        for ni in 0..self.routers.len() {
+            self.inject_active.set(
+                ni,
+                self.inject_progress[ni].is_some() || !self.source_queues[ni].is_empty(),
+            );
         }
     }
 
@@ -1674,9 +1899,17 @@ impl<E: ErrorControl> Network<E> {
             .take()
             .expect("caller checked a schedule exists");
         let mut lost = 0u64;
+        let doomed_before = fs.doomed.len();
 
-        // 1. Consume the due events.
+        // 1. Consume the due events, recording which routers the batch
+        // touches: the dead node itself plus both endpoints of every
+        // killed link. Elements that died in *earlier* batches were
+        // evacuated then and can never reacquire state (dead links carry
+        // no arrivals and return no credits), so the evacuation pass
+        // below only needs to visit this batch's endpoints.
         let mut applied = 0u64;
+        let mut affected = vec![false; self.routers.len()];
+        let mut any_node_died = false;
         while let Some(ev) = fs.events.get(fs.next_event) {
             if ev.cycle > cycle {
                 break;
@@ -1684,13 +1917,22 @@ impl<E: ErrorControl> Network<E> {
             match ev.kind {
                 HardFaultKind::Router { node } => {
                     fs.node_dead[node.index()] = true;
+                    any_node_died = true;
+                    affected[node.index()] = true;
                     for dir in Direction::COMPASS {
-                        if self.mesh.neighbor(node, dir).is_some() {
+                        if let Some(peer) = self.mesh.neighbor(node, dir) {
                             fs.kill_link(&self.neighbors, node, dir);
+                            affected[peer.index()] = true;
                         }
                     }
                 }
-                HardFaultKind::Link { node, dir } => fs.kill_link(&self.neighbors, node, dir),
+                HardFaultKind::Link { node, dir } => {
+                    fs.kill_link(&self.neighbors, node, dir);
+                    affected[node.index()] = true;
+                    if let Some(peer) = self.neighbors.get(node, dir) {
+                        affected[peer.index()] = true;
+                    }
+                }
             }
             fs.next_event += 1;
             applied += 1;
@@ -1762,11 +2004,17 @@ impl<E: ErrorControl> Network<E> {
             let mut dealloc: Vec<(usize, usize)> = Vec::new();
             for router in self.routers.iter_mut() {
                 let ni = router.id.index();
+                if !affected[ni] {
+                    // Not an endpoint of anything that died this batch:
+                    // no port flush, and no VC can point at a newly dead
+                    // link (a VC's out link is this router's own port).
+                    continue;
+                }
                 if fs.node_dead[ni] {
                     // Dead router: everything it holds is lost, and its
                     // core can no longer source traffic.
-                    for port in router.inputs.iter_mut() {
-                        for ivc in port.iter_mut() {
+                    for ivc in router.inputs.iter_mut() {
+                        {
                             for bf in ivc.fifo.drain(..) {
                                 let f = &arena[bf.flit];
                                 if fs.doom(f.packet, !f.class.is_control()) {
@@ -1826,7 +2074,7 @@ impl<E: ErrorControl> Network<E> {
                     if !fs.link_dead[ni][p] {
                         continue;
                     }
-                    for ivc in router.inputs[p].iter_mut() {
+                    for ivc in router.port_vcs_mut(p).iter_mut() {
                         for bf in ivc.fifo.drain(..) {
                             let f = &arena[bf.flit];
                             if fs.doom(f.packet, !f.class.is_control()) {
@@ -1866,8 +2114,8 @@ impl<E: ErrorControl> Network<E> {
                 // Self-healing divert: VCs routed toward a dead output
                 // link. A packet that has not yet sent a flit through
                 // the crossbar re-enters RC; a severed wormhole is lost.
-                for port in router.inputs.iter_mut() {
-                    for ivc in port.iter_mut() {
+                for ivc in router.inputs.iter_mut() {
+                    {
                         match ivc.state {
                             VcState::NeedsVa { out_port, .. }
                                 if fs.link_dead[ni][out_port.index()] =>
@@ -1902,34 +2150,47 @@ impl<E: ErrorControl> Network<E> {
         }
 
         // 5. Packets whose source or destination core died are lost, as
-        // are reassembly attempts collecting at a dead destination.
-        let stale: Vec<PacketId> = self
-            .pending_packets
-            .values()
-            .filter(|(p, _)| fs.node_dead[p.src.index()] || fs.node_dead[p.dst.index()])
-            .map(|(p, _)| p.id)
-            .collect();
-        for id in stale {
-            if fs.doom(id, true) {
-                lost += 1;
+        // are reassembly attempts collecting at a dead destination. Only
+        // node deaths can strand these windows, so a link-only batch
+        // skips both scans (earlier batches already doomed their
+        // casualties).
+        if any_node_died {
+            let stale: Vec<PacketId> = self
+                .pending_packets
+                .values()
+                .filter(|(p, _)| fs.node_dead[p.src.index()] || fs.node_dead[p.dst.index()])
+                .map(|(p, _)| p.id)
+                .collect();
+            for id in stale {
+                if fs.doom(id, true) {
+                    lost += 1;
+                }
             }
-        }
-        let stale: Vec<(PacketId, bool)> = self
-            .reassembly
-            .values()
-            .filter_map(|entries| {
-                let f = &self.arena[entries[0].flits[0]];
-                fs.node_dead[f.dst.index()].then_some((f.packet, !f.class.is_control()))
-            })
-            .collect();
-        for (id, is_data) in stale {
-            if fs.doom(id, is_data) {
-                lost += 1;
+            let stale: Vec<(PacketId, bool)> = self
+                .reassembly
+                .values()
+                .filter_map(|entries| {
+                    let f = &self.arena[entries[0].flits[0]];
+                    fs.node_dead[f.dst.index()].then_some((f.packet, !f.class.is_control()))
+                })
+                .collect();
+            for (id, is_data) in stale {
+                if fs.doom(id, is_data) {
+                    lost += 1;
+                }
             }
         }
 
         // 6. Purge everything the batch doomed, then publish counters.
-        self.purge_doomed_resident(&fs, cycle);
+        // A batch that doomed nothing new leaves no resident traces to
+        // purge — every packet doomed earlier was purged when it was
+        // doomed — but the evacuation above may still have rewritten
+        // router state, so the worklists are re-derived either way.
+        if fs.doomed.len() > doomed_before {
+            self.purge_doomed_resident(&fs, cycle);
+        } else {
+            self.rebuild_worklists();
+        }
         self.stats.hard_fault_events += applied;
         self.tel.hardfault_events.add(applied);
         self.stats.reroute_events += 1;
@@ -1995,7 +2256,7 @@ impl<E: ErrorControl> Network<E> {
                 let credits_live = !fs.node_dead[ni]
                     && !fs.link_dead[ni][in_p]
                     && upstream.is_some_and(|up| !fs.node_dead[up.index()]);
-                for (in_v, ivc) in router.inputs[in_p].iter_mut().enumerate() {
+                for (in_v, ivc) in router.port_vcs_mut(in_p).iter_mut().enumerate() {
                     if !ivc.fifo.is_empty() {
                         ivc.fifo.retain(|bf| {
                             let keep = !fs.doomed.contains(&arena[bf.flit].packet);
@@ -2069,6 +2330,10 @@ impl<E: ErrorControl> Network<E> {
                 reassembly_pool.push(e.flits);
             }
         }
+        // Purges rewrite router and injection state wholesale, so the
+        // incremental worklist insert sites cannot see the changes;
+        // re-derive both sets from their predicates.
+        self.rebuild_worklists();
     }
 }
 

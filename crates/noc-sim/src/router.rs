@@ -121,8 +121,13 @@ pub(crate) struct OutputPort {
 #[derive(Debug, Clone)]
 pub struct Router {
     pub(crate) id: NodeId,
-    /// `inputs[port][vc]`.
-    pub(crate) inputs: Vec<Vec<InputVc>>,
+    /// All input VCs in one dense slab, indexed `port * vcs_per_port +
+    /// vc`. Flat layout keeps the per-cycle pipeline scans on one
+    /// contiguous allocation (and iteration order identical to the old
+    /// port-major nesting).
+    pub(crate) inputs: Vec<InputVc>,
+    /// VCs per input port (`inputs.len() == NUM_PORTS * vcs_per_port`).
+    pub(crate) vcs_per_port: usize,
     /// `outputs[port]`.
     pub(crate) outputs: Vec<OutputPort>,
     /// Per output port, over `NUM_PORTS * V` flattened input VCs.
@@ -157,9 +162,7 @@ impl Router {
     /// Builds an empty router for node `id` under `config`.
     pub(crate) fn new(id: NodeId, config: &NocConfig) -> Self {
         let v = config.vcs_per_port as usize;
-        let inputs = (0..NUM_PORTS)
-            .map(|_| (0..v).map(|_| InputVc::new()).collect())
-            .collect();
+        let inputs = (0..NUM_PORTS * v).map(|_| InputVc::new()).collect();
         let outputs = (0..NUM_PORTS)
             .map(|p| OutputPort {
                 vcs: (0..v)
@@ -182,6 +185,7 @@ impl Router {
         Self {
             id,
             inputs,
+            vcs_per_port: v,
             outputs,
             va_arbiters: (0..NUM_PORTS)
                 .map(|_| RoundRobinArbiter::new(NUM_PORTS * v))
@@ -199,10 +203,37 @@ impl Router {
         }
     }
 
+    /// The input VC at `(port, vc)`.
+    #[inline]
+    pub(crate) fn input(&self, port: usize, vc: usize) -> &InputVc {
+        &self.inputs[port * self.vcs_per_port + vc]
+    }
+
+    /// Mutable access to the input VC at `(port, vc)`.
+    #[inline]
+    pub(crate) fn input_mut(&mut self, port: usize, vc: usize) -> &mut InputVc {
+        &mut self.inputs[port * self.vcs_per_port + vc]
+    }
+
+    /// The slice of input VCs belonging to `port`.
+    #[cfg_attr(not(any(test, feature = "verify")), allow(dead_code))]
+    #[inline]
+    pub(crate) fn port_vcs(&self, port: usize) -> &[InputVc] {
+        let v = self.vcs_per_port;
+        &self.inputs[port * v..(port + 1) * v]
+    }
+
+    /// Mutable slice of input VCs belonging to `port`.
+    #[inline]
+    pub(crate) fn port_vcs_mut(&mut self, port: usize) -> &mut [InputVc] {
+        let v = self.vcs_per_port;
+        &mut self.inputs[port * v..(port + 1) * v]
+    }
+
     /// Appends a flit handle to an input VC FIFO, maintaining the
     /// incremental occupied-VC count. All buffer writes go through here.
     pub(crate) fn enqueue(&mut self, in_port: usize, vc: usize, flit: FlitRef, arrived_at: u64) {
-        let ivc = &mut self.inputs[in_port][vc];
+        let ivc = &mut self.inputs[in_port * self.vcs_per_port + vc];
         if !ivc.occupied() {
             self.occupied_vcs += 1;
         }
@@ -219,7 +250,7 @@ impl Router {
             let mut rc = 0u32;
             let mut va = 0u32;
             let mut active = 0u32;
-            for vc in self.inputs.iter().flat_map(|port| port.iter()) {
+            for vc in &self.inputs {
                 match vc.state {
                     VcState::Idle if !vc.fifo.is_empty() => rc += 1,
                     VcState::Idle => {}
@@ -247,11 +278,7 @@ impl Router {
     pub fn occupied_input_vcs(&self) -> usize {
         debug_assert_eq!(
             self.occupied_vcs as usize,
-            self.inputs
-                .iter()
-                .flat_map(|port| port.iter())
-                .filter(|vc| vc.occupied())
-                .count(),
+            self.inputs.iter().filter(|vc| vc.occupied()).count(),
             "incremental occupied-VC count diverged at {}",
             self.id
         );
@@ -262,11 +289,7 @@ impl Router {
     /// point-in-time congestion measure sampled by the telemetry layer
     /// at control-epoch boundaries.
     pub fn buffered_flits(&self) -> u64 {
-        self.inputs
-            .iter()
-            .flat_map(|port| port.iter())
-            .map(|vc| vc.fifo.len() as u64)
-            .sum()
+        self.inputs.iter().map(|vc| vc.fifo.len() as u64).sum()
     }
 
     /// Route computation: idle input VCs whose head flit has completed its
@@ -289,40 +312,47 @@ impl Router {
         if self.rc_pending == 0 {
             return; // no idle VC holds a flit: nothing to route
         }
-        for port in &mut self.inputs {
-            for vc in port.iter_mut() {
-                if vc.state != VcState::Idle {
-                    continue;
-                }
-                let Some(front) = vc.fifo.front() else {
-                    continue;
-                };
-                if front.arrived_at >= cycle {
-                    continue; // still in the BW stage
-                }
-                let flit = &arena[front.flit];
-                debug_assert!(
-                    flit.kind.is_head(),
-                    "non-head flit {:?} at front of idle VC",
-                    flit.kind
-                );
-                let out_port = match fault {
-                    None => routes.next_hop(self.id, flit.dst),
-                    Some(f) => match f.next_hop(self.id, flit.dst) {
-                        Some(dir) => dir,
-                        None => {
-                            doomed.push((flit.packet, !flit.class.is_control()));
-                            continue;
-                        }
-                    },
-                };
-                vc.state = VcState::NeedsVa {
-                    out_port,
-                    packet: flit.packet,
-                };
-                self.rc_pending -= 1;
-                self.needs_va += 1;
+        // Flat scan visits VCs in the same port-major order as the old
+        // nested loops; once every RC candidate (idle VC with a buffered
+        // flit) has been seen, the remaining VCs cannot route and the
+        // scan stops early.
+        let mut remaining = self.rc_pending;
+        for vc in &mut self.inputs {
+            if remaining == 0 {
+                break;
             }
+            if vc.state != VcState::Idle {
+                continue;
+            }
+            let Some(front) = vc.fifo.front() else {
+                continue;
+            };
+            remaining -= 1;
+            if front.arrived_at >= cycle {
+                continue; // still in the BW stage
+            }
+            let flit = &arena[front.flit];
+            debug_assert!(
+                flit.kind.is_head(),
+                "non-head flit {:?} at front of idle VC",
+                flit.kind
+            );
+            let out_port = match fault {
+                None => routes.next_hop(self.id, flit.dst),
+                Some(f) => match f.next_hop(self.id, flit.dst) {
+                    Some(dir) => dir,
+                    None => {
+                        doomed.push((flit.packet, !flit.class.is_control()));
+                        continue;
+                    }
+                },
+            };
+            vc.state = VcState::NeedsVa {
+                out_port,
+                packet: flit.packet,
+            };
+            self.rc_pending -= 1;
+            self.needs_va += 1;
         }
     }
 
@@ -335,7 +365,7 @@ impl Router {
         let mut rc = 0u32;
         let mut va = 0u32;
         let mut active = 0u32;
-        for vc in self.inputs.iter().flat_map(|port| port.iter()) {
+        for vc in &self.inputs {
             if vc.occupied() {
                 occupied += 1;
             }
@@ -360,25 +390,38 @@ impl Router {
         if self.needs_va == 0 {
             return 0; // no requester: arbiters and output VCs untouched
         }
-        let v = self.inputs[0].len();
+        // One pre-pass marks which output ports have a requester at all,
+        // so the per-port loop below only rescans the slab for ports
+        // that can actually grant. A requester targets exactly one port,
+        // and a grant at an earlier port removes the winner only from
+        // that port's request set, so the marks stay valid across the
+        // loop.
+        let mut has_requester = [false; NUM_PORTS];
+        for vc in &self.inputs {
+            if let VcState::NeedsVa { out_port, .. } = vc.state {
+                has_requester[out_port.index()] = true;
+            }
+        }
         let mut allocations = 0;
-        for out_p in 0..NUM_PORTS {
+        for (out_p, &wanted) in has_requester.iter().enumerate() {
+            if !wanted {
+                continue;
+            }
             // Find a free output VC.
             let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
                 continue;
             };
-            // Gather requesting input VCs (flattened index) into the
-            // reusable scratch vector.
+            // Gather requesting input VCs into the reusable scratch
+            // vector; the flat slab index *is* the arbiter's flattened
+            // `port * V + vc` request index.
             self.va_scratch.fill(false);
             let mut any = false;
-            for (in_p, port) in self.inputs.iter().enumerate() {
-                for (in_v, vc) in port.iter().enumerate() {
-                    if matches!(vc.state, VcState::NeedsVa { out_port, .. }
-                        if out_port.index() == out_p)
-                    {
-                        self.va_scratch[in_p * v + in_v] = true;
-                        any = true;
-                    }
+            for (flat, vc) in self.inputs.iter().enumerate() {
+                if matches!(vc.state, VcState::NeedsVa { out_port, .. }
+                    if out_port.index() == out_p)
+                {
+                    self.va_scratch[flat] = true;
+                    any = true;
                 }
             }
             if !any {
@@ -387,11 +430,10 @@ impl Router {
             let winner = self.va_arbiters[out_p]
                 .grant(&self.va_scratch)
                 .expect("a request was asserted");
-            let (in_p, in_v) = (winner / v, winner % v);
-            let VcState::NeedsVa { packet, .. } = self.inputs[in_p][in_v].state else {
+            let VcState::NeedsVa { packet, .. } = self.inputs[winner].state else {
                 unreachable!("VA winner must be in NeedsVa");
             };
-            self.inputs[in_p][in_v].state = VcState::Active {
+            self.inputs[winner].state = VcState::Active {
                 out_port: Direction::from_index(out_p),
                 out_vc: free_vc as u8,
                 packet,
@@ -433,8 +475,8 @@ mod tests {
         let r = Router::new(NodeId(5), &test_config());
         assert_eq!(r.id(), NodeId(5));
         assert_eq!(r.occupied_input_vcs(), 0);
-        assert_eq!(r.inputs.len(), NUM_PORTS);
-        assert_eq!(r.inputs[0].len(), 4);
+        assert_eq!(r.inputs.len(), NUM_PORTS * 4);
+        assert_eq!(r.vcs_per_port, 4);
         assert_eq!(r.outputs[0].vcs[0].credits, 4);
         assert_eq!(
             r.outputs[Direction::Local.index()].vcs[0].credits,
@@ -455,11 +497,11 @@ mod tests {
         let mut doomed = Vec::new();
         // Same cycle: still in BW.
         r.rc_stage(10, &routes, None, &arena, &mut doomed);
-        assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
+        assert_eq!(r.input(Direction::Local.index(), 0).state, VcState::Idle);
         // Next cycle: RC fires, X-first routing goes east.
         r.rc_stage(11, &routes, None, &arena, &mut doomed);
         assert_eq!(
-            r.inputs[Direction::Local.index()][0].state,
+            r.input(Direction::Local.index(), 0).state,
             VcState::NeedsVa {
                 out_port: Direction::East,
                 packet: PacketId(1)
@@ -483,7 +525,8 @@ mod tests {
         r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
         let granted = r.va_stage();
         assert_eq!(granted, 1, "one VA grant per output port per cycle");
-        let active = r.inputs[Direction::Local.index()]
+        let active = r
+            .port_vcs(Direction::Local.index())
             .iter()
             .filter(|vc| matches!(vc.state, VcState::Active { .. }))
             .count();
@@ -491,7 +534,8 @@ mod tests {
         // Second cycle: the other one gets a (different) VC.
         let granted = r.va_stage();
         assert_eq!(granted, 1);
-        let vcs: Vec<u8> = r.inputs[Direction::Local.index()]
+        let vcs: Vec<u8> = r
+            .port_vcs(Direction::Local.index())
             .iter()
             .filter_map(|vc| match vc.state {
                 VcState::Active { out_vc, .. } => Some(out_vc),

@@ -171,6 +171,111 @@ fn mixed_cells_in_one_batch_match_serial() {
     assert_eq!(serial, batched);
 }
 
+#[test]
+fn lanes_whose_operation_modes_diverge_still_match_serial() {
+    // RL-controlled lanes with different replicate seeds drift into
+    // different operation modes mid-run, so the fused kernel executes
+    // genuinely different per-hop protection paths (ARQ on/off, ECC
+    // on/off) lane by lane. The run is only meaningful if that
+    // divergence actually happens, so it is asserted, not assumed.
+    let lanes: Vec<Experiment> = (0..4u64)
+        .map(|i| {
+            lane(
+                ErrorControlScheme::ProposedRl,
+                WorkloadProfile::canneal(),
+                37,
+                i,
+                None,
+            )
+        })
+        .collect();
+    let serial = serial_reports(&lanes);
+    assert!(
+        serial
+            .iter()
+            .any(|r| r.mode_histogram != serial[0].mode_histogram),
+        "replicate lanes must diverge in mode decisions for this test to bite"
+    );
+    let batched = Experiment::run_batch(lanes);
+    assert_eq!(serial, batched, "mode-divergent lanes must match serial");
+}
+
+#[test]
+fn per_lane_distinct_mid_run_fault_schedules_match_serial() {
+    // Every lane carries a *different* schedule (router kills included),
+    // so the shared `FaultRouteCache` never gets a cross-lane hit and
+    // each lane walks its own evacuation/divert/purge path through the
+    // fused kernel while traffic is in flight.
+    let lanes: Vec<Experiment> = (0..4u64)
+        .map(|i| {
+            let schedule = Arc::new(HardFaultSchedule::random(4, 4, 2, 1, (600, 3_000), 43 + i));
+            lane(
+                ErrorControlScheme::StaticArqEcc,
+                WorkloadProfile::blackscholes(),
+                31,
+                i,
+                Some(schedule),
+            )
+        })
+        .collect();
+    let serial = serial_reports(&lanes);
+    assert!(
+        serial.iter().all(|r| r.hard_fault_events > 0),
+        "every lane's schedule must fire mid-run"
+    );
+    assert!(
+        serial
+            .iter()
+            .any(|r| r.reroute_events != serial[0].reroute_events
+                || r.packets_lost_hard_fault != serial[0].packets_lost_hard_fault
+                || r.packets_delivered != serial[0].packets_delivered),
+        "distinct schedules must produce observably different lane outcomes"
+    );
+    let batched = Experiment::run_batch(lanes);
+    assert_eq!(
+        serial, batched,
+        "per-lane fault schedules must match serial"
+    );
+}
+
+#[test]
+fn telemetry_spans_leave_every_report_byte_unchanged() {
+    // With telemetry enabled the simulator steps through the six
+    // *split* spanned phases; disabled, it runs the fused single-pass
+    // kernel. Identical reports under both settings prove the fused
+    // kernel is observation-equivalent to the split shape — and that
+    // instrumentation never perturbs results.
+    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 3, 1, (100, 5_000), 23));
+    let build = |tel: Option<rlnoc_telemetry::Telemetry>| -> Vec<Experiment> {
+        (0..3u64)
+            .map(|i| {
+                let mut b = Experiment::builder()
+                    .scheme(ErrorControlScheme::ProposedRl)
+                    .workload(WorkloadProfile::blackscholes())
+                    .noc(NocConfig::builder().mesh(4, 4).build())
+                    .pretrain_cycles(3_000)
+                    .warmup_cycles(500)
+                    .measure_cycles(3_000)
+                    .drain_limit(30_000)
+                    .hard_faults(schedule.clone())
+                    .seed(rand::seed_stream(47, i));
+                if let Some(t) = &tel {
+                    b = b.telemetry(t.clone());
+                }
+                b.build().expect("valid lane configuration")
+            })
+            .collect()
+    };
+    let plain = serial_reports(&build(None));
+    let spanned = serial_reports(&build(Some(rlnoc_telemetry::Telemetry::enabled())));
+    assert_eq!(
+        plain, spanned,
+        "split (spanned) and fused (plain) pipelines must agree byte for byte"
+    );
+    let batched_spanned = Experiment::run_batch(build(Some(rlnoc_telemetry::Telemetry::enabled())));
+    assert_eq!(plain, batched_spanned, "lockstep spanned runs agree too");
+}
+
 /// Deterministic fuzz over random (scheme, seed, fault) cells. Each
 /// case runs 2 serial + 2 batched experiments; the case count is kept
 /// small enough for the tier-1 budget and every case is reproducible

@@ -38,6 +38,15 @@ impl TimerHandle {
         f()
     }
 
+    /// Whether this handle is backed by a live histogram. Hot paths may
+    /// branch on this once per call instead of once per span when a
+    /// different (but observably identical) code shape is cheaper with
+    /// instrumentation off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
     /// Point-in-time snapshot of recorded span durations (nanoseconds).
     pub fn snapshot(&self) -> HistogramSnapshot {
         self.0

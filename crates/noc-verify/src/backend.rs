@@ -188,6 +188,10 @@ impl SimBackend for StaleTemperatureBackend {
         SimBackend::epoch_stats(&self.net)
     }
 
+    fn finish_epoch(&mut self) {
+        SimBackend::finish_epoch(&mut self.net);
+    }
+
     fn reset_epoch_stats(&mut self) {
         SimBackend::reset_epoch_stats(&mut self.net);
     }
