@@ -13,6 +13,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use noc_fault::hardfault::HardFaultSchedule;
 use noc_sim::config::NocConfig;
+use noc_sim::topology::Mesh;
 use noc_sim::traffic::TrafficPattern;
 use rlnoc_core::benchmarks::{PhaseSpec, WorkloadProfile};
 use rlnoc_core::{ErrorControlScheme, Experiment};
@@ -37,7 +38,13 @@ fn sparse_workload(duration: u64) -> WorkloadProfile {
 /// The K=8 replicate lanes of one fault-churn cell, seeded the way
 /// `Campaign::tasks` derives replicate seeds.
 fn lanes() -> Vec<Experiment> {
-    let schedule = Arc::new(HardFaultSchedule::random(8, 8, 40, 0, (100, 1_300), 31));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(8, 8),
+        40,
+        0,
+        (100, 1_300),
+        31,
+    ));
     (0..LANES)
         .map(|i| {
             Experiment::builder()

@@ -6,7 +6,7 @@ use noc_fault::hardfault::{HardFault, HardFaultSchedule};
 use noc_sim::config::NocConfig;
 use noc_sim::error_control::PerfectLink;
 use noc_sim::network::{HardFaultEvent, HardFaultKind, Network};
-use noc_sim::topology::{Direction, NodeId};
+use noc_sim::topology::{Mesh, NodeId, Torus};
 use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
 use rlnoc_core::modes::OperationMode;
 use rlnoc_core::protocol::FaultTolerantProtocol;
@@ -62,7 +62,7 @@ fn warmed_degraded(rate: f64) -> (Network<PerfectLink>, SyntheticSource) {
     let config = NocConfig::default();
     let mut net = Network::new(config, PerfectLink::new(), 7);
     let links = (8 - 1) * 8 + 8 * (8 - 1); // 112 mesh links
-    let schedule = HardFaultSchedule::random(8, 8, links * 20 / 100, 0, (1, 1), 0x5EED);
+    let schedule = HardFaultSchedule::random(Mesh::new(8, 8), links * 20 / 100, 0, (1, 1), 0x5EED);
     let events = schedule
         .entries
         .iter()
@@ -71,7 +71,7 @@ fn warmed_degraded(rate: f64) -> (Network<PerfectLink>, SyntheticSource) {
             kind: match e.fault {
                 HardFault::Link { node, dir } => HardFaultKind::Link {
                     node: NodeId(node),
-                    dir: Direction::from_index(usize::from(dir)),
+                    dir,
                 },
                 HardFault::Router { node } => HardFaultKind::Router { node: NodeId(node) },
             },
@@ -94,6 +94,78 @@ fn bench_degraded_step(c: &mut Criterion) {
     group.bench_function("links_20pct_rate_0.02", |b| {
         b.iter_batched(
             || warmed_degraded(0.02),
+            |(mut net, mut traffic)| {
+                for _ in 0..100 {
+                    step_once(&mut net, &mut traffic);
+                }
+                net.cycle()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Builds a warmed-up 16×16 torus network with uniform traffic at
+/// `rate`; with `degraded`, 20% of the torus links (wrap links
+/// included) fail at cycle 1 so every measured cycle routes on the
+/// up\*/down\* fault table instead of the date-line DOR fast path.
+fn warmed_torus(rate: f64, degraded: bool) -> (Network<PerfectLink>, SyntheticSource) {
+    let topo = Torus::new(16, 16);
+    let config = NocConfig::builder().topology(topo).build();
+    let mut net = Network::new(config, PerfectLink::new(), 7);
+    if degraded {
+        let links = noc_fault::hardfault::topo_links(topo) as usize; // 512 torus links
+        let schedule = HardFaultSchedule::random(topo, links * 20 / 100, 0, (1, 1), 0x5EED);
+        let events = schedule
+            .entries
+            .iter()
+            .map(|e| HardFaultEvent {
+                cycle: e.cycle,
+                kind: match e.fault {
+                    HardFault::Link { node, dir } => HardFaultKind::Link {
+                        node: NodeId(node),
+                        dir,
+                    },
+                    HardFault::Router { node } => HardFaultKind::Router { node: NodeId(node) },
+                },
+            })
+            .collect();
+        net.set_hard_faults(events);
+    }
+    let mut traffic = SyntheticSource::new(net.mesh(), TrafficPattern::UniformRandom, rate, 7);
+    for _ in 0..2_000 {
+        step_once(&mut net, &mut traffic);
+    }
+    if degraded {
+        assert!(
+            net.hard_faults_active(),
+            "degraded torus bench must route on the fault table"
+        );
+    }
+    (net, traffic)
+}
+
+fn bench_torus_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cycle_16x16_torus");
+    group.bench_function("perfect_rate_0.005", |b| {
+        b.iter_batched(
+            || warmed_torus(0.005, false),
+            |(mut net, mut traffic)| {
+                for _ in 0..100 {
+                    step_once(&mut net, &mut traffic);
+                }
+                net.cycle()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("network_cycle_16x16_torus_degraded");
+    group.bench_function("links_20pct_rate_0.005", |b| {
+        b.iter_batched(
+            || warmed_torus(0.005, true),
             |(mut net, mut traffic)| {
                 for _ in 0..100 {
                     step_once(&mut net, &mut traffic);
@@ -148,6 +220,6 @@ fn bench_protocol_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_network_step, bench_degraded_step, bench_protocol_step
+    targets = bench_network_step, bench_degraded_step, bench_torus_step, bench_protocol_step
 }
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use noc_fault::hardfault::HardFaultSchedule;
 use noc_sim::config::NocConfig;
+use noc_sim::topology::Mesh;
 use noc_sim::traffic::TrafficPattern;
 use rlnoc_core::benchmarks::{PhaseSpec, WorkloadProfile};
 use rlnoc_core::{ErrorControlScheme, Experiment};
@@ -27,7 +28,13 @@ fn sparse_workload(duration: u64) -> WorkloadProfile {
 }
 
 fn lane(telemetry: Option<&Telemetry>) -> Experiment {
-    let schedule = Arc::new(HardFaultSchedule::random(8, 8, 40, 0, (100, 1_300), 31));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(8, 8),
+        40,
+        0,
+        (100, 1_300),
+        31,
+    ));
     let mut b = Experiment::builder()
         .scheme(ErrorControlScheme::StaticCrc)
         .workload(sparse_workload(1_200))
@@ -57,7 +64,13 @@ fn lane_fault_free() -> Experiment {
 }
 
 fn lanes(k: u64) -> Vec<Experiment> {
-    let schedule = Arc::new(HardFaultSchedule::random(8, 8, 40, 0, (100, 1_300), 31));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(8, 8),
+        40,
+        0,
+        (100, 1_300),
+        31,
+    ));
     (0..k)
         .map(|i| {
             Experiment::builder()
@@ -80,7 +93,13 @@ fn main() {
     // (first lane computes each reroute, later lanes hit the cache).
     {
         let tel = Telemetry::enabled();
-        let schedule = Arc::new(HardFaultSchedule::random(8, 8, 40, 0, (100, 1_300), 31));
+        let schedule = Arc::new(HardFaultSchedule::random(
+            Mesh::new(8, 8),
+            40,
+            0,
+            (100, 1_300),
+            31,
+        ));
         let ls: Vec<Experiment> = (0..8)
             .map(|i| {
                 Experiment::builder()

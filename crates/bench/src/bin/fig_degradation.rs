@@ -18,6 +18,7 @@
 //! byte-identical to a fresh serial one.
 
 use noc_fault::hardfault::{mesh_links, HardFaultSchedule};
+use noc_sim::topology::Mesh;
 use noc_sim::traffic::TrafficPattern;
 use rlnoc_bench::{banner, campaign_from_env, export_telemetry, run_campaign, write_output};
 use rlnoc_core::benchmarks::{PhaseSpec, WorkloadProfile};
@@ -98,7 +99,15 @@ fn main() {
     let max_pct = *FRACTIONS_PCT.iter().max().expect("fractions nonempty");
     let want = (total_links * max_pct / 100) as usize;
     let masters: Vec<HardFaultSchedule> = (0..DRAWS)
-        .map(|d| HardFaultSchedule::random(w, h, want, 0, (1, 1), base.seed ^ 0x5EED_000D ^ d))
+        .map(|d| {
+            HardFaultSchedule::random(
+                Mesh::new(w, h),
+                want,
+                0,
+                (1, 1),
+                base.seed ^ 0x5EED_000D ^ d,
+            )
+        })
         .collect();
     for master in &masters {
         if master.entries.len() < want {
@@ -127,8 +136,7 @@ fn main() {
             let mut campaign = base.clone();
             if k > 0 {
                 campaign.hard_faults = Some(Arc::new(HardFaultSchedule::explicit(
-                    w,
-                    h,
+                    Mesh::new(w, h),
                     master.entries[..k].to_vec(),
                 )));
             }

@@ -9,7 +9,7 @@
 //! substitution table). The profiles drive the simulator through the
 //! standard [`TrafficSource`] interface.
 
-use noc_sim::topology::{Mesh, NodeId};
+use noc_sim::topology::{NodeId, Topo};
 use noc_sim::traffic::{TrafficPattern, TrafficSource};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -55,7 +55,8 @@ impl WorkloadProfile {
     /// exists in `mesh`. Profiles that pin a coordinator node (e.g.
     /// streamcluster's hotspot at (3,3) of the 8×8 mesh) only run on
     /// meshes that contain it.
-    pub fn fits_mesh(&self, mesh: Mesh) -> bool {
+    pub fn fits_mesh(&self, mesh: impl Into<Topo>) -> bool {
+        let mesh = mesh.into();
         self.phases.iter().all(|p| match p.pattern {
             TrafficPattern::Hotspot { hotspot, .. } => hotspot.index() < mesh.num_nodes(),
             _ => true,
@@ -286,8 +287,8 @@ impl WorkloadProfile {
     }
 
     /// Instantiates the replayable traffic source for `mesh`.
-    pub fn source(&self, mesh: Mesh, seed: u64) -> ProfileSource {
-        ProfileSource::new(self.clone(), mesh, seed)
+    pub fn source(&self, mesh: impl Into<Topo>, seed: u64) -> ProfileSource {
+        ProfileSource::new(self.clone(), mesh.into(), seed)
     }
 }
 
@@ -295,7 +296,7 @@ impl WorkloadProfile {
 #[derive(Debug, Clone)]
 pub struct ProfileSource {
     profile: WorkloadProfile,
-    mesh: Mesh,
+    mesh: Topo,
     rng: SmallRng,
     start_cycle: Option<u64>,
     phase_total: u64,
@@ -307,7 +308,8 @@ impl ProfileSource {
     /// # Panics
     ///
     /// Panics if the profile has no phases or a zero-length phase.
-    pub fn new(profile: WorkloadProfile, mesh: Mesh, seed: u64) -> Self {
+    pub fn new(profile: WorkloadProfile, mesh: impl Into<Topo>, seed: u64) -> Self {
+        let mesh = mesh.into();
         assert!(!profile.phases.is_empty(), "profile needs phases");
         assert!(
             profile.phases.iter().all(|p| p.cycles > 0),
@@ -367,6 +369,7 @@ impl TrafficSource for ProfileSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_sim::topology::Mesh;
 
     #[test]
     fn eleven_benchmarks_with_unique_names() {

@@ -473,7 +473,13 @@ mod tests {
         d.replicates = 3;
         assert_ne!(a.fingerprint(), d.fingerprint(), "replicates change it");
         let mut e = Campaign::quick();
-        e.hard_faults = Some(Arc::new(HardFaultSchedule::random(4, 4, 2, 0, (1, 100), 9)));
+        e.hard_faults = Some(Arc::new(HardFaultSchedule::random(
+            noc_sim::topology::Mesh::new(4, 4),
+            2,
+            0,
+            (1, 100),
+            9,
+        )));
         assert_ne!(
             a.fingerprint(),
             e.fingerprint(),
@@ -481,8 +487,7 @@ mod tests {
         );
         let mut f = Campaign::quick();
         f.hard_faults = Some(Arc::new(HardFaultSchedule::random(
-            4,
-            4,
+            noc_sim::topology::Mesh::new(4, 4),
             2,
             0,
             (1, 100),
@@ -511,16 +516,21 @@ mod tests {
         // unreachable-pairs gauge survives the measurement-phase stats
         // reset, so every report must see the degraded topology.
         c.hard_faults = Some(Arc::new(HardFaultSchedule::explicit(
-            4,
-            4,
+            noc_sim::topology::Mesh::new(4, 4),
             vec![
                 HardFaultEntry {
                     cycle: 1,
-                    fault: HardFault::Link { node: 0, dir: 1 },
+                    fault: HardFault::Link {
+                        node: 0,
+                        dir: noc_sim::topology::Direction::East,
+                    },
                 },
                 HardFaultEntry {
                     cycle: 1,
-                    fault: HardFault::Link { node: 0, dir: 2 },
+                    fault: HardFault::Link {
+                        node: 0,
+                        dir: noc_sim::topology::Direction::South,
+                    },
                 },
             ],
         )));

@@ -31,7 +31,7 @@ use noc_rl::state::RouterFeatures;
 use noc_sim::config::NocConfig;
 use noc_sim::network::{HardFaultEvent, HardFaultKind, Network};
 use noc_sim::stats::EventCounters;
-use noc_sim::topology::{Direction, Mesh};
+use noc_sim::topology::{Direction, Topo};
 use noc_sim::traffic::{SyntheticSource, TrafficPattern, TrafficSource};
 use rlnoc_telemetry::{EpochRecord, Phase, RunId, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -345,9 +345,9 @@ impl ExperimentBuilder {
             if hf.validate().is_err() {
                 return Err(BuildExperimentError("invalid hard-fault schedule"));
             }
-            if hf.mesh_w != self.noc.mesh.width() || hf.mesh_h != self.noc.mesh.height() {
+            if hf.topo != self.noc.mesh {
                 return Err(BuildExperimentError(
-                    "hard-fault schedule mesh does not match the NoC mesh",
+                    "hard-fault schedule topology does not match the NoC topology",
                 ));
             }
         }
@@ -457,7 +457,7 @@ impl Experiment {
         // pair; replicate lanes of one campaign cell all alias the first
         // entry. The key is semantic (the rendered schedule), so a mixed
         // batch degrades to per-group sharing instead of misbehaving.
-        let mut shared: Vec<((Mesh, String), B::Shared)> = Vec::new();
+        let mut shared: Vec<((Topo, String), B::Shared)> = Vec::new();
         let mut runners: Vec<Runner<B>> = lanes
             .into_iter()
             .map(|lane| {
@@ -635,7 +635,7 @@ fn hard_fault_events(schedule: &HardFaultSchedule) -> Vec<HardFaultEvent> {
             kind: match e.fault {
                 HardFault::Link { node, dir } => HardFaultKind::Link {
                     node: noc_sim::topology::NodeId(node),
-                    dir: Direction::from_index(usize::from(dir)),
+                    dir,
                 },
                 HardFault::Router { node } => HardFaultKind::Router {
                     node: noc_sim::topology::NodeId(node),
@@ -1224,8 +1224,10 @@ impl<B: SimBackend> Runner<B> {
         let mesh = self.cfg.noc.mesh;
         let n = mesh.num_nodes();
         let mut node_dead = vec![false; n];
-        let mut link_dead = vec![[false; 4]; n];
-        let kill_link = |link_dead: &mut Vec<[bool; 4]>, node: usize, dir: Direction| {
+        let mut link_dead = vec![[false; noc_sim::topology::MAX_PORTS]; n];
+        let kill_link = |link_dead: &mut Vec<[bool; noc_sim::topology::MAX_PORTS]>,
+                         node: usize,
+                         dir: Direction| {
             if let Some(peer) = mesh.neighbor(noc_sim::topology::NodeId(node as u16), dir) {
                 link_dead[node][dir.index()] = true;
                 link_dead[peer.index()][dir.opposite().index()] = true;
@@ -1234,16 +1236,12 @@ impl<B: SimBackend> Runner<B> {
         for e in schedule.entries.iter().take_while(|e| e.cycle < now) {
             match e.fault {
                 HardFault::Link { node, dir } => {
-                    kill_link(
-                        &mut link_dead,
-                        usize::from(node),
-                        Direction::from_index(usize::from(dir)),
-                    );
+                    kill_link(&mut link_dead, usize::from(node), dir);
                 }
                 HardFault::Router { node } => {
                     let node = usize::from(node);
                     node_dead[node] = true;
-                    for dir in Direction::COMPASS {
+                    for &dir in mesh.compass() {
                         kill_link(&mut link_dead, node, dir);
                     }
                 }
@@ -1256,7 +1254,7 @@ impl<B: SimBackend> Runner<B> {
                 }
                 let mut existing = 0u32;
                 let mut dead = 0u32;
-                for dir in Direction::COMPASS {
+                for &dir in mesh.compass() {
                     if mesh
                         .neighbor(noc_sim::topology::NodeId(i as u16), dir)
                         .is_some()

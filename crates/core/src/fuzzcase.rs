@@ -18,6 +18,17 @@
 //! rlnoc-case v1
 //! mesh=3x2
 //! scheme=RL
+//! ...
+//! ```
+//!
+//! The `mesh=` line carries a topology-zoo encoding (`3x2`,
+//! `torus:4x4`, `ftorus:3x3`, `3d:4x2x2`), so plain-mesh case files
+//! keep the original byte layout:
+//!
+//! ```text
+//! rlnoc-case v1
+//! mesh=3x2
+//! scheme=RL
 //! workload=canneal
 //! seed=00000000deadbeef
 //! epoch=500
@@ -47,14 +58,13 @@ use noc_fault::thermal::ThermalParams;
 use noc_fault::timing::TimingErrorParams;
 use noc_sim::config::NocConfig;
 use noc_sim::flit::splitmix64;
+use noc_sim::topology::{FoldedTorus, Mesh, Mesh3d, Topo, Torus};
 
 /// Everything needed to rebuild one differential experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzCase {
-    /// Mesh width (≥ 2).
-    pub mesh_w: u16,
-    /// Mesh height (≥ 2).
-    pub mesh_h: u16,
+    /// Topology under test (projection dimensions ≥ 2).
+    pub topo: Topo,
     /// Error-control scheme under test.
     pub scheme: ErrorControlScheme,
     /// PARSEC workload name (resolved via [`WorkloadProfile::all`]).
@@ -114,13 +124,21 @@ impl FuzzCase {
         };
         let mesh_w = 2 + (draw() % 3) as u16; // 2..=4
         let mesh_h = 2 + (draw() % 3) as u16;
+        // The whole zoo, uniformly: the oracle must exercise wrap links
+        // and date-line VC classes (tori), the folded wiring, and the
+        // vertical dimension (stacked meshes) as hard as plain meshes.
+        let topo: Topo = match draw() % 4 {
+            0 => Mesh::new(mesh_w, mesh_h).into(),
+            1 => Torus::new(mesh_w, mesh_h).into(),
+            2 => FoldedTorus::new(mesh_w, mesh_h).into(),
+            _ => Mesh3d::new(mesh_w, mesh_h, 2).into(),
+        };
         let scheme = ErrorControlScheme::ALL[(draw() % 4) as usize];
-        // Only workloads whose traffic patterns fit the drawn mesh
+        // Only workloads whose traffic patterns fit the drawn topology
         // (streamcluster pins a hotspot node that small meshes lack).
-        let mesh = noc_sim::topology::Mesh::new(mesh_w, mesh_h);
         let workloads: Vec<WorkloadProfile> = WorkloadProfile::all()
             .into_iter()
-            .filter(|w| w.fits_mesh(mesh))
+            .filter(|w| w.fits_mesh(topo))
             .collect();
         let workload = workloads[(draw() % workloads.len() as u64) as usize]
             .name
@@ -152,8 +170,7 @@ impl FuzzCase {
             Some((links, routers, draw()))
         };
         Self {
-            mesh_w,
-            mesh_h,
+            topo,
             scheme,
             workload,
             seed,
@@ -197,7 +214,7 @@ impl FuzzCase {
         let mut builder = Experiment::builder()
             .scheme(self.scheme)
             .workload(workload)
-            .noc(NocConfig::builder().mesh(self.mesh_w, self.mesh_h).build())
+            .noc(NocConfig::builder().topology(self.topo).build())
             .seed(self.seed)
             .epoch_cycles(self.epoch_cycles)
             .pretrain_cycles(self.pretrain_cycles)
@@ -221,8 +238,7 @@ impl FuzzCase {
         let (links, routers, seed) = self.hard_faults?;
         let horizon = (self.pretrain_cycles + self.warmup_cycles + self.measure_cycles).max(1);
         Some(HardFaultSchedule::random(
-            self.mesh_w,
-            self.mesh_h,
+            self.topo,
             usize::from(links),
             usize::from(routers),
             (1, horizon),
@@ -232,8 +248,8 @@ impl FuzzCase {
 
     /// Checks internal consistency without building the experiment.
     pub fn validate(&self) -> Result<(), ParseCaseError> {
-        if self.mesh_w < 2 || self.mesh_h < 2 {
-            return Err(ParseCaseError("mesh dimensions must be ≥ 2".into()));
+        if self.topo.width() < 2 || self.topo.height() < 2 {
+            return Err(ParseCaseError("topology dimensions must be ≥ 2".into()));
         }
         if self.epoch_cycles == 0 || self.drain_limit == 0 {
             return Err(ParseCaseError("cycle budgets must be positive".into()));
@@ -247,7 +263,6 @@ impl FuzzCase {
         if !self.ambient_c.is_finite() {
             return Err(ParseCaseError("ambient_c must be finite".into()));
         }
-        let mesh = noc_sim::topology::Mesh::new(self.mesh_w, self.mesh_h);
         match WorkloadProfile::all()
             .iter()
             .find(|w| w.name == self.workload)
@@ -258,10 +273,11 @@ impl FuzzCase {
                     self.workload
                 )));
             }
-            Some(w) if !w.fits_mesh(mesh) => {
+            Some(w) if !w.fits_mesh(self.topo) => {
                 return Err(ParseCaseError(format!(
-                    "workload `{}` references nodes outside a {}x{} mesh",
-                    self.workload, self.mesh_w, self.mesh_h
+                    "workload `{}` references nodes outside a {} topology",
+                    self.workload,
+                    self.topo.encode()
                 )));
             }
             Some(_) => {}
@@ -307,15 +323,44 @@ impl FuzzCase {
                 ..self.clone()
             });
         }
-        if self.mesh_w > 2 {
+        // Topology shrinks: drop the exotic wiring first (same node
+        // grid, plain mesh), then shrink each base dimension while
+        // keeping the topology kind.
+        let (w, h) = match self.topo {
+            Topo::Mesh3d(m) => (m.width(), m.height()),
+            t => (t.width(), t.height()),
+        };
+        let rebuild = |w: u16, h: u16, topo: Topo| -> Topo {
+            match topo {
+                Topo::Mesh(_) => Mesh::new(w, h).into(),
+                Topo::Torus(_) => Torus::new(w, h).into(),
+                Topo::FoldedTorus(_) => FoldedTorus::new(w, h).into(),
+                Topo::Mesh3d(m) => Mesh3d::new(w, h, m.depth()).into(),
+            }
+        };
+        if !matches!(self.topo, Topo::Mesh(_)) {
             push(FuzzCase {
-                mesh_w: self.mesh_w - 1,
+                topo: Mesh::new(w, h).into(),
                 ..self.clone()
             });
         }
-        if self.mesh_h > 2 {
+        if let Topo::Mesh3d(m) = self.topo {
+            if m.depth() > 2 {
+                push(FuzzCase {
+                    topo: Mesh3d::new(w, h, m.depth() - 1).into(),
+                    ..self.clone()
+                });
+            }
+        }
+        if w > 2 {
             push(FuzzCase {
-                mesh_h: self.mesh_h - 1,
+                topo: rebuild(w - 1, h, self.topo),
+                ..self.clone()
+            });
+        }
+        if h > 2 {
+            push(FuzzCase {
+                topo: rebuild(w, h - 1, self.topo),
                 ..self.clone()
             });
         }
@@ -333,7 +378,7 @@ impl FuzzCase {
         let mut body = String::new();
         body.push_str(MAGIC);
         body.push('\n');
-        body.push_str(&format!("mesh={}x{}\n", self.mesh_w, self.mesh_h));
+        body.push_str(&format!("mesh={}\n", self.topo.encode()));
         body.push_str(&format!("scheme={}\n", self.scheme));
         body.push_str(&format!("workload={}\n", self.workload));
         body.push_str(&format!("seed={:016x}\n", self.seed));
@@ -392,16 +437,7 @@ impl FuzzCase {
                 .map(str::to_string)
                 .ok_or_else(|| ParseCaseError(format!("expected `{name}=`, got `{line}`")))
         };
-        let mesh = field("mesh")?;
-        let (w, h) = mesh
-            .split_once('x')
-            .ok_or_else(|| ParseCaseError("mesh must be WxH".into()))?;
-        let mesh_w: u16 = w
-            .parse()
-            .map_err(|_| ParseCaseError("bad mesh width".into()))?;
-        let mesh_h: u16 = h
-            .parse()
-            .map_err(|_| ParseCaseError("bad mesh height".into()))?;
+        let topo = Topo::parse(&field("mesh")?).map_err(ParseCaseError)?;
         let scheme = match field("scheme")?.as_str() {
             "CRC" => ErrorControlScheme::StaticCrc,
             "ARQ+ECC" => ErrorControlScheme::StaticArqEcc,
@@ -465,8 +501,7 @@ impl FuzzCase {
             }
         };
         let case = Self {
-            mesh_w,
-            mesh_h,
+            topo,
             scheme,
             workload,
             seed,
@@ -489,9 +524,8 @@ impl std::fmt::Display for FuzzCase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}x{} {} {} seed={:016x} epoch={} pretrain={} warmup={} measure={} p_ref×{} ambient={}°C",
-            self.mesh_w,
-            self.mesh_h,
+            "{} {} {} seed={:016x} epoch={} pretrain={} warmup={} measure={} p_ref×{} ambient={}°C",
+            self.topo.encode(),
             self.scheme,
             self.workload,
             self.seed,
@@ -610,6 +644,32 @@ mod tests {
     }
 
     #[test]
+    fn generation_covers_the_topology_zoo() {
+        // Any reasonable window of the stream must contain every zoo
+        // member, and every member both with and without hard faults —
+        // otherwise the differential oracle silently stops testing wrap
+        // links, date-line VCs, or the vertical dimension.
+        let cases: Vec<FuzzCase> = (0..64).map(|i| FuzzCase::generate(7, i)).collect();
+        for (name, pick) in [("mesh", 0usize), ("torus", 1), ("ftorus", 2), ("3d", 3)] {
+            let member = |c: &FuzzCase| match (pick, c.topo) {
+                (0, Topo::Mesh(_))
+                | (1, Topo::Torus(_))
+                | (2, Topo::FoldedTorus(_))
+                | (3, Topo::Mesh3d(_)) => true,
+                _ => false,
+            };
+            assert!(
+                cases.iter().any(|c| member(c) && c.hard_faults.is_some()),
+                "no hard-faulted {name} case in the stream"
+            );
+            assert!(
+                cases.iter().any(|c| member(c) && c.hard_faults.is_none()),
+                "no fault-free {name} case in the stream"
+            );
+        }
+    }
+
+    #[test]
     fn text_round_trip_is_exact() {
         for i in 0..16 {
             let case = FuzzCase::generate(99, i);
@@ -641,8 +701,7 @@ mod tests {
                 c.pretrain_cycles <= case.pretrain_cycles
                     && c.warmup_cycles <= case.warmup_cycles
                     && c.measure_cycles <= case.measure_cycles
-                    && c.mesh_w <= case.mesh_w
-                    && c.mesh_h <= case.mesh_h
+                    && c.topo.num_nodes() <= case.topo.num_nodes()
                     && c.epoch_cycles <= case.epoch_cycles
             );
         }
@@ -651,8 +710,7 @@ mod tests {
     #[test]
     fn report_diff_names_the_changed_field() {
         let case = FuzzCase {
-            mesh_w: 2,
-            mesh_h: 2,
+            topo: Mesh::new(2, 2).into(),
             scheme: ErrorControlScheme::StaticCrc,
             workload: "blackscholes".into(),
             seed: 11,

@@ -26,7 +26,7 @@ use noc_fault::variation::VariationMap;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use noc_sim::flit::Flit;
 use noc_sim::stats::EventCounters;
-use noc_sim::topology::{LinkId, Mesh};
+use noc_sim::topology::{LinkId, Topo};
 
 /// The paper's fault-tolerant protocol with per-router operation modes.
 ///
@@ -51,7 +51,7 @@ use noc_sim::topology::{LinkId, Mesh};
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultTolerantProtocol {
-    mesh: Mesh,
+    mesh: Topo,
     modes: Vec<OperationMode>,
     timing: TimingErrorModel,
     variation: VariationMap,
@@ -76,7 +76,13 @@ pub struct FaultTolerantProtocol {
 impl FaultTolerantProtocol {
     /// Creates the protocol with every router in mode 0 (the paper's
     /// initialization), 50 °C everywhere, and idle links.
-    pub fn new(mesh: Mesh, timing: TimingErrorModel, variation: VariationMap, seed: u64) -> Self {
+    pub fn new(
+        mesh: impl Into<Topo>,
+        timing: TimingErrorModel,
+        variation: VariationMap,
+        seed: u64,
+    ) -> Self {
+        let mesh = mesh.into();
         let n = mesh.num_nodes();
         assert_eq!(
             variation.factors().len(),
@@ -103,7 +109,8 @@ impl FaultTolerantProtocol {
 
     /// A protocol whose fault model never errs — for calibration and
     /// simulator testing.
-    pub fn fault_free(mesh: Mesh, seed: u64) -> Self {
+    pub fn fault_free(mesh: impl Into<Topo>, seed: u64) -> Self {
+        let mesh = mesh.into();
         let timing = TimingErrorModel::new(noc_fault::timing::TimingErrorParams {
             p_ref: 0.0,
             ..Default::default()
@@ -112,8 +119,8 @@ impl FaultTolerantProtocol {
         Self::new(mesh, timing, VariationMap::uniform(w, h), seed)
     }
 
-    /// The mesh this protocol serves.
-    pub fn mesh(&self) -> Mesh {
+    /// The topology this protocol serves.
+    pub fn mesh(&self) -> Topo {
         self.mesh
     }
 
@@ -333,7 +340,7 @@ impl ErrorControl for FaultTolerantProtocol {
 mod tests {
     use super::*;
     use noc_sim::flit::{Packet, PacketClass, PacketId};
-    use noc_sim::topology::{Direction, NodeId};
+    use noc_sim::topology::{Direction, Mesh, NodeId};
 
     fn test_flit(seed: u64) -> Flit {
         Packet {

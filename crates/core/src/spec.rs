@@ -21,7 +21,9 @@
 //! crc=9b2f11c3
 //! ```
 //!
-//! `measure=none` lifts the measurement cap. The spec resolves to a
+//! The `mesh=` line carries a topology-zoo encoding (`4x4`,
+//! `torus:16x16`, `ftorus:8x8`, `3d:4x4x4`), so plain-mesh specs keep
+//! the original byte layout. `measure=none` lifts the measurement cap. The spec resolves to a
 //! [`Campaign`] via [`CampaignSpec::to_campaign`]; its identity — used
 //! by the campaign service for persistence directories and result
 //! deduplication — is the resolved campaign's
@@ -35,7 +37,7 @@ use crate::campaign::Campaign;
 use crate::experiment::ErrorControlScheme;
 use noc_coding::crc::Crc32;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh;
+use noc_sim::topology::{Mesh, Topo};
 use std::fmt::Write as _;
 
 const MAGIC: &str = "rlnoc-spec v1";
@@ -60,10 +62,8 @@ pub struct CampaignSpec {
     pub schemes: Vec<ErrorControlScheme>,
     /// Workload names, resolved against [`WorkloadProfile::all`].
     pub workloads: Vec<String>,
-    /// Mesh width (≥ 2).
-    pub mesh_w: u16,
-    /// Mesh height (≥ 2).
-    pub mesh_h: u16,
+    /// Topology of the grid (projection dimensions ≥ 2).
+    pub topo: Topo,
     /// Master campaign seed.
     pub seed: u64,
     /// Seed replicates per (scheme, workload) cell (≥ 1).
@@ -105,8 +105,7 @@ impl CampaignSpec {
         Self {
             schemes: vec![ErrorControlScheme::StaticCrc],
             workloads: vec!["blackscholes".to_string()],
-            mesh_w: 2,
-            mesh_h: 2,
+            topo: Mesh::new(2, 2).into(),
             seed,
             replicates: 1,
             pretrain_cycles: 0,
@@ -121,8 +120,7 @@ impl CampaignSpec {
         Self {
             schemes: ErrorControlScheme::ALL.to_vec(),
             workloads: vec!["blackscholes".to_string(), "canneal".to_string()],
-            mesh_w: 4,
-            mesh_h: 4,
+            topo: Mesh::new(4, 4).into(),
             seed,
             replicates: 1,
             pretrain_cycles: 8_000,
@@ -147,13 +145,11 @@ impl CampaignSpec {
                 "campaigns with a customize hook are not serializable".into(),
             ));
         }
-        let mesh = campaign.noc.mesh;
-        let default_for_mesh = NocConfig::builder()
-            .mesh(mesh.width(), mesh.height())
-            .build();
-        if campaign.noc != default_for_mesh {
+        let topo = campaign.noc.mesh;
+        let default_for_topo = NocConfig::builder().topology(topo).build();
+        if campaign.noc != default_for_topo {
             return Err(SpecError(
-                "only mesh-sized default NocConfigs are serializable".into(),
+                "only topology-sized default NocConfigs are serializable".into(),
             ));
         }
         let spec = Self {
@@ -163,8 +159,7 @@ impl CampaignSpec {
                 .iter()
                 .map(|w| w.name.to_string())
                 .collect(),
-            mesh_w: mesh.width(),
-            mesh_h: mesh.height(),
+            topo,
             seed: campaign.seed,
             replicates: campaign.replicates.max(1),
             pretrain_cycles: campaign.pretrain_cycles,
@@ -193,8 +188,8 @@ impl CampaignSpec {
         if self.workloads.is_empty() {
             return Err(SpecError("at least one workload required".into()));
         }
-        if self.mesh_w < 2 || self.mesh_h < 2 {
-            return Err(SpecError("mesh dimensions must be ≥ 2".into()));
+        if self.topo.width() < 2 || self.topo.height() < 2 {
+            return Err(SpecError("topology dimensions must be ≥ 2".into()));
         }
         if self.replicates == 0 {
             return Err(SpecError("replicates must be ≥ 1".into()));
@@ -205,15 +200,14 @@ impl CampaignSpec {
         if self.measure_cycles == Some(0) {
             return Err(SpecError("measure cap must be positive".into()));
         }
-        let mesh = Mesh::new(self.mesh_w, self.mesh_h);
         let known = WorkloadProfile::all();
         for name in &self.workloads {
             match known.iter().find(|w| w.name == name.as_str()) {
                 None => return Err(SpecError(format!("unknown workload `{name}`"))),
-                Some(w) if !w.fits_mesh(mesh) => {
+                Some(w) if !w.fits_mesh(self.topo) => {
                     return Err(SpecError(format!(
-                        "workload `{name}` references nodes outside a {}x{} mesh",
-                        self.mesh_w, self.mesh_h
+                        "workload `{name}` references nodes outside a {} topology",
+                        self.topo.encode()
                     )));
                 }
                 Some(_) => {}
@@ -245,7 +239,7 @@ impl CampaignSpec {
         Ok(Campaign {
             schemes: self.schemes.clone(),
             workloads,
-            noc: NocConfig::builder().mesh(self.mesh_w, self.mesh_h).build(),
+            noc: NocConfig::builder().topology(self.topo).build(),
             seed: self.seed,
             replicates: self.replicates,
             pretrain_cycles: self.pretrain_cycles,
@@ -285,7 +279,7 @@ impl CampaignSpec {
         let schemes: Vec<&str> = self.schemes.iter().copied().map(scheme_token).collect();
         writeln!(body, "schemes={}", schemes.join(",")).expect("write to string");
         writeln!(body, "workloads={}", self.workloads.join(",")).expect("write to string");
-        writeln!(body, "mesh={}x{}", self.mesh_w, self.mesh_h).expect("write to string");
+        writeln!(body, "mesh={}", self.topo.encode()).expect("write to string");
         writeln!(body, "seed={:016x}", self.seed).expect("write to string");
         writeln!(body, "replicates={}", self.replicates).expect("write to string");
         writeln!(body, "pretrain={}", self.pretrain_cycles).expect("write to string");
@@ -344,12 +338,7 @@ impl CampaignSpec {
             );
         }
         let workloads: Vec<String> = field("workloads")?.split(',').map(str::to_string).collect();
-        let mesh = field("mesh")?;
-        let (w, h) = mesh
-            .split_once('x')
-            .ok_or_else(|| SpecError("mesh must be WxH".into()))?;
-        let mesh_w: u16 = w.parse().map_err(|_| SpecError("bad mesh width".into()))?;
-        let mesh_h: u16 = h.parse().map_err(|_| SpecError("bad mesh height".into()))?;
+        let topo = Topo::parse(&field("mesh")?).map_err(SpecError)?;
         let seed =
             u64::from_str_radix(&field("seed")?, 16).map_err(|_| SpecError("bad seed".into()))?;
         let parse_u64 = |s: String, what: &str| -> Result<u64, SpecError> {
@@ -369,8 +358,7 @@ impl CampaignSpec {
         let spec = Self {
             schemes,
             workloads,
-            mesh_w,
-            mesh_h,
+            topo,
             seed,
             replicates,
             pretrain_cycles,
@@ -387,9 +375,8 @@ impl std::fmt::Display for CampaignSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}x{} schemes={} workloads={} seed={:016x} replicates={}",
-            self.mesh_w,
-            self.mesh_h,
+            "{} schemes={} workloads={} seed={:016x} replicates={}",
+            self.topo.encode(),
             self.schemes.len(),
             self.workloads.join(","),
             self.seed,
@@ -415,6 +402,33 @@ mod tests {
             let text = spec.to_text();
             let back = CampaignSpec::from_text(&text).expect("round trip");
             assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn zoo_specs_round_trip_and_resolve() {
+        use noc_sim::topology::{FoldedTorus, Mesh3d, Torus};
+        let topos: [Topo; 3] = [
+            Torus::new(4, 4).into(),
+            FoldedTorus::new(4, 4).into(),
+            Mesh3d::new(4, 2, 2).into(),
+        ];
+        for topo in topos {
+            let spec = CampaignSpec {
+                topo,
+                ..CampaignSpec::tiny(11)
+            };
+            let text = spec.to_text();
+            assert!(
+                text.contains(&format!("mesh={}\n", topo.encode())),
+                "got: {text}"
+            );
+            let back = CampaignSpec::from_text(&text).expect("round trip");
+            assert_eq!(spec, back);
+            let campaign = spec.to_campaign().expect("valid");
+            assert_eq!(campaign.noc.mesh, topo);
+            let again = CampaignSpec::from_campaign(&campaign).expect("serializable");
+            assert_eq!(spec, again);
         }
     }
 
@@ -473,7 +487,7 @@ mod tests {
         assert!(s.validate().is_err(), "duplicate schemes rejected");
 
         let mut s = CampaignSpec::tiny(1);
-        s.mesh_w = 1;
+        s.topo = Mesh::new(1, 2).into();
         assert!(s.validate().is_err());
 
         let mut s = CampaignSpec::tiny(1);

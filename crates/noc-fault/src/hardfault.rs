@@ -9,11 +9,11 @@
 //! than partition loss).
 //!
 //! The schedule is a plain description — `(cycle, node, direction)`
-//! triples over a `width × height` grid — so this crate stays free of
-//! any simulator dependency; the simulation layer translates entries
-//! into its own event type. Directions use the workspace-wide compass
-//! indices (0 = N, 1 = E, 2 = S, 3 = W) over row-major node ids
-//! (`id = y * width + x`, north = decreasing `y`).
+//! triples over a [`Topo`] from the topology zoo — so this crate stays
+//! free of any simulator dependency; the simulation layer translates
+//! entries into its own event type. Directions use the workspace-wide
+//! [`Direction`] compass (N/E/S/W on 2D members, plus U/D on stacked 3D
+//! meshes) over row-major node ids.
 //!
 //! ## Schedule-file format (`rlnoc-hardfault v1`)
 //!
@@ -30,31 +30,57 @@
 //! crc=9c1a55e2
 //! ```
 //!
-//! Event lines are `<cycle> link <node> <N|E|S|W>` or
-//! `<cycle> router <node>`, sorted by cycle. Parsing is strict — exact
-//! field order, a lowercase 8-digit CRC, and a trailing newline — so
-//! any truncation or single-bit flip is rejected.
+//! The `mesh=` line carries the [`Topo::encode`] string (`4x4`,
+//! `torus:8x8`, `ftorus:16x16`, `3d:4x4x2`), so plain-mesh files are
+//! byte-identical to the pre-zoo format. Event lines are
+//! `<cycle> link <node> <N|E|S|W|U|D>` or `<cycle> router <node>`,
+//! sorted by cycle. Parsing is strict — exact field order, a lowercase
+//! 8-digit CRC, and a trailing newline — so any truncation or
+//! single-bit flip is rejected.
 
 use noc_coding::crc::Crc32;
+use noc_topo::{Direction, NodeId, Topo, MAX_PORTS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Compass direction count (the `Local` port cannot hard-fail).
-pub const NUM_DIRS: u8 = 4;
-
-const DIR_LETTERS: [char; 4] = ['N', 'E', 'S', 'W'];
 const MAGIC: &str = "rlnoc-hardfault v1";
+
+/// The schedule-file letter of a compass direction.
+fn dir_letter(dir: Direction) -> char {
+    match dir {
+        Direction::North => 'N',
+        Direction::East => 'E',
+        Direction::South => 'S',
+        Direction::West => 'W',
+        Direction::Up => 'U',
+        Direction::Down => 'D',
+        Direction::Local => '?',
+    }
+}
+
+/// The compass direction of a schedule-file letter.
+fn letter_dir(s: &str) -> Option<Direction> {
+    Some(match s {
+        "N" => Direction::North,
+        "E" => Direction::East,
+        "S" => Direction::South,
+        "W" => Direction::West,
+        "U" => Direction::Up,
+        "D" => Direction::Down,
+        _ => return None,
+    })
+}
 
 /// One permanent failure: a single link channel pair or a whole router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HardFault {
     /// The bidirectional link leaving `node` in compass direction
-    /// `dir` (0 = N, 1 = E, 2 = S, 3 = W). Both channel directions die.
+    /// `dir`. Both channel directions die.
     Link {
         /// Row-major node id of one endpoint.
         node: u16,
-        /// Compass direction index toward the other endpoint.
-        dir: u8,
+        /// Compass direction toward the other endpoint.
+        dir: Direction,
     },
     /// The whole router: the node and every link touching it.
     Router {
@@ -73,13 +99,11 @@ pub struct HardFaultEntry {
 }
 
 /// A deterministic schedule of permanent link/router failures on a
-/// `mesh_w × mesh_h` grid, sorted by cycle.
+/// topology-zoo member, sorted by cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HardFaultSchedule {
-    /// Mesh width the node ids refer to.
-    pub mesh_w: u16,
-    /// Mesh height the node ids refer to.
-    pub mesh_h: u16,
+    /// The topology the node ids and directions refer to.
+    pub topo: Topo,
     /// Failures in non-decreasing cycle order.
     pub entries: Vec<HardFaultEntry>,
 }
@@ -102,32 +126,31 @@ pub fn mesh_links(w: u16, h: u16) -> u64 {
     (w - 1) * h + w * (h - 1)
 }
 
-/// `(x, y)` of a row-major node id.
-fn coords(node: u16, w: u16) -> (u16, u16) {
-    (node % w, node / w)
-}
-
-/// The neighbor of `node` in compass direction `dir`, if it exists.
-fn neighbor(node: u16, dir: u8, w: u16, h: u16) -> Option<u16> {
-    let (x, y) = coords(node, w);
-    let (nx, ny) = match dir {
-        0 => (x, y.checked_sub(1)?),             // north
-        1 => ((x + 1 < w).then_some(x + 1)?, y), // east
-        2 => (x, (y + 1 < h).then_some(y + 1)?), // south
-        3 => (x.checked_sub(1)?, y),             // west
-        _ => return None,
-    };
-    Some(ny * w + nx)
+/// Total number of bidirectional links in any zoo member, counted the
+/// same way [`HardFaultSchedule::final_dead_links`] counts casualties:
+/// one per `(node, dir)` pair with `dir` in the canonical half-compass.
+pub fn topo_links(topo: impl Into<Topo>) -> u64 {
+    let topo = topo.into();
+    let mut links = 0u64;
+    for node in topo.nodes() {
+        for &dir in topo.compass() {
+            if matches!(dir, Direction::East | Direction::South | Direction::Down)
+                && topo.neighbor(node, dir).is_some()
+            {
+                links += 1;
+            }
+        }
+    }
+    links
 }
 
 impl HardFaultSchedule {
-    /// An empty schedule: the mesh never loses anything. Translates to
-    /// the simulator's no-fault fast path, bit-identical to a run with
-    /// no schedule at all.
-    pub fn none(mesh_w: u16, mesh_h: u16) -> Self {
+    /// An empty schedule: the network never loses anything. Translates
+    /// to the simulator's no-fault fast path, bit-identical to a run
+    /// with no schedule at all.
+    pub fn none(topo: impl Into<Topo>) -> Self {
         Self {
-            mesh_w,
-            mesh_h,
+            topo: topo.into(),
             entries: Vec::new(),
         }
     }
@@ -139,11 +162,10 @@ impl HardFaultSchedule {
     ///
     /// Panics if any entry fails [`HardFaultSchedule::validate`] — an
     /// explicit list is programmer input, not untrusted data.
-    pub fn explicit(mesh_w: u16, mesh_h: u16, mut entries: Vec<HardFaultEntry>) -> Self {
+    pub fn explicit(topo: impl Into<Topo>, mut entries: Vec<HardFaultEntry>) -> Self {
         entries.sort_by_key(|e| e.cycle);
         let s = Self {
-            mesh_w,
-            mesh_h,
+            topo: topo.into(),
             entries,
         };
         if let Err(e) = s.validate() {
@@ -157,23 +179,31 @@ impl HardFaultSchedule {
     /// (inclusive), deterministically from `seed`, under the
     /// connectivity filter — after *all* entries apply, the surviving
     /// routers still form a single connected component. Candidates that
-    /// would partition the mesh are redrawn; if the quota cannot be met
-    /// (small meshes saturate quickly), the schedule carries as many
-    /// faults as could be placed.
+    /// would partition the network are redrawn; if the quota cannot be
+    /// met (small networks saturate quickly), the schedule carries as
+    /// many faults as could be placed.
+    ///
+    /// On plain 2D meshes the draw sequence is unchanged from the
+    /// pre-zoo generator, so every historical `(mesh, seed)` pair
+    /// reproduces its original schedule byte for byte.
     pub fn random(
-        mesh_w: u16,
-        mesh_h: u16,
+        topo: impl Into<Topo>,
         link_faults: usize,
         router_faults: usize,
         cycles: (u64, u64),
         seed: u64,
     ) -> Self {
-        assert!(mesh_w >= 2 && mesh_h >= 2, "mesh must be at least 2x2");
+        let topo = topo.into();
+        assert!(
+            topo.width() >= 2 && topo.height() >= 2,
+            "topology must be at least 2x2"
+        );
         assert!(cycles.0 <= cycles.1, "cycle window must be ordered");
-        let n = usize::from(mesh_w) * usize::from(mesh_h);
+        let n = topo.num_nodes();
+        let compass = topo.compass();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut node_dead = vec![false; n];
-        let mut link_dead = vec![[false; 4]; n];
+        let mut link_dead = vec![[false; MAX_PORTS]; n];
         let mut faults: Vec<HardFault> = Vec::new();
         // Routers first: each removal constrains links far more than the
         // reverse, so placing the big cuts early wastes fewer redraws.
@@ -198,25 +228,25 @@ impl HardFaultSchedule {
                     }
                     HardFault::Router { node }
                 } else {
-                    let dir = rng.gen_range(0u8..NUM_DIRS);
-                    let Some(peer) = neighbor(node, dir, mesh_w, mesh_h) else {
+                    let dir = compass[usize::from(rng.gen_range(0u8..compass.len() as u8))];
+                    let Some(peer) = topo.neighbor(NodeId(node), dir) else {
                         continue; // mesh edge: no link to kill
                     };
-                    if link_dead[usize::from(node)][usize::from(dir)]
+                    if link_dead[usize::from(node)][dir.index()]
                         || node_dead[usize::from(node)]
-                        || node_dead[usize::from(peer)]
+                        || node_dead[peer.index()]
                     {
                         continue; // already gone
                     }
                     HardFault::Link { node, dir }
                 };
                 // Tentatively apply, test connectivity, roll back on cut.
-                apply(&candidate, &mut node_dead, &mut link_dead, mesh_w, mesh_h);
-                if connected(&node_dead, &link_dead, mesh_w, mesh_h) {
+                apply(&candidate, &mut node_dead, &mut link_dead, topo);
+                if connected(&node_dead, &link_dead, topo) {
                     faults.push(candidate);
                     placed += 1;
                 } else {
-                    unapply(&candidate, &mut node_dead, &mut link_dead, mesh_w, mesh_h);
+                    unapply(&candidate, &mut node_dead, &mut link_dead, topo);
                 }
             }
         }
@@ -228,23 +258,21 @@ impl HardFaultSchedule {
             })
             .collect();
         entries.sort_by_key(|e| e.cycle);
-        Self {
-            mesh_w,
-            mesh_h,
-            entries,
-        }
+        Self { topo, entries }
     }
 
-    /// Checks every entry against the mesh: nodes in range, direction a
-    /// real compass index, link entries naming links that exist, and
-    /// cycles non-decreasing.
+    /// Checks every entry against the topology: nodes in range,
+    /// direction on the topology's compass, link entries naming links
+    /// that exist, and cycles non-decreasing.
     pub fn validate(&self) -> Result<(), ParseScheduleError> {
-        if self.mesh_w < 2 || self.mesh_h < 2 {
-            return Err(ParseScheduleError("mesh dimensions must be ≥ 2".into()));
+        if self.topo.width() < 2 || self.topo.height() < 2 {
+            return Err(ParseScheduleError("topology dimensions must be ≥ 2".into()));
         }
-        let n = u32::from(self.mesh_w) * u32::from(self.mesh_h);
-        if n > u32::from(u16::MAX) {
-            return Err(ParseScheduleError("mesh larger than u16 node ids".into()));
+        let n = self.topo.num_nodes();
+        if n > usize::from(u16::MAX) {
+            return Err(ParseScheduleError(
+                "topology larger than u16 node ids".into(),
+            ));
         }
         let mut prev_cycle = 0u64;
         for e in &self.entries {
@@ -255,20 +283,24 @@ impl HardFaultSchedule {
             let node = match e.fault {
                 HardFault::Link { node, .. } | HardFault::Router { node } => node,
             };
-            if u32::from(node) >= n {
+            if usize::from(node) >= n {
                 return Err(ParseScheduleError(format!(
-                    "node {node} outside {}x{} mesh",
-                    self.mesh_w, self.mesh_h
+                    "node {node} outside {} topology",
+                    self.topo.encode()
                 )));
             }
             if let HardFault::Link { node, dir } = e.fault {
-                if dir >= NUM_DIRS {
-                    return Err(ParseScheduleError(format!("bad direction index {dir}")));
+                if !self.topo.compass().contains(&dir) {
+                    return Err(ParseScheduleError(format!(
+                        "direction {} not on the {} compass",
+                        dir_letter(dir),
+                        self.topo.encode()
+                    )));
                 }
-                if neighbor(node, dir, self.mesh_w, self.mesh_h).is_none() {
+                if self.topo.neighbor(NodeId(node), dir).is_none() {
                     return Err(ParseScheduleError(format!(
                         "node {node} has no {} link (mesh edge)",
-                        DIR_LETTERS[usize::from(dir)]
+                        dir_letter(dir)
                     )));
                 }
             }
@@ -279,42 +311,32 @@ impl HardFaultSchedule {
     /// Whether the live graph is still one connected component after
     /// every entry has applied (vacuously `true` when everything died).
     pub fn leaves_connected(&self) -> bool {
-        let n = usize::from(self.mesh_w) * usize::from(self.mesh_h);
+        let n = self.topo.num_nodes();
         let mut node_dead = vec![false; n];
-        let mut link_dead = vec![[false; 4]; n];
+        let mut link_dead = vec![[false; MAX_PORTS]; n];
         for e in &self.entries {
-            apply(
-                &e.fault,
-                &mut node_dead,
-                &mut link_dead,
-                self.mesh_w,
-                self.mesh_h,
-            );
+            apply(&e.fault, &mut node_dead, &mut link_dead, self.topo);
         }
-        connected(&node_dead, &link_dead, self.mesh_w, self.mesh_h)
+        connected(&node_dead, &link_dead, self.topo)
     }
 
     /// Number of distinct bidirectional links dead once every entry has
     /// applied (router deaths count their incident links).
     pub fn final_dead_links(&self) -> u64 {
-        let n = usize::from(self.mesh_w) * usize::from(self.mesh_h);
+        let n = self.topo.num_nodes();
         let mut node_dead = vec![false; n];
-        let mut link_dead = vec![[false; 4]; n];
+        let mut link_dead = vec![[false; MAX_PORTS]; n];
         for e in &self.entries {
-            apply(
-                &e.fault,
-                &mut node_dead,
-                &mut link_dead,
-                self.mesh_w,
-                self.mesh_h,
-            );
+            apply(&e.fault, &mut node_dead, &mut link_dead, self.topo);
         }
         let mut dead = 0u64;
-        for node in 0..n as u16 {
-            // Count each link once via its east/south endpoint.
-            for dir in [1u8, 2] {
-                if neighbor(node, dir, self.mesh_w, self.mesh_h).is_some()
-                    && link_dead[usize::from(node)][usize::from(dir)]
+        for node in self.topo.nodes() {
+            // Count each link once via its canonical-direction endpoint
+            // (east/south on 2D, plus down between 3D layers).
+            for &dir in self.topo.compass() {
+                if matches!(dir, Direction::East | Direction::South | Direction::Down)
+                    && self.topo.neighbor(node, dir).is_some()
+                    && link_dead[node.index()][dir.index()]
                 {
                     dead += 1;
                 }
@@ -328,17 +350,12 @@ impl HardFaultSchedule {
         let mut body = String::new();
         body.push_str(MAGIC);
         body.push('\n');
-        body.push_str(&format!("mesh={}x{}\n", self.mesh_w, self.mesh_h));
+        body.push_str(&format!("mesh={}\n", self.topo.encode()));
         body.push_str(&format!("events={}\n", self.entries.len()));
         for e in &self.entries {
             match e.fault {
                 HardFault::Link { node, dir } => {
-                    body.push_str(&format!(
-                        "{} link {} {}\n",
-                        e.cycle,
-                        node,
-                        DIR_LETTERS[usize::from(dir)]
-                    ));
+                    body.push_str(&format!("{} link {} {}\n", e.cycle, node, dir_letter(dir)));
                 }
                 HardFault::Router { node } => {
                     body.push_str(&format!("{} router {}\n", e.cycle, node));
@@ -389,16 +406,8 @@ impl HardFaultSchedule {
         let mesh = lines
             .next()
             .and_then(|l| l.strip_prefix("mesh="))
-            .ok_or_else(|| ParseScheduleError("expected `mesh=WxH`".into()))?;
-        let (w, h) = mesh
-            .split_once('x')
-            .ok_or_else(|| ParseScheduleError("mesh must be WxH".into()))?;
-        let mesh_w: u16 = w
-            .parse()
-            .map_err(|_| ParseScheduleError("bad mesh width".into()))?;
-        let mesh_h: u16 = h
-            .parse()
-            .map_err(|_| ParseScheduleError("bad mesh height".into()))?;
+            .ok_or_else(|| ParseScheduleError("expected `mesh=<topology>`".into()))?;
+        let topo = Topo::parse(mesh).map_err(ParseScheduleError)?;
         let count: usize = lines
             .next()
             .and_then(|l| l.strip_prefix("events="))
@@ -420,17 +429,9 @@ impl HardFaultSchedule {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| ParseScheduleError(format!("bad link node in `{line}`")))?;
-                    let dir = match parts.next() {
-                        Some("N") => 0,
-                        Some("E") => 1,
-                        Some("S") => 2,
-                        Some("W") => 3,
-                        _ => {
-                            return Err(ParseScheduleError(format!(
-                                "bad link direction in `{line}`"
-                            )));
-                        }
-                    };
+                    let dir = parts.next().and_then(letter_dir).ok_or_else(|| {
+                        ParseScheduleError(format!("bad link direction in `{line}`"))
+                    })?;
                     HardFault::Link { node, dir }
                 }
                 Some("router") => {
@@ -453,31 +454,32 @@ impl HardFaultSchedule {
         if lines.next().is_some() {
             return Err(ParseScheduleError("more event lines than `events=`".into()));
         }
-        let schedule = Self {
-            mesh_w,
-            mesh_h,
-            entries,
-        };
+        let schedule = Self { topo, entries };
         schedule.validate()?;
         Ok(schedule)
     }
 }
 
 /// Marks the fault's casualties in the dead maps (links symmetric).
-fn apply(fault: &HardFault, node_dead: &mut [bool], link_dead: &mut [[bool; 4]], w: u16, h: u16) {
+fn apply(
+    fault: &HardFault,
+    node_dead: &mut [bool],
+    link_dead: &mut [[bool; MAX_PORTS]],
+    topo: Topo,
+) {
     match *fault {
         HardFault::Link { node, dir } => {
-            link_dead[usize::from(node)][usize::from(dir)] = true;
-            if let Some(peer) = neighbor(node, dir, w, h) {
-                link_dead[usize::from(peer)][usize::from(dir ^ 2)] = true;
+            link_dead[usize::from(node)][dir.index()] = true;
+            if let Some(peer) = topo.neighbor(NodeId(node), dir) {
+                link_dead[peer.index()][dir.opposite().index()] = true;
             }
         }
         HardFault::Router { node } => {
             node_dead[usize::from(node)] = true;
-            for dir in 0..NUM_DIRS {
-                if let Some(peer) = neighbor(node, dir, w, h) {
-                    link_dead[usize::from(node)][usize::from(dir)] = true;
-                    link_dead[usize::from(peer)][usize::from(dir ^ 2)] = true;
+            for &dir in topo.compass() {
+                if let Some(peer) = topo.neighbor(NodeId(node), dir) {
+                    link_dead[usize::from(node)][dir.index()] = true;
+                    link_dead[peer.index()][dir.opposite().index()] = true;
                 }
             }
         }
@@ -488,29 +490,34 @@ fn apply(fault: &HardFault, node_dead: &mut [bool], link_dead: &mut [[bool; 4]],
 /// accepted fault touched any of the candidate's casualties — the
 /// generator enforces this by skipping candidates adjacent to prior
 /// damage, so a plain revert never resurrects someone else's kill.
-fn unapply(fault: &HardFault, node_dead: &mut [bool], link_dead: &mut [[bool; 4]], w: u16, h: u16) {
+fn unapply(
+    fault: &HardFault,
+    node_dead: &mut [bool],
+    link_dead: &mut [[bool; MAX_PORTS]],
+    topo: Topo,
+) {
     match *fault {
         HardFault::Link { node, dir } => {
-            link_dead[usize::from(node)][usize::from(dir)] = false;
-            if let Some(peer) = neighbor(node, dir, w, h) {
-                link_dead[usize::from(peer)][usize::from(dir ^ 2)] = false;
+            link_dead[usize::from(node)][dir.index()] = false;
+            if let Some(peer) = topo.neighbor(NodeId(node), dir) {
+                link_dead[peer.index()][dir.opposite().index()] = false;
             }
         }
         HardFault::Router { node } => {
             node_dead[usize::from(node)] = false;
-            for dir in 0..NUM_DIRS {
-                if let Some(peer) = neighbor(node, dir, w, h) {
-                    link_dead[usize::from(node)][usize::from(dir)] = false;
-                    link_dead[usize::from(peer)][usize::from(dir ^ 2)] = false;
+            for &dir in topo.compass() {
+                if let Some(peer) = topo.neighbor(NodeId(node), dir) {
+                    link_dead[usize::from(node)][dir.index()] = false;
+                    link_dead[peer.index()][dir.opposite().index()] = false;
                 }
             }
         }
     }
 }
 
-/// BFS over the live sub-grid: `true` when every live node is reachable
+/// BFS over the live subgraph: `true` when every live node is reachable
 /// from the first live node (vacuously `true` with no live nodes).
-fn connected(node_dead: &[bool], link_dead: &[[bool; 4]], w: u16, h: u16) -> bool {
+fn connected(node_dead: &[bool], link_dead: &[[bool; MAX_PORTS]], topo: Topo) -> bool {
     let n = node_dead.len();
     let Some(start) = (0..n).find(|&i| !node_dead[i]) else {
         return true;
@@ -520,19 +527,19 @@ fn connected(node_dead: &[bool], link_dead: &[[bool; 4]], w: u16, h: u16) -> boo
     seen[start] = true;
     let mut reached = 1usize;
     while let Some(u) = queue.pop_front() {
-        for dir in 0..NUM_DIRS {
-            if link_dead[usize::from(u)][usize::from(dir)] {
+        for &dir in topo.compass() {
+            if link_dead[usize::from(u)][dir.index()] {
                 continue;
             }
-            let Some(v) = neighbor(u, dir, w, h) else {
+            let Some(v) = topo.neighbor(NodeId(u), dir) else {
                 continue;
             };
-            if node_dead[usize::from(v)] || seen[usize::from(v)] {
+            if node_dead[v.index()] || seen[v.index()] {
                 continue;
             }
-            seen[usize::from(v)] = true;
+            seen[v.index()] = true;
             reached += 1;
-            queue.push_back(v);
+            queue.push_back(v.0);
         }
     }
     reached == node_dead.iter().filter(|&&d| !d).count()
@@ -541,12 +548,12 @@ fn connected(node_dead: &[bool], link_dead: &[[bool; 4]], w: u16, h: u16) -> boo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_topo::{FoldedTorus, Mesh, Mesh3d, Torus};
 
     #[test]
     fn explicit_schedule_sorts_and_validates() {
         let s = HardFaultSchedule::explicit(
-            4,
-            4,
+            Mesh::new(4, 4),
             vec![
                 HardFaultEntry {
                     cycle: 30,
@@ -554,7 +561,10 @@ mod tests {
                 },
                 HardFaultEntry {
                     cycle: 20,
-                    fault: HardFault::Link { node: 5, dir: 1 },
+                    fault: HardFault::Link {
+                        node: 5,
+                        dir: Direction::East,
+                    },
                 },
             ],
         );
@@ -568,11 +578,28 @@ mod tests {
     fn edge_link_is_rejected() {
         // Node 0 sits in the north-west corner: no north link exists.
         let _ = HardFaultSchedule::explicit(
-            4,
-            4,
+            Mesh::new(4, 4),
             vec![HardFaultEntry {
                 cycle: 1,
-                fault: HardFault::Link { node: 0, dir: 0 },
+                fault: HardFault::Link {
+                    node: 0,
+                    dir: Direction::North,
+                },
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "compass")]
+    fn vertical_link_on_flat_mesh_is_rejected() {
+        let _ = HardFaultSchedule::explicit(
+            Mesh::new(4, 4),
+            vec![HardFaultEntry {
+                cycle: 1,
+                fault: HardFault::Link {
+                    node: 5,
+                    dir: Direction::Up,
+                },
             }],
         );
     }
@@ -580,27 +607,67 @@ mod tests {
     #[test]
     fn random_schedules_are_deterministic_and_connected() {
         for seed in 0..16 {
-            let a = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), seed);
-            let b = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), seed);
+            let a = HardFaultSchedule::random(Mesh::new(5, 5), 6, 1, (10, 500), seed);
+            let b = HardFaultSchedule::random(Mesh::new(5, 5), 6, 1, (10, 500), seed);
             assert_eq!(a, b, "same seed must yield the same schedule");
             a.validate().expect("random schedules are valid");
             assert!(a.leaves_connected(), "connectivity filter must hold");
             assert!(!a.entries.is_empty());
             assert!(a.entries.windows(2).all(|p| p[0].cycle <= p[1].cycle));
         }
-        let other = HardFaultSchedule::random(5, 5, 6, 1, (10, 500), 999);
+        let other = HardFaultSchedule::random(Mesh::new(5, 5), 6, 1, (10, 500), 999);
         assert_ne!(
             other,
-            HardFaultSchedule::random(5, 5, 6, 1, (10, 500), 0),
+            HardFaultSchedule::random(Mesh::new(5, 5), 6, 1, (10, 500), 0),
             "different seeds must decorrelate"
         );
+    }
+
+    #[test]
+    fn random_schedules_cover_the_zoo() {
+        let topos: [Topo; 4] = [
+            Mesh::new(6, 6).into(),
+            Torus::new(6, 6).into(),
+            FoldedTorus::new(6, 6).into(),
+            Mesh3d::new(4, 4, 3).into(),
+        ];
+        for topo in topos {
+            for seed in 0..8 {
+                let s = HardFaultSchedule::random(topo, 5, 1, (10, 500), seed);
+                assert_eq!(s.topo, topo);
+                s.validate().expect("random schedules are valid");
+                assert!(s.leaves_connected(), "connectivity filter on {topo:?}");
+                assert!(!s.entries.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn random_on_3d_mesh_kills_vertical_links() {
+        // With enough draws some vertical (U/D) link must die on a
+        // stacked mesh; this pins that the generator samples the full
+        // 3D compass rather than just the in-layer directions.
+        let mut saw_vertical = false;
+        for seed in 0..32 {
+            let s = HardFaultSchedule::random(Mesh3d::new(4, 4, 3), 8, 0, (1, 100), seed);
+            saw_vertical |= s.entries.iter().any(|e| {
+                matches!(
+                    e.fault,
+                    HardFault::Link {
+                        dir: Direction::Up | Direction::Down,
+                        ..
+                    }
+                )
+            });
+        }
+        assert!(saw_vertical, "3D schedules never touched a vertical link");
     }
 
     #[test]
     fn random_saturates_gracefully_on_tiny_meshes() {
         // A 2x2 mesh has 4 links and loses connectivity fast; asking for
         // far more faults than fit must terminate with fewer entries.
-        let s = HardFaultSchedule::random(2, 2, 50, 2, (0, 10), 7);
+        let s = HardFaultSchedule::random(Mesh::new(2, 2), 50, 2, (0, 10), 7);
         s.validate().expect("saturated schedule still valid");
         assert!(s.leaves_connected());
         assert!(s.entries.len() < 52);
@@ -608,13 +675,21 @@ mod tests {
 
     #[test]
     fn text_round_trip_is_exact() {
-        for seed in 0..8 {
-            let s = HardFaultSchedule::random(4, 4, 4, 1, (0, 1000), seed);
-            let text = s.to_text();
-            let back = HardFaultSchedule::from_text(&text).expect("round trip");
-            assert_eq!(s, back);
+        let topos: [Topo; 4] = [
+            Mesh::new(4, 4).into(),
+            Torus::new(4, 4).into(),
+            FoldedTorus::new(4, 4).into(),
+            Mesh3d::new(3, 3, 2).into(),
+        ];
+        for topo in topos {
+            for seed in 0..8 {
+                let s = HardFaultSchedule::random(topo, 4, 1, (0, 1000), seed);
+                let text = s.to_text();
+                let back = HardFaultSchedule::from_text(&text).expect("round trip");
+                assert_eq!(s, back);
+            }
         }
-        let empty = HardFaultSchedule::none(3, 3);
+        let empty = HardFaultSchedule::none(Mesh::new(3, 3));
         assert_eq!(
             HardFaultSchedule::from_text(&empty.to_text()).expect("empty round trip"),
             empty,
@@ -622,8 +697,18 @@ mod tests {
     }
 
     #[test]
+    fn plain_mesh_header_matches_the_pre_zoo_format() {
+        // Byte-level compatibility pin: a 2D-mesh schedule still writes
+        // `mesh=WxH` with no topology prefix.
+        let text = HardFaultSchedule::none(Mesh::new(4, 4)).to_text();
+        assert!(text.contains("\nmesh=4x4\n"), "got: {text}");
+        let torus = HardFaultSchedule::none(Torus::new(4, 4)).to_text();
+        assert!(torus.contains("\nmesh=torus:4x4\n"), "got: {torus}");
+    }
+
+    #[test]
     fn truncation_at_every_byte_offset_is_rejected() {
-        let text = HardFaultSchedule::random(4, 4, 3, 1, (5, 50), 11).to_text();
+        let text = HardFaultSchedule::random(Mesh::new(4, 4), 3, 1, (5, 50), 11).to_text();
         for cut in 0..text.len() {
             assert!(
                 HardFaultSchedule::from_text(&text[..cut]).is_err(),
@@ -635,7 +720,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        let text = HardFaultSchedule::random(4, 4, 3, 1, (5, 50), 13).to_text();
+        let text = HardFaultSchedule::random(Mesh3d::new(3, 3, 2), 3, 1, (5, 50), 13).to_text();
         let clean = text.as_bytes();
         for byte in 0..clean.len() {
             for bit in 0..8 {
@@ -661,14 +746,26 @@ mod tests {
     }
 
     #[test]
+    fn topo_links_counts_every_zoo_member() {
+        // Mesh agrees with the closed form; torus adds the wrap links
+        // (2·w·h total for a full torus); 3D adds w·h·(d−1) verticals.
+        assert_eq!(topo_links(Mesh::new(4, 4)), mesh_links(4, 4));
+        assert_eq!(topo_links(Torus::new(4, 4)), 32);
+        assert_eq!(topo_links(FoldedTorus::new(4, 4)), 32);
+        assert_eq!(topo_links(Mesh3d::new(4, 4, 2)), 2 * 24 + 16);
+    }
+
+    #[test]
     fn final_dead_links_counts_each_link_once() {
         let s = HardFaultSchedule::explicit(
-            4,
-            4,
+            Mesh::new(4, 4),
             vec![
                 HardFaultEntry {
                     cycle: 1,
-                    fault: HardFault::Link { node: 5, dir: 1 },
+                    fault: HardFault::Link {
+                        node: 5,
+                        dir: Direction::East,
+                    },
                 },
                 HardFaultEntry {
                     cycle: 2,
@@ -679,5 +776,22 @@ mod tests {
             ],
         );
         assert_eq!(s.final_dead_links(), 4);
+    }
+
+    #[test]
+    fn final_dead_links_counts_torus_wrap_links() {
+        // Node 0's West link on a 4-wide torus is the wrap link to
+        // node 3; killing it must register exactly one dead link.
+        let s = HardFaultSchedule::explicit(
+            Torus::new(4, 4),
+            vec![HardFaultEntry {
+                cycle: 1,
+                fault: HardFault::Link {
+                    node: 0,
+                    dir: Direction::West,
+                },
+            }],
+        );
+        assert_eq!(s.final_dead_links(), 1);
     }
 }

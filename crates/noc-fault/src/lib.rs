@@ -46,6 +46,9 @@ pub mod variation;
 
 pub use hardfault::{HardFault, HardFaultEntry, HardFaultSchedule};
 pub use injector::FaultInjector;
+/// The topology zoo hard-fault schedules are defined over, re-exported
+/// so schedule builders need no separate topology dependency.
+pub use noc_topo as topo;
 pub use thermal::{ThermalModel, ThermalParams};
 pub use timing::{TimingErrorModel, TimingErrorParams};
 pub use variation::VariationMap;

@@ -308,7 +308,7 @@ mod prop_tests {
                 buffer_reads: b,
                 crossbar_traversals: c,
                 sa_grants: d,
-                link_traversals: [e, e / 2, e / 3, e / 4, e / 5],
+                link_traversals: [e, e / 2, e / 3, e / 4, e / 5, 0, 0],
                 ..Default::default()
             }
         }

@@ -87,20 +87,28 @@ fn resume_from_partial_checkpoints_matches_uninterrupted_run() {
 /// random tail of failures lands inside the simulated windows.
 fn faulted_campaign() -> rlnoc_core::campaign::Campaign {
     use noc_fault::hardfault::{HardFault, HardFaultEntry, HardFaultSchedule};
+    use noc_fault::topo::{Direction, Mesh};
     let mut campaign = tiny_campaign();
     let mut entries = vec![
         HardFaultEntry {
             cycle: 1,
-            fault: HardFault::Link { node: 0, dir: 1 },
+            fault: HardFault::Link {
+                node: 0,
+                dir: Direction::East,
+            },
         },
         HardFaultEntry {
             cycle: 1,
-            fault: HardFault::Link { node: 0, dir: 2 },
+            fault: HardFault::Link {
+                node: 0,
+                dir: Direction::South,
+            },
         },
     ];
-    entries.extend(HardFaultSchedule::random(4, 4, 2, 1, (500, 6_000), 23).entries);
+    entries.extend(HardFaultSchedule::random(Mesh::new(4, 4), 2, 1, (500, 6_000), 23).entries);
     campaign.hard_faults = Some(std::sync::Arc::new(HardFaultSchedule::explicit(
-        4, 4, entries,
+        Mesh::new(4, 4),
+        entries,
     )));
     campaign
 }
@@ -158,6 +166,86 @@ fn faulted_campaign_is_identical_across_worker_counts_and_resume() {
             "{jobs}-worker resume of the faulted campaign changes nothing"
         );
     }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The topology-zoo acceptance gate at radix: a 16×16 torus campaign
+/// whose links and routers die mid-run must be byte-identical across
+/// serial execution, a 4-worker pool (`RLNOC_JOBS=4`), the batched
+/// lockstep engine (`RLNOC_BATCH=8`), and a kill-and-resume from
+/// partial checkpoints — wrap links, date-line VCs, and up*/down*
+/// recovery included.
+#[test]
+fn faulted_16x16_torus_campaign_is_deterministic_across_execution_modes() {
+    use noc_fault::hardfault::HardFaultSchedule;
+    use noc_fault::topo::Torus;
+    use noc_sim::config::NocConfig;
+    use rlnoc_core::ErrorControlScheme;
+
+    let mut campaign = tiny_campaign();
+    campaign.noc = NocConfig::builder().topology(Torus::new(16, 16)).build();
+    campaign.schemes = vec![
+        ErrorControlScheme::StaticCrc,
+        ErrorControlScheme::ProposedRl,
+    ];
+    campaign.replicates = 2;
+    campaign.pretrain_cycles = 2_000;
+    campaign.measure_cycles = Some(2_000);
+    campaign.hard_faults = Some(std::sync::Arc::new(HardFaultSchedule::random(
+        Torus::new(16, 16),
+        6,
+        2,
+        (500, 4_000),
+        67,
+    )));
+
+    let serial = campaign.run();
+    assert!(
+        serial.reports.iter().any(|r| r.hard_fault_events > 0),
+        "faults must strike inside some measured window"
+    );
+
+    let four_workers = RunnerConfig {
+        jobs: 4,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        four_workers, serial,
+        "RLNOC_JOBS=4 must match the serial torus campaign"
+    );
+
+    let batched = RunnerConfig {
+        jobs: 4,
+        batch: 8,
+        ..RunnerConfig::serial()
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        batched, serial,
+        "RLNOC_BATCH=8 must match the serial torus campaign"
+    );
+
+    // Kill-and-resume: half the checkpoints exist, the rest re-runs
+    // through the batched engine.
+    let dir = temp_dir("torus-16x16-resume");
+    let total = serial.reports.len();
+    let ckpt = CheckpointDir::open(&dir, campaign.fingerprint(), total).expect("open");
+    for (index, report) in serial.reports.iter().enumerate().take(total / 2) {
+        ckpt.store(index, report).expect("store");
+    }
+    let resumed = RunnerConfig {
+        jobs: 4,
+        batch: 8,
+        snapshot_dir: Some(dir.clone()),
+        resume: true,
+        telemetry: Telemetry::disabled(),
+    }
+    .run_campaign(&campaign);
+    assert_eq!(
+        resumed, serial,
+        "checkpoint-resume of the torus campaign changes nothing"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

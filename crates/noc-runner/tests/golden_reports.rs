@@ -1,0 +1,96 @@
+//! Golden-report regression wall: small campaigns rendered through the
+//! stable [`render_report`] serialization and compared byte-for-byte
+//! against committed fixtures — one per topology-zoo member that the
+//! campaign layer must keep bit-stable.
+//!
+//! Any change to simulation semantics, report rendering, campaign
+//! fingerprinting, or seed derivation shows up here as a byte diff.
+//! To regenerate after an *intentional* change, run
+//! `RLNOC_REGEN_GOLDEN=1 cargo test -p rlnoc-runner --test golden_reports`
+//! and review the fixture diff like any other code change.
+
+use noc_fault::hardfault::HardFaultSchedule;
+use noc_sim::config::NocConfig;
+use noc_sim::topology::{Mesh, Mesh3d, Topo, Torus};
+use noc_testutil::tiny_campaign;
+use rlnoc_core::campaign::Campaign;
+use rlnoc_core::ErrorControlScheme;
+use rlnoc_runner::render_report;
+use std::path::PathBuf;
+
+/// A tiny two-scheme campaign on `topo`, sized for seconds per run.
+fn zoo_campaign(topo: impl Into<Topo>) -> Campaign {
+    let mut campaign = tiny_campaign();
+    campaign.noc = NocConfig::builder().topology(topo).build();
+    campaign.schemes = vec![
+        ErrorControlScheme::StaticCrc,
+        ErrorControlScheme::ProposedRl,
+    ];
+    campaign
+}
+
+/// The full rendered form of a campaign: fingerprint header (pinning
+/// topology encoding and seed derivation) plus every report in task
+/// order through the checkpoint serialization.
+fn render_campaign(campaign: &Campaign) -> String {
+    let result = campaign.run();
+    let mut out = format!("fingerprint {:016x}\n", campaign.fingerprint());
+    for (index, report) in result.reports.iter().enumerate() {
+        out.push_str(&format!("== task {index} ==\n"));
+        out.push_str(&render_report(report));
+    }
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.report"))
+}
+
+fn check_golden(name: &str, campaign: &Campaign) {
+    let rendered = render_campaign(campaign);
+    let path = fixture_path(name);
+    if std::env::var_os("RLNOC_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "campaign `{name}` diverged from its golden fixture; if the change \
+         is intentional, regenerate with RLNOC_REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The pre-zoo behavior pin: a plain 4×4 2D-mesh campaign must render
+/// exactly as it did before topologies went behind the trait.
+#[test]
+fn mesh_campaign_matches_golden() {
+    check_golden("mesh_4x4", &zoo_campaign(Mesh::new(4, 4)));
+}
+
+/// A 4×4 torus campaign with mid-run hard faults: exercises wrap-link
+/// routing, date-line VC allocation, up*/down* recovery, and the
+/// optional hard-fault report block, all bit-pinned.
+#[test]
+fn faulted_torus_campaign_matches_golden() {
+    let mut campaign = zoo_campaign(Torus::new(4, 4));
+    campaign.hard_faults = Some(std::sync::Arc::new(HardFaultSchedule::random(
+        Torus::new(4, 4),
+        3,
+        1,
+        (500, 6_000),
+        41,
+    )));
+    check_golden("torus_4x4_faulted", &campaign);
+}
+
+/// A 4×2×2 3D-mesh campaign: pins XYZ routing and vertical-link
+/// traffic through the full campaign stack.
+#[test]
+fn mesh3d_campaign_matches_golden() {
+    check_golden("mesh3d_4x2x2", &zoo_campaign(Mesh3d::new(4, 2, 2)));
+}

@@ -4,7 +4,7 @@
 //! with X-Y routing, 4-stage routers, 4 virtual channels per port, and
 //! 4-flit packets of 128 bits per flit at 1.0 V / 2.0 GHz.
 
-use crate::topology::Mesh;
+use crate::topology::Topo;
 use serde::{Deserialize, Serialize};
 
 /// Static parameters of a simulated network.
@@ -26,8 +26,9 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NocConfig {
-    /// Mesh topology (default 8×8).
-    pub mesh: Mesh,
+    /// Network topology (default 8×8 2D mesh). The field keeps its
+    /// historical name; it carries any member of the topology zoo.
+    pub mesh: Topo,
     /// Virtual channels per input port (default 4).
     pub vcs_per_port: u8,
     /// Buffer depth per virtual channel, in flits (default 4).
@@ -69,6 +70,12 @@ impl NocConfig {
         if self.vcs_per_port == 0 {
             return Err(ConfigError("vcs_per_port must be positive"));
         }
+        if self.vcs_per_port < self.mesh.min_vcs() {
+            return Err(ConfigError(
+                "vcs_per_port below the topology's deadlock-avoidance minimum \
+                 (tori need at least 2 VCs for the date-line split)",
+            ));
+        }
         if self.vc_depth == 0 {
             return Err(ConfigError("vc_depth must be positive"));
         }
@@ -95,7 +102,7 @@ impl Default for NocConfig {
     /// The paper's Table II parameters.
     fn default() -> Self {
         Self {
-            mesh: Mesh::new(8, 8),
+            mesh: Topo::mesh(8, 8),
             vcs_per_port: 4,
             vc_depth: 4,
             flits_per_packet: 4,
@@ -127,9 +134,15 @@ pub struct NocConfigBuilder {
 }
 
 impl NocConfigBuilder {
-    /// Sets the mesh dimensions.
+    /// Sets a `width × height` 2D mesh topology.
     pub fn mesh(mut self, width: u16, height: u16) -> Self {
-        self.config.mesh = Mesh::new(width, height);
+        self.config.mesh = Topo::mesh(width, height);
+        self
+    }
+
+    /// Sets the topology to any member of the zoo.
+    pub fn topology(mut self, topo: impl Into<Topo>) -> Self {
+        self.config.mesh = topo.into();
         self
     }
 
@@ -245,6 +258,30 @@ mod tests {
     #[should_panic(expected = "vcs_per_port")]
     fn zero_vcs_panics() {
         let _ = NocConfig::builder().vcs_per_port(0).build();
+    }
+
+    #[test]
+    fn topology_builder_accepts_the_zoo() {
+        let c = NocConfig::builder().topology(Topo::torus(16, 16)).build();
+        assert_eq!(c.mesh, Topo::torus(16, 16));
+        assert_eq!(c.mesh.num_nodes(), 256);
+        let c = NocConfig::builder().topology(Topo::mesh3d(4, 4, 2)).build();
+        assert_eq!(c.mesh.num_ports(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock-avoidance minimum")]
+    fn torus_with_one_vc_panics() {
+        let _ = NocConfig::builder()
+            .topology(Topo::torus(4, 4))
+            .vcs_per_port(1)
+            .build();
+    }
+
+    #[test]
+    fn mesh_with_one_vc_is_fine() {
+        let c = NocConfig::builder().mesh(4, 4).vcs_per_port(1).build();
+        assert!(c.validate().is_ok());
     }
 
     #[test]

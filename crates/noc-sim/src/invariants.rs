@@ -140,12 +140,13 @@ impl<E: ErrorControl> Network<E> {
     /// the link plus downstream FIFO occupancy equals `vc_depth`.
     fn verify_credit_conservation(&self) {
         let v = self.config.vcs_per_port as usize;
-        let slot = |node: usize, port: usize, vc: usize| (node * NUM_PORTS + port) * v + vc;
+        let np = self.mesh.num_ports();
+        let slot = |node: usize, port: usize, vc: usize| (node * np + port) * v + vc;
         // In-flight debits per (upstream node, output port, vc): flits on
         // the wire (Arrival), accepted mode-2 duplicates one cycle from
         // the downstream buffer (DirectDeliver), and credits returning
         // upstream (Credit).
-        let mut in_flight = vec![0u32; self.routers.len() * NUM_PORTS * v];
+        let mut in_flight = vec![0u32; self.routers.len() * np * v];
         for events in &self.wheel.slots {
             for ev in events {
                 match *ev {
@@ -212,7 +213,7 @@ impl<E: ErrorControl> Network<E> {
     /// whose pristine copy the upstream retransmit buffer still holds.
     fn verify_arq_windows(&self) {
         for r in &self.routers {
-            for pi in 0..NUM_PORTS {
+            for pi in 0..r.num_ports() {
                 let dir = Direction::from_index(pi);
                 for (vci, ivc) in r.port_vcs(pi).iter().enumerate() {
                     let Some(seq) = ivc.awaiting_retx else {

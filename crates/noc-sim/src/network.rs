@@ -34,7 +34,7 @@ use crate::flit::{Flit, FlitArena, FlitRef, Packet, PacketClass, PacketId, Packe
 use crate::router::{PendingRetransmit, Router, VcState};
 use crate::routing::{FaultRoutes, RouteTable};
 use crate::stats::{EventCounters, NetworkStats, RouterEpochStats};
-use crate::topology::{Direction, LinkId, Mesh, NeighborTable, NodeId, NUM_PORTS};
+use crate::topology::{Direction, LinkId, NeighborTable, NodeId, Topo, MAX_PORTS};
 use crate::worklist::ActiveSet;
 use noc_coding::arq::{AckKind, SequenceNumber};
 use noc_coding::crc::Crc32;
@@ -192,7 +192,7 @@ struct FaultState {
     node_dead: Vec<bool>,
     /// `link_dead[node][port]`: the channel at `node` in that direction
     /// is dead. Kept symmetric with the peer's opposite entry.
-    link_dead: Vec<[bool; NUM_PORTS]>,
+    link_dead: Vec<[bool; MAX_PORTS]>,
     /// `Some` once the first fault event has been applied; the network
     /// then routes via this table instead of X-Y. Behind an `Arc` so
     /// lockstep replicate lanes sharing one fault schedule share one
@@ -210,7 +210,7 @@ impl FaultState {
             events,
             next_event: 0,
             node_dead: vec![false; n],
-            link_dead: vec![[false; NUM_PORTS]; n],
+            link_dead: vec![[false; MAX_PORTS]; n],
             routes: None,
             doomed: BTreeSet::new(),
         }
@@ -304,15 +304,16 @@ impl FaultRouteCache {
 /// independently built networks.
 #[derive(Debug, Clone)]
 pub struct SharedTables {
-    mesh: Mesh,
+    mesh: Topo,
     routes: Arc<RouteTable>,
     neighbors: Arc<NeighborTable>,
     fault_routes: FaultRouteCache,
 }
 
 impl SharedTables {
-    /// Precomputes the shared tables for `mesh`.
-    pub fn new(mesh: Mesh) -> Self {
+    /// Precomputes the shared tables for `mesh` (any topology).
+    pub fn new(mesh: impl Into<Topo>) -> Self {
+        let mesh = mesh.into();
         Self {
             mesh,
             routes: Arc::new(RouteTable::new(mesh)),
@@ -321,8 +322,8 @@ impl SharedTables {
         }
     }
 
-    /// The mesh these tables were built for.
-    pub fn mesh(&self) -> Mesh {
+    /// The topology these tables were built for.
+    pub fn mesh(&self) -> Topo {
         self.mesh
     }
 
@@ -354,7 +355,7 @@ impl SharedTables {
 #[derive(Debug)]
 pub struct Network<E: ErrorControl> {
     config: NocConfig,
-    mesh: Mesh,
+    mesh: Topo,
     protocol: E,
     routers: Vec<Router>,
     crc: Crc32,
@@ -576,8 +577,8 @@ impl<E: ErrorControl> Network<E> {
         &self.config
     }
 
-    /// The mesh topology.
-    pub fn mesh(&self) -> Mesh {
+    /// The network topology.
+    pub fn mesh(&self) -> Topo {
         self.mesh
     }
 
@@ -1517,11 +1518,12 @@ impl<E: ErrorControl> Network<E> {
             }
             let rid = router.id;
             let v = router.vcs_per_port;
-            let mut port_used = [false; NUM_PORTS];
+            let np = router.num_ports;
+            let mut port_used = [false; MAX_PORTS];
 
             // Phase A: priority resends of NACKed flits. A port with a
             // pending retransmission is dedicated to it (order safety).
-            for (out_p, used) in port_used.iter_mut().enumerate() {
+            for (out_p, used) in port_used.iter_mut().enumerate().take(np) {
                 let dir = Direction::from_index(out_p);
                 if dir == Direction::Local {
                     continue;
@@ -1577,10 +1579,10 @@ impl<E: ErrorControl> Network<E> {
             // Active VC are skipped: they can assert no request, so the
             // input arbiters and `selected` entries they would produce
             // are identical to not visiting them at all.
-            let mut selected: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
+            let mut selected: [Option<(usize, usize, u8)>; MAX_PORTS] = [None; MAX_PORTS];
             let mut any_selected = false;
             let mut remaining_active = router.active_vcs;
-            for (in_p, sel) in selected.iter_mut().enumerate() {
+            for (in_p, sel) in selected.iter_mut().enumerate().take(np) {
                 if remaining_active == 0 {
                     break;
                 }
@@ -1638,13 +1640,13 @@ impl<E: ErrorControl> Network<E> {
             }
 
             // Phase C: output arbitration + switch traversal.
-            for (out_p, &used) in port_used.iter().enumerate() {
+            for (out_p, &used) in port_used.iter().enumerate().take(np) {
                 if used || cycle < router.outputs[out_p].next_free {
                     continue;
                 }
-                let mut requests = [false; NUM_PORTS];
+                let mut requests = [false; MAX_PORTS];
                 let mut any = false;
-                for (in_p, sel) in selected.iter().enumerate() {
+                for (in_p, sel) in selected.iter().enumerate().take(np) {
                     if let Some((_, op, _)) = sel {
                         if *op == out_p {
                             requests[in_p] = true;
@@ -1656,7 +1658,7 @@ impl<E: ErrorControl> Network<E> {
                     continue;
                 }
                 let in_p = router.sa_output_arbiters[out_p]
-                    .grant(&requests)
+                    .grant(&requests[..np])
                     .expect("a request was asserted");
                 let (in_v, _, out_vc) = selected[in_p].expect("request implies selection");
 
@@ -1910,6 +1912,7 @@ impl<E: ErrorControl> Network<E> {
         let mut applied = 0u64;
         let mut affected = vec![false; self.routers.len()];
         let mut any_node_died = false;
+        let compass = self.mesh.compass();
         while let Some(ev) = fs.events.get(fs.next_event) {
             if ev.cycle > cycle {
                 break;
@@ -1919,7 +1922,7 @@ impl<E: ErrorControl> Network<E> {
                     fs.node_dead[node.index()] = true;
                     any_node_died = true;
                     affected[node.index()] = true;
-                    for dir in Direction::COMPASS {
+                    for &dir in compass {
                         if let Some(peer) = self.mesh.neighbor(node, dir) {
                             fs.kill_link(&self.neighbors, node, dir);
                             affected[peer.index()] = true;
@@ -2069,7 +2072,7 @@ impl<E: ErrorControl> Network<E> {
                 }
 
                 // Live router: flush ports attached to dead links.
-                for dir in Direction::COMPASS {
+                for &dir in compass {
                     let p = dir.index();
                     if !fs.link_dead[ni][p] {
                         continue;
@@ -2246,7 +2249,7 @@ impl<E: ErrorControl> Network<E> {
         for router in routers.iter_mut() {
             let rid = router.id;
             let ni = rid.index();
-            for in_p in 0..NUM_PORTS {
+            for in_p in 0..router.num_ports {
                 let in_dir = Direction::from_index(in_p);
                 let upstream = if in_dir == Direction::Local {
                     None

@@ -21,7 +21,7 @@ use crate::arbiter::RoundRobinArbiter;
 use crate::config::NocConfig;
 use crate::flit::{Flit, FlitArena, FlitRef, PacketId};
 use crate::routing::{FaultRoutes, RouteTable};
-use crate::topology::{Direction, NodeId, NUM_PORTS};
+use crate::topology::{Direction, NodeId, VcClass};
 use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
 use std::collections::VecDeque;
 
@@ -43,9 +43,11 @@ pub(crate) struct BufferedFlit {
 pub(crate) enum VcState {
     /// No packet assigned.
     Idle,
-    /// Route computed; awaiting an output VC.
+    /// Route computed; awaiting an output VC admissible for the hop's
+    /// date-line class (always [`VcClass::Any`] off-torus).
     NeedsVa {
         out_port: Direction,
+        class: VcClass,
         packet: PacketId,
     },
     /// Output VC held; flits flow through SA.
@@ -116,8 +118,9 @@ pub(crate) struct OutputPort {
     pub retx_pending: VecDeque<PendingRetransmit>,
 }
 
-/// A mesh router: five input ports of `V` VCs each, five output ports, and
-/// the arbiters for VA and SA.
+/// A router: `P` input ports of `V` VCs each, `P` output ports, and
+/// the arbiters for VA and SA. `P` is the topology's port count (5 on
+/// planar networks, 7 with vertical links).
 #[derive(Debug, Clone)]
 pub struct Router {
     pub(crate) id: NodeId,
@@ -126,19 +129,21 @@ pub struct Router {
     /// contiguous allocation (and iteration order identical to the old
     /// port-major nesting).
     pub(crate) inputs: Vec<InputVc>,
-    /// VCs per input port (`inputs.len() == NUM_PORTS * vcs_per_port`).
+    /// VCs per input port (`inputs.len() == num_ports * vcs_per_port`).
     pub(crate) vcs_per_port: usize,
+    /// Ports on this router, including `Local` — fixed by the topology.
+    pub(crate) num_ports: usize,
     /// `outputs[port]`.
     pub(crate) outputs: Vec<OutputPort>,
-    /// Per output port, over `NUM_PORTS * V` flattened input VCs.
+    /// Per output port, over `num_ports * V` flattened input VCs.
     pub(crate) va_arbiters: Vec<RoundRobinArbiter>,
     /// Per input port, over its `V` VCs.
     pub(crate) sa_input_arbiters: Vec<RoundRobinArbiter>,
-    /// Per output port, over the five input ports.
+    /// Per output port, over the `num_ports` input ports.
     pub(crate) sa_output_arbiters: Vec<RoundRobinArbiter>,
     /// Incrementally maintained count of occupied input VCs, updated at
     /// every FIFO push/pop and VC release. Lets the per-cycle phases
-    /// skip idle routers entirely instead of rescanning `5 × V` VCs.
+    /// skip idle routers entirely instead of rescanning `P × V` VCs.
     pub(crate) occupied_vcs: u32,
     /// Count of idle input VCs holding a buffered flit — the candidates
     /// the RC stage would examine. Zero lets `rc_stage` return without
@@ -154,7 +159,7 @@ pub struct Router {
     pub(crate) active_vcs: u32,
     /// Reusable request vector for SA input arbitration (`V` slots).
     pub(crate) sa_scratch: Vec<bool>,
-    /// Reusable request vector for VA arbitration (`NUM_PORTS × V`).
+    /// Reusable request vector for VA arbitration (`num_ports × V`).
     pub(crate) va_scratch: Vec<bool>,
 }
 
@@ -162,8 +167,9 @@ impl Router {
     /// Builds an empty router for node `id` under `config`.
     pub(crate) fn new(id: NodeId, config: &NocConfig) -> Self {
         let v = config.vcs_per_port as usize;
-        let inputs = (0..NUM_PORTS * v).map(|_| InputVc::new()).collect();
-        let outputs = (0..NUM_PORTS)
+        let num_ports = config.mesh.num_ports();
+        let inputs = (0..num_ports * v).map(|_| InputVc::new()).collect();
+        let outputs = (0..num_ports)
             .map(|p| OutputPort {
                 vcs: (0..v)
                     .map(|_| OutputVc {
@@ -186,21 +192,29 @@ impl Router {
             id,
             inputs,
             vcs_per_port: v,
+            num_ports,
             outputs,
-            va_arbiters: (0..NUM_PORTS)
-                .map(|_| RoundRobinArbiter::new(NUM_PORTS * v))
+            va_arbiters: (0..num_ports)
+                .map(|_| RoundRobinArbiter::new(num_ports * v))
                 .collect(),
-            sa_input_arbiters: (0..NUM_PORTS).map(|_| RoundRobinArbiter::new(v)).collect(),
-            sa_output_arbiters: (0..NUM_PORTS)
-                .map(|_| RoundRobinArbiter::new(NUM_PORTS))
+            sa_input_arbiters: (0..num_ports).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa_output_arbiters: (0..num_ports)
+                .map(|_| RoundRobinArbiter::new(num_ports))
                 .collect(),
             occupied_vcs: 0,
             rc_pending: 0,
             needs_va: 0,
             active_vcs: 0,
             sa_scratch: vec![false; v],
-            va_scratch: vec![false; NUM_PORTS * v],
+            va_scratch: vec![false; num_ports * v],
         }
+    }
+
+    /// Ports on this router, including `Local`.
+    #[cfg_attr(not(any(test, feature = "verify")), allow(dead_code))]
+    #[inline]
+    pub(crate) fn num_ports(&self) -> usize {
+        self.num_ports
     }
 
     /// The input VC at `(port, vc)`.
@@ -337,10 +351,12 @@ impl Router {
                 "non-head flit {:?} at front of idle VC",
                 flit.kind
             );
-            let out_port = match fault {
-                None => routes.next_hop(self.id, flit.dst),
+            let (out_port, class) = match fault {
+                None => routes.next_hop_class(self.id, flit.dst),
+                // Up*/down* recovery routes are deadlock-free by rank
+                // monotonicity alone; they place no VC restriction.
                 Some(f) => match f.next_hop(self.id, flit.dst) {
-                    Some(dir) => dir,
+                    Some(dir) => (dir, VcClass::Any),
                     None => {
                         doomed.push((flit.packet, !flit.class.is_control()));
                         continue;
@@ -349,6 +365,7 @@ impl Router {
             };
             vc.state = VcState::NeedsVa {
                 out_port,
+                class,
                 packet: flit.packet,
             };
             self.rc_pending -= 1;
@@ -390,25 +407,50 @@ impl Router {
         if self.needs_va == 0 {
             return 0; // no requester: arbiters and output VCs untouched
         }
-        // One pre-pass marks which output ports have a requester at all,
-        // so the per-port loop below only rescans the slab for ports
-        // that can actually grant. A requester targets exactly one port,
-        // and a grant at an earlier port removes the winner only from
-        // that port's request set, so the marks stay valid across the
-        // loop.
-        let mut has_requester = [false; NUM_PORTS];
+        // One pre-pass marks which (output port, VC class) pairs have a
+        // requester at all, so the per-port loop below only rescans the
+        // slab for ports that can actually grant. A requester targets
+        // exactly one port, and a grant at an earlier port removes the
+        // winner only from that port's request set, so the marks stay
+        // valid across the loop.
+        let mut has_requester = [[false; 3]; crate::topology::MAX_PORTS];
         for vc in &self.inputs {
-            if let VcState::NeedsVa { out_port, .. } = vc.state {
-                has_requester[out_port.index()] = true;
+            if let VcState::NeedsVa {
+                out_port, class, ..
+            } = vc.state
+            {
+                has_requester[out_port.index()][class.index()] = true;
             }
         }
         let mut allocations = 0;
-        for (out_p, &wanted) in has_requester.iter().enumerate() {
-            if !wanted {
+        // Index-driven: `out_p` addresses `has_requester`, `self.outputs`,
+        // and `self.va_arbiters` in parallel.
+        #[allow(clippy::needless_range_loop)]
+        for out_p in 0..self.num_ports {
+            let wanted = &has_requester[out_p];
+            if wanted == &[false; 3] {
                 continue;
             }
-            // Find a free output VC.
-            let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
+            // Still one grant per output port per cycle: the first class
+            // (in Any, Lo, Hi order) with both a requester and a free
+            // output VC in its admissible range competes; off-torus every
+            // requester is `Any` over the full range, so this degenerates
+            // to the classic first-free-VC scan.
+            let mut chosen = None;
+            for class in VcClass::ALL {
+                if !wanted[class.index()] {
+                    continue;
+                }
+                let range = class.vc_range(self.vcs_per_port as u8);
+                if let Some(free) = self.outputs[out_p].vcs[range.clone()]
+                    .iter()
+                    .position(|o| !o.allocated)
+                {
+                    chosen = Some((class, range.start + free));
+                    break;
+                }
+            }
+            let Some((granted_class, free_vc)) = chosen else {
                 continue;
             };
             // Gather requesting input VCs into the reusable scratch
@@ -417,8 +459,8 @@ impl Router {
             self.va_scratch.fill(false);
             let mut any = false;
             for (flat, vc) in self.inputs.iter().enumerate() {
-                if matches!(vc.state, VcState::NeedsVa { out_port, .. }
-                    if out_port.index() == out_p)
+                if matches!(vc.state, VcState::NeedsVa { out_port, class, .. }
+                    if out_port.index() == out_p && class == granted_class)
                 {
                     self.va_scratch[flat] = true;
                     any = true;
@@ -451,6 +493,7 @@ impl Router {
 mod tests {
     use super::*;
     use crate::flit::{Packet, PacketClass, PacketId};
+    use crate::topology::{Topo, NUM_PORTS};
     use noc_coding::crc::Crc32;
 
     fn test_config() -> NocConfig {
@@ -504,10 +547,76 @@ mod tests {
             r.input(Direction::Local.index(), 0).state,
             VcState::NeedsVa {
                 out_port: Direction::East,
+                class: VcClass::Any,
                 packet: PacketId(1)
             }
         );
         assert!(doomed.is_empty());
+    }
+
+    #[test]
+    fn rc_assigns_dateline_class_on_torus() {
+        let config = NocConfig::builder().topology(Topo::torus(4, 4)).build();
+        let topo = config.mesh;
+        let routes = RouteTable::new(topo);
+        let mut arena = FlitArena::new();
+        // Router (3, 0) sending to (1, 0): East across the wrap link.
+        let mut r = Router::new(topo.node_at(3, 0), &config);
+        let f = arena.alloc(head_flit(topo.node_at(3, 0), topo.node_at(1, 0)));
+        r.enqueue(Direction::Local.index(), 0, f, 0);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
+        assert_eq!(
+            r.input(Direction::Local.index(), 0).state,
+            VcState::NeedsVa {
+                out_port: Direction::East,
+                class: VcClass::Lo,
+                packet: PacketId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn va_respects_dateline_vc_halves() {
+        let config = NocConfig::builder().topology(Topo::torus(4, 4)).build();
+        let topo = config.mesh;
+        let routes = RouteTable::new(topo);
+        let mut arena = FlitArena::new();
+        let mut r = Router::new(topo.node_at(3, 0), &config);
+        // A Lo-class requester (wraps the date line) on East.
+        let f = arena.alloc(head_flit(topo.node_at(3, 0), topo.node_at(1, 0)));
+        r.enqueue(Direction::Local.index(), 0, f, 0);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
+        assert_eq!(r.va_stage(), 1);
+        let VcState::Active { out_vc, .. } = r.input(Direction::Local.index(), 0).state else {
+            panic!("requester must be granted");
+        };
+        assert!(
+            VcClass::Lo.admits(out_vc as usize, config.vcs_per_port),
+            "Lo-class hop got VC {out_vc} outside the low half"
+        );
+        // Exhaust the low half (VCs 0..2 of 4): a further Lo requester
+        // stalls even though the high half is free.
+        let g = arena.alloc(head_flit(topo.node_at(3, 0), topo.node_at(1, 0)));
+        r.enqueue(Direction::Local.index(), 1, g, 0);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
+        assert_eq!(r.va_stage(), 1);
+        let h = arena.alloc(head_flit(topo.node_at(3, 0), topo.node_at(1, 0)));
+        r.enqueue(Direction::Local.index(), 2, h, 0);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
+        assert_eq!(r.va_stage(), 0, "low half exhausted: Lo requester waits");
+        // A Hi-class requester (no wrap) still gets a high-half VC.
+        let k = arena.alloc(head_flit(topo.node_at(3, 0), topo.node_at(2, 0)));
+        r.enqueue(Direction::Local.index(), 3, k, 0);
+        r.rc_stage(1, &routes, None, &arena, &mut Vec::new());
+        assert_eq!(r.va_stage(), 1);
+        let VcState::Active {
+            out_vc, out_port, ..
+        } = r.input(Direction::Local.index(), 3).state
+        else {
+            panic!("Hi requester must be granted");
+        };
+        assert_eq!(out_port, Direction::West, "3→2 is one hop west, no wrap");
+        assert!(VcClass::Hi.admits(out_vc as usize, config.vcs_per_port));
     }
 
     #[test]

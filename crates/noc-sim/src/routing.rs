@@ -1,14 +1,15 @@
 //! Routing functions.
 //!
-//! The paper's configuration uses deterministic X-Y dimension-order
-//! routing, which is deadlock-free on a mesh without virtual-channel
-//! restrictions: a packet first travels along the X dimension to the
-//! destination column, then along Y to the destination row.
+//! Every topology in the zoo routes dimension-ordered: X-Y on the 2D
+//! mesh (the paper's configuration), wrap-aware X-Y with date-line
+//! virtual-channel classes on tori, and X-Y-Z on the 3D mesh. All of
+//! them are deterministic and minimal; the per-topology next hop and
+//! VC class come from [`Topo::min_route`].
 
-use crate::topology::{Coord, Direction, Mesh, NodeId};
+use crate::topology::{Direction, Mesh, NodeId, Topo, VcClass};
 
 /// Computes the X-Y output port at router `current` for a packet headed to
-/// `dst`.
+/// `dst` on a 2D mesh.
 ///
 /// Returns [`Direction::Local`] when `current == dst` (eject).
 ///
@@ -44,88 +45,114 @@ pub fn xy_route(mesh: Mesh, current: NodeId, dst: NodeId) -> Direction {
     }
 }
 
-/// Enumerates the routers an X-Y-routed packet visits from `src` to `dst`,
-/// inclusive of both endpoints.
+/// The minimal-route output port and date-line VC class at `current`
+/// for a packet headed to `dst`, on any topology.
+///
+/// Identical to [`xy_route`] (with class [`VcClass::Any`]) on a 2D
+/// mesh.
+pub fn min_route(topo: impl Into<Topo>, current: NodeId, dst: NodeId) -> (Direction, VcClass) {
+    topo.into().min_route(current, dst)
+}
+
+/// Enumerates the routers a dimension-order-routed packet visits from
+/// `src` to `dst`, inclusive of both endpoints.
 ///
 /// Used by the reward function, which attributes a delivered packet's
-/// end-to-end latency to every router on its path.
-pub fn xy_path(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<NodeId> {
-    let mut path = Vec::with_capacity(mesh.hop_distance(src, dst) as usize + 1);
+/// end-to-end latency to every router on its path. (The name reflects
+/// the 2D mesh's X-Y order; tori and the 3D mesh walk their own
+/// dimension order.)
+pub fn xy_path(topo: impl Into<Topo>, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    let topo = topo.into();
+    let mut path = Vec::with_capacity(topo.hop_distance(src, dst) as usize + 1);
     let mut current = src;
     path.push(current);
     while current != dst {
-        let dir = xy_route(mesh, current, dst);
-        current = mesh
+        let (dir, _) = topo.min_route(current, dst);
+        current = topo
             .neighbor(current, dir)
-            .expect("xy_route never walks off the mesh");
+            .expect("minimal route never walks off the topology");
         path.push(current);
     }
     path
 }
 
 /// Node count up to which [`RouteTable`] materializes the full
-/// `current × dst` direction matrix (one byte per pair, so ≤ 1 MiB).
-/// Larger meshes fall back to coordinate comparison, which is still
-/// division-free thanks to the per-node coordinate cache.
+/// `current × dst` matrix (one byte per pair, so ≤ 1 MiB).
+/// Larger networks fall back to computing the route on demand.
 const DENSE_ROUTE_LIMIT: usize = 1024;
 
-/// Precomputed X-Y next-hop lookup.
+/// Bit position of the VC class in a packed dense route byte (the low
+/// three bits hold the port index 0..=6).
+const CLASS_SHIFT: u32 = 3;
+
+/// Precomputed minimal-route next-hop lookup.
 ///
-/// [`xy_route`] derives both endpoint coordinates (two divisions each)
-/// on every call; route computation runs once per packet per hop and
-/// the latency-attribution walk once per node on every delivered
-/// packet's path. The table answers the same query with one index
-/// (small meshes) or two cached-coordinate compares (large meshes),
-/// and is verified against `xy_route` exhaustively in tests.
+/// [`Topo::min_route`] derives endpoint coordinates (divisions) on
+/// every call; route computation runs once per packet per hop and the
+/// latency-attribution walk once per node on every delivered packet's
+/// path. The table answers the same query with one index. Each dense
+/// byte packs the output port index in its low three bits and the
+/// [`VcClass`] above them; on a 2D mesh every class is `Any` (0), so
+/// the stored bytes are identical to the historical direction-only
+/// table.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    coords: Vec<Coord>,
-    /// `dense[current * n + dst]` is the direction's port index.
+    topo: Topo,
+    /// `dense[current * n + dst]` packs `port | class << CLASS_SHIFT`.
     dense: Option<Vec<u8>>,
     n: usize,
 }
 
 impl RouteTable {
-    /// Builds the lookup structures for `mesh`.
-    pub fn new(mesh: Mesh) -> Self {
-        let n = mesh.num_nodes();
-        let coords: Vec<Coord> = mesh.nodes().map(|id| mesh.coord(id)).collect();
+    /// Builds the lookup structures for `topo`.
+    pub fn new(topo: impl Into<Topo>) -> Self {
+        let topo = topo.into();
+        let n = topo.num_nodes();
         let dense = (n <= DENSE_ROUTE_LIMIT).then(|| {
             let mut table = vec![0u8; n * n];
-            for cur in mesh.nodes() {
-                for dst in mesh.nodes() {
-                    table[cur.index() * n + dst.index()] = xy_route(mesh, cur, dst).index() as u8;
+            for cur in topo.nodes() {
+                for dst in topo.nodes() {
+                    let (dir, class) = topo.min_route(cur, dst);
+                    table[cur.index() * n + dst.index()] =
+                        dir.index() as u8 | (class.index() as u8) << CLASS_SHIFT;
                 }
             }
             table
         });
-        Self { coords, dense, n }
+        Self { topo, dense, n }
     }
 
-    /// The X-Y output port at `current` for a packet headed to `dst`.
-    /// Identical to [`xy_route`] on the table's mesh.
+    /// The minimal-route output port at `current` for a packet headed
+    /// to `dst`. Identical to [`Topo::min_route`]'s direction on the
+    /// table's topology.
     ///
     /// # Panics
     ///
-    /// Panics if either node is outside the mesh the table was built for.
+    /// Panics if either node is outside the topology the table was
+    /// built for.
     #[inline]
     pub fn next_hop(&self, current: NodeId, dst: NodeId) -> Direction {
         if let Some(dense) = &self.dense {
-            return Direction::from_index(dense[current.index() * self.n + dst.index()] as usize);
+            return Direction::from_index(
+                (dense[current.index() * self.n + dst.index()] & 0x07) as usize,
+            );
         }
-        let c = self.coords[current.index()];
-        let d = self.coords[dst.index()];
-        if c.x < d.x {
-            Direction::East
-        } else if c.x > d.x {
-            Direction::West
-        } else if c.y < d.y {
-            Direction::South
-        } else if c.y > d.y {
-            Direction::North
-        } else {
-            Direction::Local
+        self.topo.min_route(current, dst).0
+    }
+
+    /// The minimal-route output port plus the date-line VC class of
+    /// the hop. Identical to [`Topo::min_route`] on the table's
+    /// topology.
+    #[inline]
+    pub fn next_hop_class(&self, current: NodeId, dst: NodeId) -> (Direction, VcClass) {
+        if let Some(dense) = &self.dense {
+            let b = dense[current.index() * self.n + dst.index()];
+            return (
+                Direction::from_index((b & 0x07) as usize),
+                VcClass::from_index((b >> CLASS_SHIFT) as usize),
+            );
         }
+        self.topo.min_route(current, dst)
     }
 }
 
@@ -135,20 +162,23 @@ const UNREACHABLE_PORT: u8 = 0xFF;
 /// Fault-adaptive next-hop table: full-graph up*/down* routing over the
 /// live sub-topology.
 ///
-/// Once hard faults remove links or routers, X-Y routing is no longer
-/// sound (it would walk into dead regions), so the network switches to
-/// classic up*/down* routes. Every live node gets a rank `(BFS level,
-/// node id)` from a breadth-first traversal of its live connected
-/// component (root = smallest live id); every live link is oriented
-/// "up" toward its lower-ranked end. A route first climbs up-links
-/// ("up" phase, rank strictly decreasing) and then descends down-links
-/// ("down" phase, rank strictly increasing) — **all** live links are
-/// usable, not just tree edges, so capacity degrades gradually with the
-/// fault count instead of collapsing to a spanning tree. Because no
-/// route ever turns from a down traversal back onto an up traversal,
-/// the channel-dependency graph is acyclic (the classic up*/down*
-/// argument) and the scheme is deadlock-free without extra virtual
-/// channels; it doubles as its own escape layer.
+/// Once hard faults remove links or routers, dimension-order routing is
+/// no longer sound (it would walk into dead regions), so the network
+/// switches to classic up*/down* routes. Every live node gets a rank
+/// `(BFS level, node id)` from a breadth-first traversal of its live
+/// connected component (root = smallest live id); every live link is
+/// oriented "up" toward its lower-ranked end. A route first climbs
+/// up-links ("up" phase, rank strictly decreasing) and then descends
+/// down-links ("down" phase, rank strictly increasing) — **all** live
+/// links are usable, not just tree edges, so capacity degrades
+/// gradually with the fault count instead of collapsing to a spanning
+/// tree. Because no route ever turns from a down traversal back onto an
+/// up traversal, the channel-dependency graph is acyclic (the classic
+/// up*/down* argument) and the scheme is deadlock-free without extra
+/// virtual channels; it doubles as its own escape layer. The argument
+/// needs only undirected adjacency, so it covers every topology in the
+/// zoo — wrap-around links and vertical links are just more edges to
+/// orient.
 ///
 /// The table is phase-oblivious (one port per `(current, dst)`), so it
 /// must be *suffix-consistent*: a node with any pure-down route to the
@@ -159,8 +189,8 @@ const UNREACHABLE_PORT: u8 = 0xFF;
 ///
 /// Construction is fully deterministic so the production and reference
 /// simulators can rebuild identical tables independently: BFS explores
-/// neighbors in port order (N, E, S, W) and distance ties break toward
-/// the smallest port index.
+/// neighbors in port order (N, E, S, W, then Up, Down where present)
+/// and distance ties break toward the smallest port index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRoutes {
     /// `table[current * n + dst]` is the output port index, or
@@ -181,18 +211,20 @@ impl FaultRoutes {
     ///
     /// # Panics
     ///
-    /// Panics if `node_alive.len() != mesh.num_nodes()`.
-    pub fn compute<F>(mesh: Mesh, node_alive: &[bool], link_alive: F) -> Self
+    /// Panics if `node_alive.len() != topo.num_nodes()`.
+    pub fn compute<F>(topo: impl Into<Topo>, node_alive: &[bool], link_alive: F) -> Self
     where
         F: Fn(NodeId, Direction) -> bool,
     {
-        let n = mesh.num_nodes();
+        let topo = topo.into();
+        let compass = topo.compass();
+        let n = topo.num_nodes();
         assert_eq!(node_alive.len(), n, "liveness vector must cover the mesh");
         // BFS forest: component label and level (root distance) per node.
         let mut level: Vec<u16> = vec![u16::MAX; n];
         let mut comp: Vec<u16> = vec![u16::MAX; n];
         let mut queue = std::collections::VecDeque::new();
-        for root in mesh.nodes() {
+        for root in topo.nodes() {
             if !node_alive[root.index()] || comp[root.index()] != u16::MAX {
                 continue;
             }
@@ -200,11 +232,11 @@ impl FaultRoutes {
             level[root.index()] = 0;
             queue.push_back(root);
             while let Some(u) = queue.pop_front() {
-                for dir in Direction::COMPASS {
+                for &dir in compass {
                     if !link_alive(u, dir) {
                         continue;
                     }
-                    let Some(v) = mesh.neighbor(u, dir) else {
+                    let Some(v) = topo.neighbor(u, dir) else {
                         continue;
                     };
                     if node_alive[v.index()] && comp[v.index()] == u16::MAX {
@@ -221,13 +253,13 @@ impl FaultRoutes {
         // traversals strictly increase it.
         let rank = |u: NodeId| (level[u.index()], u.0);
         // Live nodes in increasing rank order, for the up-phase DP.
-        let mut by_rank: Vec<NodeId> = mesh.nodes().filter(|&u| node_alive[u.index()]).collect();
+        let mut by_rank: Vec<NodeId> = topo.nodes().filter(|&u| node_alive[u.index()]).collect();
         by_rank.sort_by_key(|&u| rank(u));
 
         let mut table = vec![UNREACHABLE_PORT; n * n];
         let mut dist_down: Vec<u32> = Vec::new();
         let mut dist_any: Vec<u32> = Vec::new();
-        for dst in mesh.nodes() {
+        for dst in topo.nodes() {
             if !node_alive[dst.index()] {
                 continue;
             }
@@ -240,11 +272,11 @@ impl FaultRoutes {
             queue.clear();
             queue.push_back(dst);
             while let Some(x) = queue.pop_front() {
-                for dir in Direction::COMPASS {
+                for &dir in compass {
                     if !link_alive(x, dir) {
                         continue;
                     }
-                    let Some(u) = mesh.neighbor(x, dir) else {
+                    let Some(u) = topo.neighbor(x, dir) else {
                         continue;
                     };
                     if node_alive[u.index()]
@@ -267,11 +299,11 @@ impl FaultRoutes {
                     continue;
                 }
                 let mut best = dist_down[u.index()];
-                for dir in Direction::COMPASS {
+                for &dir in compass {
                     if !link_alive(u, dir) {
                         continue;
                     }
-                    let Some(v) = mesh.neighbor(u, dir) else {
+                    let Some(v) = topo.neighbor(u, dir) else {
                         continue;
                     };
                     if node_alive[v.index()] && rank(v) < rank(u) && dist_any[v.index()] != u32::MAX
@@ -290,11 +322,11 @@ impl FaultRoutes {
                     continue;
                 }
                 let downhill = dist_down[u.index()] != u32::MAX;
-                for dir in Direction::COMPASS {
+                for &dir in compass {
                     if !link_alive(u, dir) {
                         continue;
                     }
-                    let Some(v) = mesh.neighbor(u, dir) else {
+                    let Some(v) = topo.neighbor(u, dir) else {
                         continue;
                     };
                     if !node_alive[v.index()] {
@@ -324,8 +356,8 @@ impl FaultRoutes {
         }
 
         let mut unreachable_pairs = 0u64;
-        for u in mesh.nodes() {
-            for v in mesh.nodes() {
+        for u in topo.nodes() {
+            for v in topo.nodes() {
                 if u != v
                     && node_alive[u.index()]
                     && node_alive[v.index()]
@@ -378,6 +410,7 @@ impl FaultRoutes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::VcClass;
 
     #[test]
     fn route_to_self_is_local() {
@@ -411,6 +444,19 @@ mod tests {
     }
 
     #[test]
+    fn min_route_matches_xy_route_on_mesh() {
+        let mesh = Mesh::new(5, 4);
+        for cur in mesh.nodes() {
+            for dst in mesh.nodes() {
+                assert_eq!(
+                    min_route(mesh, cur, dst),
+                    (xy_route(mesh, cur, dst), VcClass::Any)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn path_endpoints_and_length() {
         let mesh = Mesh::new(8, 8);
         let src = mesh.node_at(1, 2);
@@ -429,33 +475,87 @@ mod tests {
     }
 
     #[test]
+    fn path_on_torus_takes_the_short_way() {
+        let topo = Topo::torus(8, 8);
+        let src = topo.node_at(7, 0);
+        let dst = topo.node_at(1, 0);
+        let path = xy_path(topo, src, dst);
+        // 7 → 0 → 1 across the wrap link: 3 nodes, not 7.
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[1], topo.node_at(0, 0));
+    }
+
+    #[test]
     fn route_table_matches_xy_route_exhaustively() {
         // 4×4 exercises the dense table; a synthetic over-limit mesh
-        // exercises the coordinate-compare fallback.
+        // exercises the compute-on-demand fallback.
         let mesh = Mesh::new(4, 4);
         let table = RouteTable::new(mesh);
         for cur in mesh.nodes() {
             for dst in mesh.nodes() {
                 assert_eq!(table.next_hop(cur, dst), xy_route(mesh, cur, dst));
+                assert_eq!(
+                    table.next_hop_class(cur, dst),
+                    (xy_route(mesh, cur, dst), VcClass::Any)
+                );
             }
         }
     }
 
     #[test]
-    fn route_table_fallback_matches_on_large_mesh() {
-        let mesh = Mesh::new(64, 33); // 2112 nodes: past the dense limit
-        let table = RouteTable::new(mesh);
-        assert!(table.dense.is_none(), "large mesh must use the fallback");
-        for cur in [0u16, 1, 63, 64, 1000, 2111] {
-            for dst in [0u16, 31, 64, 100, 2047, 2111] {
-                let (cur, dst) = (NodeId(cur), NodeId(dst));
-                assert_eq!(table.next_hop(cur, dst), xy_route(mesh, cur, dst));
+    fn route_table_matches_min_route_on_every_topology() {
+        for topo in [
+            Topo::torus(4, 4),
+            Topo::torus(2, 5),
+            Topo::ftorus(4, 6),
+            Topo::mesh3d(3, 3, 3),
+        ] {
+            let table = RouteTable::new(topo);
+            for cur in topo.nodes() {
+                for dst in topo.nodes() {
+                    assert_eq!(
+                        table.next_hop_class(cur, dst),
+                        topo.min_route(cur, dst),
+                        "{} {cur}→{dst}",
+                        topo.encode()
+                    );
+                }
             }
         }
     }
 
+    #[test]
+    fn route_table_fallback_matches_on_large_meshes() {
+        for topo in [
+            Topo::mesh(64, 33),
+            Topo::torus(64, 33),
+            Topo::mesh3d(16, 16, 9),
+        ] {
+            let table = RouteTable::new(topo);
+            assert!(
+                table.dense.is_none(),
+                "{}: large network must use the fallback",
+                topo.encode()
+            );
+            let n = topo.num_nodes() as u16;
+            for cur in [0u16, 1, 63, 64, 1000, n - 1] {
+                for dst in [0u16, 31, 64, 100, n / 2, n - 1] {
+                    let (cur, dst) = (NodeId(cur), NodeId(dst));
+                    assert_eq!(table.next_hop_class(cur, dst), topo.min_route(cur, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_limit_includes_radix_32() {
+        // 32×32 = 1024 nodes sits exactly on the dense limit.
+        let table = RouteTable::new(Topo::torus(32, 32));
+        assert!(table.dense.is_some());
+    }
+
     /// Walks fault routes from `src` to `dst`, panicking on divergence.
-    fn walk_fault_route(mesh: Mesh, routes: &FaultRoutes, src: NodeId, dst: NodeId) -> usize {
+    fn walk_fault_route(topo: Topo, routes: &FaultRoutes, src: NodeId, dst: NodeId) -> usize {
         let mut current = src;
         let mut hops = 0;
         while current != dst {
@@ -463,57 +563,65 @@ mod tests {
                 .next_hop(current, dst)
                 .expect("reachable pair must have a route");
             assert_ne!(dir, Direction::Local, "Local before reaching dst");
-            current = mesh.neighbor(current, dir).expect("route stays on mesh");
+            current = topo.neighbor(current, dir).expect("route stays on mesh");
             hops += 1;
-            assert!(hops <= mesh.num_nodes(), "route loops");
+            assert!(hops <= topo.num_nodes(), "route loops");
         }
         hops
     }
 
     #[test]
-    fn fault_routes_deliver_on_healthy_mesh() {
-        let mesh = Mesh::new(4, 4);
-        let alive = vec![true; mesh.num_nodes()];
-        let routes = FaultRoutes::compute(mesh, &alive, |_, _| true);
-        assert_eq!(routes.unreachable_pairs(), 0);
-        for src in mesh.nodes() {
-            for dst in mesh.nodes() {
-                assert!(routes.reachable(src, dst));
-                walk_fault_route(mesh, &routes, src, dst);
+    fn fault_routes_deliver_on_healthy_topologies() {
+        for topo in [
+            Topo::mesh(4, 4),
+            Topo::torus(4, 4),
+            Topo::ftorus(3, 4),
+            Topo::mesh3d(3, 2, 3),
+        ] {
+            let alive = vec![true; topo.num_nodes()];
+            let routes = FaultRoutes::compute(topo, &alive, |_, _| true);
+            assert_eq!(routes.unreachable_pairs(), 0, "{}", topo.encode());
+            for src in topo.nodes() {
+                for dst in topo.nodes() {
+                    assert!(routes.reachable(src, dst));
+                    walk_fault_route(topo, &routes, src, dst);
+                }
             }
-        }
-        for node in mesh.nodes() {
-            assert_eq!(routes.next_hop(node, node), Some(Direction::Local));
+            for node in topo.nodes() {
+                assert_eq!(routes.next_hop(node, node), Some(Direction::Local));
+            }
         }
     }
 
     #[test]
     fn fault_routes_avoid_dead_router() {
-        let mesh = Mesh::new(4, 4);
-        let dead = mesh.node_at(1, 1);
-        let mut alive = vec![true; mesh.num_nodes()];
-        alive[dead.index()] = false;
-        let link_ok = |node: NodeId, dir: Direction| {
-            mesh.neighbor(node, dir)
-                .is_some_and(|n| n != dead && node != dead)
-        };
-        let routes = FaultRoutes::compute(mesh, &alive, link_ok);
-        assert_eq!(
-            routes.unreachable_pairs(),
-            0,
-            "mesh minus one node stays connected"
-        );
-        for src in mesh.nodes().filter(|&n| n != dead) {
-            for dst in mesh.nodes().filter(|&n| n != dead) {
-                let mut current = src;
-                while current != dst {
-                    let dir = routes.next_hop(current, dst).unwrap();
-                    current = mesh.neighbor(current, dir).unwrap();
-                    assert_ne!(current, dead, "route walked through the dead router");
+        for topo in [Topo::mesh(4, 4), Topo::torus(4, 4), Topo::mesh3d(4, 4, 2)] {
+            let dead = topo.node_at(1, 1);
+            let mut alive = vec![true; topo.num_nodes()];
+            alive[dead.index()] = false;
+            let link_ok = |node: NodeId, dir: Direction| {
+                topo.neighbor(node, dir)
+                    .is_some_and(|n| n != dead && node != dead)
+            };
+            let routes = FaultRoutes::compute(topo, &alive, link_ok);
+            assert_eq!(
+                routes.unreachable_pairs(),
+                0,
+                "{} minus one node stays connected",
+                topo.encode()
+            );
+            for src in topo.nodes().filter(|&n| n != dead) {
+                for dst in topo.nodes().filter(|&n| n != dead) {
+                    let mut current = src;
+                    while current != dst {
+                        let dir = routes.next_hop(current, dst).unwrap();
+                        current = topo.neighbor(current, dir).unwrap();
+                        assert_ne!(current, dead, "route walked through the dead router");
+                    }
                 }
+                assert!(!routes.reachable(src, dead));
+                assert!(!routes.reachable(dead, src));
             }
-            assert!(!routes.reachable(src, dead));
-            assert!(!routes.reachable(dead, src));
         }
     }
 
@@ -532,7 +640,7 @@ mod tests {
         assert!(routes.reachable(NodeId(0), NodeId(1)));
         assert!(!routes.reachable(NodeId(0), NodeId(2)));
         assert!(routes.next_hop(NodeId(1), NodeId(3)).is_none());
-        walk_fault_route(mesh, &routes, NodeId(2), NodeId(3));
+        walk_fault_route(Topo::mesh(4, 1), &routes, NodeId(2), NodeId(3));
     }
 
     #[test]

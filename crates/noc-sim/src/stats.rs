@@ -12,7 +12,7 @@
 //!   (buffer accesses, crossbar traversals, link traversals, ECC/CRC
 //!   operations…) consumed by the ORION-style power model.
 
-use crate::topology::NUM_PORTS;
+use crate::topology::{MAX_PORTS, NUM_PORTS};
 use serde::{Deserialize, Serialize};
 
 /// Streaming latency statistics with a fixed-bucket histogram.
@@ -215,10 +215,11 @@ impl NetworkStats {
 pub struct RouterEpochStats {
     /// Cycles elapsed in the epoch.
     pub cycles: u64,
-    /// Flits received per input port.
-    pub flits_in: [u64; NUM_PORTS],
+    /// Flits received per input port (trailing entries unused on
+    /// topologies with fewer than [`MAX_PORTS`] ports).
+    pub flits_in: [u64; MAX_PORTS],
     /// Flits sent per output port.
-    pub flits_out: [u64; NUM_PORTS],
+    pub flits_out: [u64; MAX_PORTS],
     /// Sum over cycles of the number of occupied input VCs.
     pub occupied_vc_cycles: u64,
     /// NACKs received (this router's transmissions were rejected
@@ -250,8 +251,12 @@ impl RouterEpochStats {
         self.occupied_vc_cycles += occupied_vcs;
     }
 
-    /// Mean input-port utilization in flits/cycle (averaged over the four
-    /// compass ports plus local).
+    /// Mean input-port utilization in flits/cycle.
+    ///
+    /// Normalized by the 2D-mesh port count ([`NUM_PORTS`] = 5)
+    /// regardless of topology so the RL feature scale — and every
+    /// 2D-mesh golden fixture — is unchanged by the topology zoo;
+    /// higher-radix routers can legitimately exceed 1.0.
     pub fn mean_input_utilization(&self) -> f64 {
         if self.cycles == 0 {
             return 0.0;
@@ -329,7 +334,7 @@ pub struct EventCounters {
     pub va_allocations: u64,
     /// Flit link traversals per output port (pre-retransmission copies
     /// included).
-    pub link_traversals: [u64; NUM_PORTS],
+    pub link_traversals: [u64; MAX_PORTS],
     /// CRC encode operations (source injection).
     pub crc_encodes: u64,
     /// CRC check operations (destination ejection).
@@ -434,8 +439,8 @@ mod tests {
     fn epoch_stats_utilizations() {
         let e = RouterEpochStats {
             cycles: 100,
-            flits_in: [10, 20, 0, 0, 20],
-            flits_out: [5, 5, 5, 5, 5],
+            flits_in: [10, 20, 0, 0, 20, 0, 0],
+            flits_out: [5, 5, 5, 5, 5, 0, 0],
             ..RouterEpochStats::default()
         };
         assert!((e.mean_input_utilization() - 0.1).abs() < 1e-12);
@@ -445,8 +450,8 @@ mod tests {
     #[test]
     fn epoch_stats_nack_rates() {
         let e = RouterEpochStats {
-            flits_out: [10, 10, 10, 10, 10],
-            flits_in: [25, 25, 0, 0, 0],
+            flits_out: [10, 10, 10, 10, 10, 0, 0],
+            flits_in: [25, 25, 0, 0, 0, 0, 0],
             nacks_in: 5,
             nacks_out: 10,
             ..RouterEpochStats::default()
@@ -500,13 +505,13 @@ mod tests {
     fn event_counters_merge_and_total() {
         let mut a = EventCounters {
             buffer_writes: 1,
-            link_traversals: [1, 2, 3, 4, 5],
+            link_traversals: [1, 2, 3, 4, 5, 0, 0],
             ..Default::default()
         };
         let b = EventCounters {
             buffer_writes: 2,
             ecc_encodes: 7,
-            link_traversals: [5, 4, 3, 2, 1],
+            link_traversals: [5, 4, 3, 2, 1, 0, 0],
             ..Default::default()
         };
         a.merge(&b);

@@ -1,459 +1,12 @@
-//! Mesh topology: node identifiers, coordinates, port directions, and
-//! link identifiers.
+//! Topology types, re-exported from the `noc-topo` crate.
 //!
-//! The simulator models a k×m 2D mesh (the paper evaluates 8×8). Every
-//! router has five ports: the four compass directions plus the `Local`
-//! port that connects to the attached processing core.
+//! The zoo — [`Mesh`], [`Torus`], [`FoldedTorus`], [`Mesh3d`], unified
+//! behind the [`Topology`] trait and the [`Topo`] enum — lives in its
+//! own crate so that fault-schedule tooling can speak topologies
+//! without depending on the simulator. This module preserves the
+//! historical `noc_sim::topology::*` paths.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-/// Number of ports on a mesh router (N, E, S, W, Local).
-pub const NUM_PORTS: usize = 5;
-
-/// Identifies one router (equivalently, one core/tile) in the mesh.
-///
-/// Node indices are row-major: `index = y * width + x`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct NodeId(pub u16);
-
-impl NodeId {
-    /// The raw index.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-/// An (x, y) position in the mesh, with the origin at the north-west
-/// corner (x grows east, y grows south).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Coord {
-    /// Column, 0-based.
-    pub x: u16,
-    /// Row, 0-based.
-    pub y: u16,
-}
-
-impl fmt::Display for Coord {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})", self.x, self.y)
-    }
-}
-
-/// A router port direction. `Local` is the injection/ejection port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[repr(u8)]
-pub enum Direction {
-    /// Towards smaller `y`.
-    North = 0,
-    /// Towards larger `x`.
-    East = 1,
-    /// Towards larger `y`.
-    South = 2,
-    /// Towards smaller `x`.
-    West = 3,
-    /// The attached processing core.
-    Local = 4,
-}
-
-impl Direction {
-    /// All five port directions, in port-index order.
-    pub const ALL: [Direction; NUM_PORTS] = [
-        Direction::North,
-        Direction::East,
-        Direction::South,
-        Direction::West,
-        Direction::Local,
-    ];
-
-    /// The four inter-router directions (everything except `Local`).
-    pub const COMPASS: [Direction; 4] = [
-        Direction::North,
-        Direction::East,
-        Direction::South,
-        Direction::West,
-    ];
-
-    /// The port index of this direction (0..=4).
-    pub fn index(self) -> usize {
-        self as usize
-    }
-
-    /// Builds a direction from a port index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= NUM_PORTS`.
-    pub fn from_index(index: usize) -> Self {
-        Self::ALL[index]
-    }
-
-    /// The direction a flit *arrives from* when sent in this direction
-    /// (e.g. a flit sent `East` arrives on the neighbor's `West` port).
-    ///
-    /// # Panics
-    ///
-    /// Panics for `Local`, which has no opposite.
-    pub fn opposite(self) -> Self {
-        match self {
-            Direction::North => Direction::South,
-            Direction::East => Direction::West,
-            Direction::South => Direction::North,
-            Direction::West => Direction::East,
-            Direction::Local => panic!("Local port has no opposite direction"),
-        }
-    }
-}
-
-impl fmt::Display for Direction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Direction::North => "N",
-            Direction::East => "E",
-            Direction::South => "S",
-            Direction::West => "W",
-            Direction::Local => "L",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Identifies one *output link*: the channel leaving router `src` in
-/// direction `dir`.
-///
-/// `dir == Local` identifies the ejection channel into the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct LinkId {
-    /// The upstream (sending) router.
-    pub src: NodeId,
-    /// The output direction at `src`.
-    pub dir: Direction,
-}
-
-impl fmt::Display for LinkId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}→{}", self.src, self.dir)
-    }
-}
-
-/// A 2D mesh topology.
-///
-/// # Example
-///
-/// ```
-/// use noc_sim::topology::{Mesh, Direction, NodeId};
-///
-/// let mesh = Mesh::new(8, 8);
-/// assert_eq!(mesh.num_nodes(), 64);
-/// let origin = mesh.node_at(0, 0);
-/// assert_eq!(mesh.neighbor(origin, Direction::East), Some(mesh.node_at(1, 0)));
-/// assert_eq!(mesh.neighbor(origin, Direction::North), None); // edge of chip
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Mesh {
-    width: u16,
-    height: u16,
-}
-
-impl Mesh {
-    /// Creates a `width × height` mesh.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is zero or the node count exceeds
-    /// `u16::MAX`.
-    pub fn new(width: u16, height: u16) -> Self {
-        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        assert!(
-            (width as u32) * (height as u32) <= u16::MAX as u32,
-            "mesh too large for u16 node ids"
-        );
-        Self { width, height }
-    }
-
-    /// Mesh width (columns).
-    pub fn width(self) -> u16 {
-        self.width
-    }
-
-    /// Mesh height (rows).
-    pub fn height(self) -> u16 {
-        self.height
-    }
-
-    /// Total number of routers.
-    pub fn num_nodes(self) -> usize {
-        self.width as usize * self.height as usize
-    }
-
-    /// The node at position `(x, y)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the coordinate is outside the mesh.
-    pub fn node_at(self, x: u16, y: u16) -> NodeId {
-        assert!(x < self.width && y < self.height, "coordinate out of mesh");
-        NodeId(y * self.width + x)
-    }
-
-    /// The coordinate of `node`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is outside the mesh.
-    pub fn coord(self, node: NodeId) -> Coord {
-        assert!(node.index() < self.num_nodes(), "node out of mesh");
-        Coord {
-            x: node.0 % self.width,
-            y: node.0 / self.width,
-        }
-    }
-
-    /// The neighbor of `node` in direction `dir`, or `None` at a mesh
-    /// edge (or when `dir` is `Local`).
-    pub fn neighbor(self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        let Coord { x, y } = self.coord(node);
-        let (nx, ny) = match dir {
-            Direction::North => (x, y.checked_sub(1)?),
-            Direction::South => (x, y + 1),
-            Direction::East => (x + 1, y),
-            Direction::West => (x.checked_sub(1)?, y),
-            Direction::Local => return None,
-        };
-        if nx < self.width && ny < self.height {
-            Some(self.node_at(nx, ny))
-        } else {
-            None
-        }
-    }
-
-    /// Iterates over all node ids in index order.
-    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
-        (0..self.num_nodes() as u16).map(NodeId)
-    }
-
-    /// Iterates over all inter-router output links (`Local` excluded).
-    pub fn links(self) -> impl Iterator<Item = LinkId> {
-        self.nodes().flat_map(move |n| {
-            Direction::COMPASS
-                .into_iter()
-                .filter(move |&d| self.neighbor(n, d).is_some())
-                .map(move |d| LinkId { src: n, dir: d })
-        })
-    }
-
-    /// Manhattan distance between two nodes (the X-Y hop count).
-    pub fn hop_distance(self, a: NodeId, b: NodeId) -> u16 {
-        let ca = self.coord(a);
-        let cb = self.coord(b);
-        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
-    }
-}
-
-/// Precomputed `node × direction → neighbor` lookup.
-///
-/// [`Mesh::neighbor`] re-derives coordinates (two divisions) on every
-/// call; the simulator resolves a link endpoint several times per flit
-/// per hop, so the network builds this dense table once and indexes it
-/// on the hot path. `table[node][port]` equals
-/// `mesh.neighbor(node, Direction::from_index(port))` for every pair.
-#[derive(Debug, Clone)]
-pub struct NeighborTable {
-    table: Vec<[Option<NodeId>; NUM_PORTS]>,
-}
-
-impl NeighborTable {
-    /// Builds the table for `mesh` (`num_nodes × NUM_PORTS` entries).
-    pub fn new(mesh: Mesh) -> Self {
-        let table = mesh
-            .nodes()
-            .map(|n| {
-                let mut row = [None; NUM_PORTS];
-                for dir in Direction::ALL {
-                    row[dir.index()] = mesh.neighbor(n, dir);
-                }
-                row
-            })
-            .collect();
-        Self { table }
-    }
-
-    /// The neighbor of `node` in direction `dir`; `None` at a mesh edge
-    /// or for `Local`. Identical to [`Mesh::neighbor`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is outside the mesh the table was built for.
-    #[inline]
-    pub fn get(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        self.table[node.index()][dir.index()]
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn node_coord_round_trip() {
-        let mesh = Mesh::new(8, 8);
-        for node in mesh.nodes() {
-            let c = mesh.coord(node);
-            assert_eq!(mesh.node_at(c.x, c.y), node);
-        }
-    }
-
-    #[test]
-    fn neighbors_are_symmetric() {
-        let mesh = Mesh::new(4, 6);
-        for node in mesh.nodes() {
-            for dir in Direction::COMPASS {
-                if let Some(n) = mesh.neighbor(node, dir) {
-                    assert_eq!(mesh.neighbor(n, dir.opposite()), Some(node));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn corner_nodes_have_two_neighbors() {
-        let mesh = Mesh::new(8, 8);
-        let corners = [
-            mesh.node_at(0, 0),
-            mesh.node_at(7, 0),
-            mesh.node_at(0, 7),
-            mesh.node_at(7, 7),
-        ];
-        for c in corners {
-            let n = Direction::COMPASS
-                .into_iter()
-                .filter(|&d| mesh.neighbor(c, d).is_some())
-                .count();
-            assert_eq!(n, 2);
-        }
-    }
-
-    #[test]
-    fn interior_nodes_have_four_neighbors() {
-        let mesh = Mesh::new(8, 8);
-        let n = mesh.node_at(3, 4);
-        let count = Direction::COMPASS
-            .into_iter()
-            .filter(|&d| mesh.neighbor(n, d).is_some())
-            .count();
-        assert_eq!(count, 4);
-    }
-
-    #[test]
-    fn link_count_matches_formula() {
-        // Directed inter-router links in a w×h mesh: 2*(w-1)*h + 2*w*(h-1).
-        let mesh = Mesh::new(8, 8);
-        assert_eq!(mesh.links().count(), 2 * 7 * 8 + 2 * 8 * 7);
-    }
-
-    #[test]
-    fn hop_distance_is_manhattan() {
-        let mesh = Mesh::new(8, 8);
-        assert_eq!(
-            mesh.hop_distance(mesh.node_at(0, 0), mesh.node_at(7, 7)),
-            14
-        );
-        assert_eq!(mesh.hop_distance(mesh.node_at(3, 3), mesh.node_at(3, 3)), 0);
-        assert_eq!(mesh.hop_distance(mesh.node_at(2, 5), mesh.node_at(4, 1)), 6);
-    }
-
-    #[test]
-    fn direction_index_round_trip() {
-        for dir in Direction::ALL {
-            assert_eq!(Direction::from_index(dir.index()), dir);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "no opposite")]
-    fn local_opposite_panics() {
-        let _ = Direction::Local.opposite();
-    }
-
-    #[test]
-    #[should_panic(expected = "dimensions must be positive")]
-    fn zero_mesh_panics() {
-        let _ = Mesh::new(0, 4);
-    }
-
-    #[test]
-    fn neighbor_local_is_none() {
-        let mesh = Mesh::new(2, 2);
-        assert_eq!(mesh.neighbor(NodeId(0), Direction::Local), None);
-    }
-
-    #[test]
-    fn neighbor_table_matches_mesh() {
-        for (w, h) in [(1, 1), (1, 5), (4, 4), (8, 3)] {
-            let mesh = Mesh::new(w, h);
-            let table = NeighborTable::new(mesh);
-            for node in mesh.nodes() {
-                for dir in Direction::ALL {
-                    assert_eq!(
-                        table.get(node, dir),
-                        mesh.neighbor(node, dir),
-                        "{w}x{h} mesh, {node} {dir}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn displays_are_nonempty() {
-        assert_eq!(NodeId(3).to_string(), "n3");
-        assert_eq!(Direction::North.to_string(), "N");
-        let link = LinkId {
-            src: NodeId(1),
-            dir: Direction::East,
-        };
-        assert_eq!(link.to_string(), "n1→E");
-        assert_eq!(Coord { x: 1, y: 2 }.to_string(), "(1, 2)");
-    }
-}
-
-#[cfg(test)]
-mod prop_tests {
-    use super::*;
-    use proptest::prelude::*;
-
-    proptest! {
-        #[test]
-        fn any_mesh_round_trips_nodes(w in 1u16..16, h in 1u16..16) {
-            let mesh = Mesh::new(w, h);
-            for node in mesh.nodes() {
-                let c = mesh.coord(node);
-                prop_assert_eq!(mesh.node_at(c.x, c.y), node);
-            }
-        }
-
-        #[test]
-        fn hop_distance_symmetric(w in 1u16..12, h in 1u16..12, a in 0u16..144, b in 0u16..144) {
-            let mesh = Mesh::new(w, h);
-            let n = mesh.num_nodes() as u16;
-            let a = NodeId(a % n);
-            let b = NodeId(b % n);
-            prop_assert_eq!(mesh.hop_distance(a, b), mesh.hop_distance(b, a));
-        }
-
-        #[test]
-        fn hop_distance_triangle_inequality(a in 0u16..64, b in 0u16..64, c in 0u16..64) {
-            let mesh = Mesh::new(8, 8);
-            let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
-            prop_assert!(
-                mesh.hop_distance(a, c) <= mesh.hop_distance(a, b) + mesh.hop_distance(b, c)
-            );
-        }
-    }
-}
+pub use noc_topo::{
+    Coord, Direction, FoldedTorus, LinkId, Mesh, Mesh3d, NeighborTable, NodeId, Topo, Topology,
+    Torus, VcClass, MAX_PORTS, NUM_PORTS,
+};

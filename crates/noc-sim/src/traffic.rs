@@ -5,7 +5,7 @@
 //! [`TrafficSource`] trait that lets any generator — synthetic or
 //! trace-driven — drive a [`Network`](crate::network::Network).
 
-use crate::topology::{Mesh, NodeId};
+use crate::topology::{NodeId, Topo};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -53,7 +53,17 @@ impl TrafficPattern {
     /// Resolves the destination for a packet from `src`, using `rng` for
     /// the random patterns. Returns `None` when the pattern maps a node
     /// onto itself (such packets are skipped).
-    pub fn destination(self, mesh: Mesh, src: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+    ///
+    /// Spatial patterns act on the topology's 2D projection (for a 3D
+    /// mesh, the stacked `width × height·depth` plane), so every
+    /// pattern is defined on every member of the zoo.
+    pub fn destination(
+        self,
+        mesh: impl Into<Topo>,
+        src: NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<NodeId> {
+        let mesh = mesh.into();
         let n = mesh.num_nodes() as u16;
         let c = mesh.coord(src);
         let dst = match self {
@@ -115,7 +125,7 @@ impl TrafficPattern {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SyntheticSource {
-    mesh: Mesh,
+    mesh: Topo,
     pattern: TrafficPattern,
     injection_rate: f64,
     rng: SmallRng,
@@ -128,13 +138,18 @@ impl SyntheticSource {
     /// # Panics
     ///
     /// Panics unless `0.0 <= injection_rate <= 1.0`.
-    pub fn new(mesh: Mesh, pattern: TrafficPattern, injection_rate: f64, seed: u64) -> Self {
+    pub fn new(
+        mesh: impl Into<Topo>,
+        pattern: TrafficPattern,
+        injection_rate: f64,
+        seed: u64,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&injection_rate),
             "injection rate must be a probability"
         );
         Self {
-            mesh,
+            mesh: mesh.into(),
             pattern,
             injection_rate,
             rng: SmallRng::seed_from_u64(seed),
@@ -179,6 +194,7 @@ impl TrafficSource for SilentSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1)

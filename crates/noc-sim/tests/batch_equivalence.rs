@@ -11,6 +11,7 @@
 
 use noc_fault::hardfault::HardFaultSchedule;
 use noc_sim::config::NocConfig;
+use noc_sim::topology::{FoldedTorus, Mesh, Mesh3d, Topo, Torus};
 use rlnoc_core::experiment::ExperimentReport;
 use rlnoc_core::{ErrorControlScheme, Experiment, WorkloadProfile};
 use std::sync::Arc;
@@ -24,10 +25,22 @@ fn lane(
     lane: u64,
     faults: Option<Arc<HardFaultSchedule>>,
 ) -> Experiment {
+    lane_on(Mesh::new(4, 4), scheme, workload, cell_seed, lane, faults)
+}
+
+/// Same cell shape on an arbitrary zoo member.
+fn lane_on(
+    topo: impl Into<Topo>,
+    scheme: ErrorControlScheme,
+    workload: WorkloadProfile,
+    cell_seed: u64,
+    lane: u64,
+    faults: Option<Arc<HardFaultSchedule>>,
+) -> Experiment {
     let mut builder = Experiment::builder()
         .scheme(scheme)
         .workload(workload)
-        .noc(NocConfig::builder().mesh(4, 4).build())
+        .noc(NocConfig::builder().topology(topo).build())
         .pretrain_cycles(3_000)
         .warmup_cycles(500)
         .measure_cycles(3_000)
@@ -117,7 +130,13 @@ fn hard_faulted_lanes_share_reroute_tables_and_still_match_serial() {
     // each post-fault reroute table once and shares it; the serial runs
     // recompute per lane. Identical reports prove the cache is
     // coherent.
-    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 3, 1, (100, 5_000), 23));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(4, 4),
+        3,
+        1,
+        (100, 5_000),
+        23,
+    ));
     let lanes: Vec<Experiment> = (0..4u64)
         .map(|i| {
             lane(
@@ -142,7 +161,13 @@ fn hard_faulted_lanes_share_reroute_tables_and_still_match_serial() {
 fn mixed_cells_in_one_batch_match_serial() {
     // A batch is allowed to mix cells (different schemes, workloads,
     // and fault schedules): sharing degrades per cell, results do not.
-    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 2, 0, (100, 4_000), 29));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(4, 4),
+        2,
+        0,
+        (100, 4_000),
+        29,
+    ));
     let lanes = vec![
         lane(
             ErrorControlScheme::StaticCrc,
@@ -208,7 +233,13 @@ fn per_lane_distinct_mid_run_fault_schedules_match_serial() {
     // fused kernel while traffic is in flight.
     let lanes: Vec<Experiment> = (0..4u64)
         .map(|i| {
-            let schedule = Arc::new(HardFaultSchedule::random(4, 4, 2, 1, (600, 3_000), 43 + i));
+            let schedule = Arc::new(HardFaultSchedule::random(
+                Mesh::new(4, 4),
+                2,
+                1,
+                (600, 3_000),
+                43 + i,
+            ));
             lane(
                 ErrorControlScheme::StaticArqEcc,
                 WorkloadProfile::blackscholes(),
@@ -245,7 +276,13 @@ fn telemetry_spans_leave_every_report_byte_unchanged() {
     // kernel. Identical reports under both settings prove the fused
     // kernel is observation-equivalent to the split shape — and that
     // instrumentation never perturbs results.
-    let schedule = Arc::new(HardFaultSchedule::random(4, 4, 3, 1, (100, 5_000), 23));
+    let schedule = Arc::new(HardFaultSchedule::random(
+        Mesh::new(4, 4),
+        3,
+        1,
+        (100, 5_000),
+        23,
+    ));
     let build = |tel: Option<rlnoc_telemetry::Telemetry>| -> Vec<Experiment> {
         (0..3u64)
             .map(|i| {
@@ -276,6 +313,64 @@ fn telemetry_spans_leave_every_report_byte_unchanged() {
     assert_eq!(plain, batched_spanned, "lockstep spanned runs agree too");
 }
 
+/// The lane-equivalence contract extended across the topology zoo:
+/// batched lockstep lanes on a torus (with mid-run hard faults, so the
+/// shared reroute cache covers wrap links), a folded torus, and a 3D
+/// mesh (with faults hitting vertical links) all stay byte-identical
+/// to their serial runs.
+#[test]
+fn zoo_lanes_match_serial() {
+    let cells: [(Topo, Option<Arc<HardFaultSchedule>>); 3] = [
+        (
+            Torus::new(4, 4).into(),
+            Some(Arc::new(HardFaultSchedule::random(
+                Torus::new(4, 4),
+                3,
+                1,
+                (3_600, 4_800),
+                53,
+            ))),
+        ),
+        (FoldedTorus::new(4, 4).into(), None),
+        (
+            Mesh3d::new(4, 2, 2).into(),
+            Some(Arc::new(HardFaultSchedule::random(
+                Mesh3d::new(4, 2, 2),
+                2,
+                1,
+                (3_600, 4_800),
+                59,
+            ))),
+        ),
+    ];
+    for (topo, faults) in cells {
+        let lanes: Vec<Experiment> = (0..4u64)
+            .map(|i| {
+                lane_on(
+                    topo,
+                    ErrorControlScheme::ProposedRl,
+                    WorkloadProfile::blackscholes(),
+                    61,
+                    i,
+                    faults.clone(),
+                )
+            })
+            .collect();
+        let serial = serial_reports(&lanes);
+        if faults.is_some() {
+            assert!(
+                serial.iter().any(|r| r.hard_fault_events > 0),
+                "the {topo:?} schedule must fire inside the simulated window"
+            );
+        }
+        let batched = Experiment::run_batch(lanes);
+        assert_eq!(
+            serial, batched,
+            "{topo:?} lanes must be byte-identical to serial"
+        );
+    }
+}
+
 /// Deterministic fuzz over random (scheme, seed, fault) cells. Each
 /// case runs 2 serial + 2 batched experiments; the case count is kept
 /// small enough for the tier-1 budget and every case is reproducible
@@ -289,8 +384,7 @@ fn fuzzed_cells_match_serial() {
         let cell_seed: u64 = rng.gen_range(0..1_000u64);
         let faults = rng.gen_range(0..2u32).eq(&1).then(|| {
             Arc::new(HardFaultSchedule::random(
-                4,
-                4,
+                Mesh::new(4, 4),
                 2,
                 0,
                 (100, 4_000),

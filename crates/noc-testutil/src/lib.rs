@@ -14,7 +14,7 @@ use noc_fault::timing::TimingErrorModel;
 use noc_fault::variation::VariationMap;
 use noc_sim::config::NocConfig;
 use noc_sim::network::Network;
-use noc_sim::topology::{Mesh, NodeId};
+use noc_sim::topology::{Mesh, NodeId, Topo};
 use rlnoc_core::campaign::Campaign;
 use rlnoc_core::modes::OperationMode;
 use rlnoc_core::protocol::FaultTolerantProtocol;
@@ -48,19 +48,20 @@ impl SplitMix64 {
 }
 
 /// Maps a raw `u64` (e.g. a proptest input) onto a node of `mesh`.
-pub fn pick_node(mesh: Mesh, raw: u64) -> NodeId {
-    NodeId((raw % mesh.num_nodes() as u64) as u16)
+pub fn pick_node(mesh: impl Into<Topo>, raw: u64) -> NodeId {
+    NodeId((raw % mesh.into().num_nodes() as u64) as u16)
 }
 
-/// Manhattan (X-Y hop) distance between two nodes.
-pub fn manhattan(mesh: Mesh, a: NodeId, b: NodeId) -> u64 {
-    let (ca, cb) = (mesh.coord(a), mesh.coord(b));
-    (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u64
+/// Minimal hop distance between two nodes: Manhattan on a mesh,
+/// wrap-aware on tori, 3D Manhattan on stacked meshes.
+pub fn manhattan(mesh: impl Into<Topo>, a: NodeId, b: NodeId) -> u64 {
+    u64::from(mesh.into().hop_distance(a, b))
 }
 
 /// Deterministic `(src, dst)` traffic pairs derived from `seed`, with
 /// `src != dst` guaranteed.
-pub fn traffic_pairs(mesh: Mesh, seed: u64, n: usize) -> Vec<(NodeId, NodeId)> {
+pub fn traffic_pairs(mesh: impl Into<Topo>, seed: u64, n: usize) -> Vec<(NodeId, NodeId)> {
+    let mesh = mesh.into();
     let mut rng = SplitMix64::new(seed);
     (0..n)
         .map(|_| {

@@ -16,9 +16,9 @@ use noc_sim::config::NocConfig;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use noc_sim::flit::{splitmix64, Flit, Packet, PacketClass, PacketId};
 use noc_sim::network::{HardFaultEvent, HardFaultKind};
-use noc_sim::routing::{xy_route, FaultRoutes};
+use noc_sim::routing::FaultRoutes;
 use noc_sim::stats::{EventCounters, NetworkStats, RouterEpochStats};
-use noc_sim::topology::{Direction, LinkId, Mesh, NodeId, NUM_PORTS};
+use noc_sim::topology::{Direction, LinkId, NodeId, Topo, MAX_PORTS};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Event-wheel horizon in cycles; all scheduled events must land within
@@ -113,7 +113,7 @@ struct RefFaultState {
     node_dead: Vec<bool>,
     /// `link_dead[node][port]`: the channel at `node` in that direction
     /// is dead. Kept symmetric with the peer's opposite entry.
-    link_dead: Vec<[bool; NUM_PORTS]>,
+    link_dead: Vec<[bool; MAX_PORTS]>,
     /// `Some` once the first fault event has been applied; the network
     /// then routes via this table instead of X-Y.
     routes: Option<FaultRoutes>,
@@ -128,14 +128,14 @@ impl RefFaultState {
             events,
             next_event: 0,
             node_dead: vec![false; n],
-            link_dead: vec![[false; NUM_PORTS]; n],
+            link_dead: vec![[false; MAX_PORTS]; n],
             routes: None,
             doomed: BTreeSet::new(),
         }
     }
 
     /// Marks the channel `node → dir` (and its reverse) dead.
-    fn kill_link(&mut self, mesh: Mesh, node: NodeId, dir: Direction) {
+    fn kill_link(&mut self, mesh: Topo, node: NodeId, dir: Direction) {
         self.link_dead[node.index()][dir.index()] = true;
         if let Some(peer) = mesh.neighbor(node, dir) {
             self.link_dead[peer.index()][dir.opposite().index()] = true;
@@ -154,7 +154,7 @@ impl RefFaultState {
 #[derive(Debug)]
 pub struct RefNetwork<E: ErrorControl> {
     config: NocConfig,
-    mesh: Mesh,
+    mesh: Topo,
     protocol: E,
     routers: Vec<RefRouter>,
     crc: Crc32,
@@ -255,8 +255,8 @@ impl<E: ErrorControl> RefNetwork<E> {
         self.faults = Some(Box::new(RefFaultState::new(events, self.mesh.num_nodes())));
     }
 
-    /// The mesh topology.
-    pub fn mesh(&self) -> Mesh {
+    /// The network topology.
+    pub fn mesh(&self) -> Topo {
         self.mesh
     }
 
@@ -814,7 +814,7 @@ impl<E: ErrorControl> RefNetwork<E> {
                                     Some(d) if d != Direction::Local => d,
                                     _ => break,
                                 },
-                                None => xy_route(self.mesh, r, head.dst),
+                                None => self.mesh.min_route(r, head.dst).0,
                             };
                             r = self.mesh.neighbor(r, dir).expect("route stays in mesh");
                         }
@@ -899,11 +899,12 @@ impl<E: ErrorControl> RefNetwork<E> {
         for router in routers.iter_mut() {
             let rid = router.id;
             let ri = rid.index();
-            let mut port_used = [false; NUM_PORTS];
+            let np = router.inputs.len();
+            let mut port_used = [false; MAX_PORTS];
 
             // Phase A: priority resends of NACKed flits. A port with a
             // pending retransmission is dedicated to it (order safety).
-            for (out_p, used) in port_used.iter_mut().enumerate() {
+            for (out_p, used) in port_used.iter_mut().enumerate().take(np) {
                 let dir = Direction::from_index(out_p);
                 if dir == Direction::Local {
                     continue;
@@ -955,8 +956,8 @@ impl<E: ErrorControl> RefNetwork<E> {
             }
 
             // Phase B: input-first selection.
-            let mut selected: [Option<(usize, usize, u8)>; NUM_PORTS] = [None; NUM_PORTS];
-            for (in_p, sel) in selected.iter_mut().enumerate() {
+            let mut selected: [Option<(usize, usize, u8)>; MAX_PORTS] = [None; MAX_PORTS];
+            for (in_p, sel) in selected.iter_mut().enumerate().take(np) {
                 let mut requests = vec![false; v];
                 for (in_v, ivc) in router.inputs[in_p].iter().enumerate() {
                     let VcState::Active {
@@ -1001,13 +1002,13 @@ impl<E: ErrorControl> RefNetwork<E> {
             }
 
             // Phase C: output arbitration + switch traversal.
-            for (out_p, &used) in port_used.iter().enumerate() {
+            for (out_p, &used) in port_used.iter().enumerate().take(np) {
                 if used || cycle < router.outputs[out_p].next_free {
                     continue;
                 }
-                let mut requests = [false; NUM_PORTS];
+                let mut requests = [false; MAX_PORTS];
                 let mut any = false;
-                for (in_p, sel) in selected.iter().enumerate() {
+                for (in_p, sel) in selected.iter().enumerate().take(np) {
                     if let Some((_, op, _)) = sel {
                         if *op == out_p {
                             requests[in_p] = true;
@@ -1019,7 +1020,7 @@ impl<E: ErrorControl> RefNetwork<E> {
                     continue;
                 }
                 let in_p = router.sa_output_arbiters[out_p]
-                    .grant(&requests)
+                    .grant(&requests[..np])
                     .expect("a request was asserted");
                 let (in_v, _, out_vc) = selected[in_p].expect("request implies selection");
 
@@ -1162,7 +1163,7 @@ impl<E: ErrorControl> RefNetwork<E> {
             match ev.kind {
                 HardFaultKind::Router { node } => {
                     fs.node_dead[node.index()] = true;
-                    for dir in Direction::COMPASS {
+                    for &dir in self.mesh.compass() {
                         if self.mesh.neighbor(node, dir).is_some() {
                             fs.kill_link(self.mesh, node, dir);
                         }
@@ -1274,7 +1275,7 @@ impl<E: ErrorControl> RefNetwork<E> {
             }
 
             // Live router: flush ports attached to dead links.
-            for dir in Direction::COMPASS {
+            for &dir in self.mesh.compass() {
                 let p = dir.index();
                 if !fs.link_dead[ni][p] {
                     continue;
@@ -1421,7 +1422,7 @@ impl<E: ErrorControl> RefNetwork<E> {
         for router in routers.iter_mut() {
             let rid = router.id;
             let ni = rid.index();
-            for in_p in 0..NUM_PORTS {
+            for in_p in 0..router.inputs.len() {
                 let in_dir = Direction::from_index(in_p);
                 let upstream = if in_dir == Direction::Local {
                     None

@@ -20,7 +20,7 @@ use noc_fault::variation::VariationMap;
 use noc_sim::error_control::{EjectOutcome, ErrorControl, HopOutcome, TransferKind};
 use noc_sim::flit::Flit;
 use noc_sim::stats::EventCounters;
-use noc_sim::topology::{LinkId, Mesh};
+use noc_sim::topology::{LinkId, Topo};
 use rlnoc_core::modes::OperationMode;
 
 /// Serializes a flit payload little-endian and checks its CRC-32 with
@@ -38,7 +38,7 @@ fn crc_ok_reference(flit: &Flit) -> bool {
 /// implemented the slow obvious way.
 #[derive(Debug, Clone)]
 pub struct RefProtocol {
-    mesh: Mesh,
+    mesh: Topo,
     modes: Vec<OperationMode>,
     timing: TimingErrorModel,
     variation: VariationMap,
@@ -50,7 +50,13 @@ pub struct RefProtocol {
 impl RefProtocol {
     /// Creates the protocol with every router in mode 0, 50 °C
     /// everywhere, and idle links — the production initial state.
-    pub fn new(mesh: Mesh, timing: TimingErrorModel, variation: VariationMap, seed: u64) -> Self {
+    pub fn new(
+        mesh: impl Into<Topo>,
+        timing: TimingErrorModel,
+        variation: VariationMap,
+        seed: u64,
+    ) -> Self {
+        let mesh = mesh.into();
         let n = mesh.num_nodes();
         assert_eq!(
             variation.factors().len(),
@@ -69,7 +75,7 @@ impl RefProtocol {
     }
 
     /// The mesh this protocol serves.
-    pub fn mesh(&self) -> Mesh {
+    pub fn mesh(&self) -> Topo {
         self.mesh
     }
 

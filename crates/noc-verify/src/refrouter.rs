@@ -11,8 +11,8 @@ use noc_coding::arq::{RetransmitBuffer, SequenceNumber};
 use noc_sim::arbiter::RoundRobinArbiter;
 use noc_sim::config::NocConfig;
 use noc_sim::flit::{Flit, PacketId};
-use noc_sim::routing::{xy_route, FaultRoutes};
-use noc_sim::topology::{Direction, Mesh, NodeId, NUM_PORTS};
+use noc_sim::routing::{min_route, FaultRoutes};
+use noc_sim::topology::{Direction, NodeId, Topo, VcClass};
 use std::collections::VecDeque;
 
 /// A flit resident in an input VC buffer, stamped with its arrival cycle
@@ -31,6 +31,9 @@ pub(crate) enum VcState {
     /// Route computed; awaiting an output VC.
     NeedsVa {
         out_port: Direction,
+        /// Date-line VC class the hop must allocate from ([`VcClass::Any`]
+        /// off-torus and in fault-adaptive mode).
+        class: VcClass,
         packet: PacketId,
     },
     /// Output VC held; flits flow through SA.
@@ -96,8 +99,8 @@ pub(crate) struct OutputPort {
     pub retx_pending: VecDeque<PendingRetransmit>,
 }
 
-/// A mesh router: five input ports of `V` VCs each, five output ports, and
-/// the arbiters for VA and SA.
+/// A reference router: one input port of `V` VCs and one output port per
+/// topology direction, plus the arbiters for VA and SA.
 #[derive(Debug, Clone)]
 pub struct RefRouter {
     pub(crate) id: NodeId,
@@ -109,18 +112,21 @@ pub struct RefRouter {
     pub(crate) va_arbiters: Vec<RoundRobinArbiter>,
     /// Per input port, over its `V` VCs.
     pub(crate) sa_input_arbiters: Vec<RoundRobinArbiter>,
-    /// Per output port, over the five input ports.
+    /// Per output port, over the input ports.
     pub(crate) sa_output_arbiters: Vec<RoundRobinArbiter>,
+    /// VCs per port (for the date-line class ranges).
+    vcs_per_port: u8,
 }
 
 impl RefRouter {
     /// Builds an empty router for node `id` under `config`.
     pub(crate) fn new(id: NodeId, config: &NocConfig) -> Self {
         let v = config.vcs_per_port as usize;
-        let inputs = (0..NUM_PORTS)
+        let num_ports = config.mesh.num_ports();
+        let inputs = (0..num_ports)
             .map(|_| (0..v).map(|_| InputVc::new()).collect())
             .collect();
-        let outputs = (0..NUM_PORTS)
+        let outputs = (0..num_ports)
             .map(|p| OutputPort {
                 vcs: (0..v)
                     .map(|_| OutputVc {
@@ -143,13 +149,14 @@ impl RefRouter {
             id,
             inputs,
             outputs,
-            va_arbiters: (0..NUM_PORTS)
-                .map(|_| RoundRobinArbiter::new(NUM_PORTS * v))
+            va_arbiters: (0..num_ports)
+                .map(|_| RoundRobinArbiter::new(num_ports * v))
                 .collect(),
-            sa_input_arbiters: (0..NUM_PORTS).map(|_| RoundRobinArbiter::new(v)).collect(),
-            sa_output_arbiters: (0..NUM_PORTS)
-                .map(|_| RoundRobinArbiter::new(NUM_PORTS))
+            sa_input_arbiters: (0..num_ports).map(|_| RoundRobinArbiter::new(v)).collect(),
+            sa_output_arbiters: (0..num_ports)
+                .map(|_| RoundRobinArbiter::new(num_ports))
                 .collect(),
+            vcs_per_port: config.vcs_per_port,
         }
     }
 
@@ -164,8 +171,11 @@ impl RefRouter {
     }
 
     /// Route computation: idle input VCs whose head flit has completed its
-    /// buffer-write stage compute their output port — via X-Y routing, or,
-    /// once hard faults are active, via the fault-adaptive up*/down* table.
+    /// buffer-write stage compute their output port — via minimal
+    /// dimension-ordered routing (with its date-line VC class on tori),
+    /// or, once hard faults are active, via the fault-adaptive up*/down*
+    /// table (class `Any`: the fault tree is deadlock-free by
+    /// construction).
     ///
     /// A head flit whose destination is unreachable on the live topology
     /// keeps its VC idle and reports its packet id into `doomed`; the
@@ -173,7 +183,7 @@ impl RefRouter {
     pub(crate) fn rc_stage(
         &mut self,
         cycle: u64,
-        mesh: Mesh,
+        mesh: Topo,
         fault: Option<&FaultRoutes>,
         doomed: &mut Vec<(PacketId, bool)>,
     ) {
@@ -193,10 +203,10 @@ impl RefRouter {
                     "non-head flit {:?} at front of idle VC",
                     front.flit.kind
                 );
-                let out_port = match fault {
-                    None => xy_route(mesh, self.id, front.flit.dst),
+                let (out_port, class) = match fault {
+                    None => min_route(mesh, self.id, front.flit.dst),
                     Some(f) => match f.next_hop(self.id, front.flit.dst) {
-                        Some(dir) => dir,
+                        Some(dir) => (dir, VcClass::Any),
                         None => {
                             doomed.push((front.flit.packet, !front.flit.class.is_control()));
                             continue;
@@ -205,6 +215,7 @@ impl RefRouter {
                 };
                 vc.state = VcState::NeedsVa {
                     out_port,
+                    class,
                     packet: front.flit.packet,
                 };
             }
@@ -216,27 +227,46 @@ impl RefRouter {
     /// Returns the number of allocations performed (for the power model).
     pub(crate) fn va_stage(&mut self) -> u64 {
         let v = self.inputs[0].len();
+        let num_ports = self.inputs.len();
         let mut allocations = 0;
-        for out_p in 0..NUM_PORTS {
-            // Find a free output VC.
-            let Some(free_vc) = self.outputs[out_p].vcs.iter().position(|o| !o.allocated) else {
-                continue;
-            };
-            // Gather requesting input VCs (flattened index).
-            let mut requests = vec![false; NUM_PORTS * v];
-            let mut any = false;
-            for (in_p, port) in self.inputs.iter().enumerate() {
-                for (in_v, vc) in port.iter().enumerate() {
-                    if matches!(vc.state, VcState::NeedsVa { out_port, .. }
-                        if out_port.index() == out_p)
-                    {
-                        requests[in_p * v + in_v] = true;
-                        any = true;
-                    }
+        for out_p in 0..num_ports {
+            // One grant per output port per cycle: the first class (in
+            // Any, Lo, Hi order) with both a requester and a free output
+            // VC in its admissible range competes; off-torus every
+            // requester is `Any` over the full range, so this degenerates
+            // to the classic first-free-VC scan.
+            let mut chosen = None;
+            for class in VcClass::ALL {
+                let wanted = self.inputs.iter().flatten().any(|vc| {
+                    matches!(vc.state, VcState::NeedsVa { out_port, class: c, .. }
+                        if out_port.index() == out_p && c == class)
+                });
+                if !wanted {
+                    continue;
+                }
+                let range = class.vc_range(self.vcs_per_port);
+                if let Some(free) = self.outputs[out_p].vcs[range.clone()]
+                    .iter()
+                    .position(|o| !o.allocated)
+                {
+                    chosen = Some((class, range.start + free));
+                    break;
                 }
             }
-            if !any {
+            let Some((granted_class, free_vc)) = chosen else {
                 continue;
+            };
+            // Gather requesting input VCs of the granted class
+            // (flattened index).
+            let mut requests = vec![false; num_ports * v];
+            for (in_p, port) in self.inputs.iter().enumerate() {
+                for (in_v, vc) in port.iter().enumerate() {
+                    if matches!(vc.state, VcState::NeedsVa { out_port, class, .. }
+                        if out_port.index() == out_p && class == granted_class)
+                    {
+                        requests[in_p * v + in_v] = true;
+                    }
+                }
             }
             let winner = self.va_arbiters[out_p]
                 .grant(&requests)

@@ -54,6 +54,42 @@ fn default_fuzz_stream_contains_hard_fault_and_fault_free_cases() {
     );
 }
 
+/// The default `verify_fuzz` stream must keep exercising the whole
+/// topology zoo: every zoo member (2D mesh, torus, folded torus, 3D
+/// mesh) must appear within the default 200 cases, and each of the
+/// wrap-link topologies plus the 3D mesh must also appear *hard
+/// faulted*, so the differential oracle keeps covering date-line VC
+/// routing and up*/down* recovery on non-mesh graphs. Narrowing the
+/// generator back to plain meshes fails here, loudly.
+#[test]
+fn default_fuzz_stream_covers_the_topology_zoo() {
+    use noc_sim::topology::Topo;
+    const DEFAULT_SEED: u64 = 0x5EED_F022;
+    const DEFAULT_CASES: u64 = 200;
+    // [mesh, torus, ftorus, 3d] × [fault-free, hard-faulted]
+    let mut seen = [[0usize; 2]; 4];
+    for i in 0..DEFAULT_CASES {
+        let case = FuzzCase::generate(DEFAULT_SEED, i);
+        let kind = match case.topo {
+            Topo::Mesh(_) => 0,
+            Topo::Torus(_) => 1,
+            Topo::FoldedTorus(_) => 2,
+            Topo::Mesh3d(_) => 3,
+        };
+        seen[kind][usize::from(case.hard_faults.is_some())] += 1;
+    }
+    for (kind, name) in ["mesh", "torus", "ftorus", "3d"].iter().enumerate() {
+        assert!(
+            seen[kind][0] > 0,
+            "default stream lost fault-free {name} cases: {seen:?}"
+        );
+        assert!(
+            seen[kind][1] > 0,
+            "default stream lost hard-faulted {name} cases: {seen:?}"
+        );
+    }
+}
+
 /// The default fuzz stream folds the `BatchSim` engine in on a fixed
 /// cadence: every eighth case re-runs as a batched replicate group with
 /// widths cycling 2/4/8. Pin that policy so nobody can accidentally
